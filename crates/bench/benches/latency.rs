@@ -1,0 +1,63 @@
+//! Criterion bench: output latency of the aggregate stores (paper
+//! Figure 11) — the time to produce one final window aggregate from `n`
+//! stored entries, per technique and aggregation class.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gss_aggregates::{Median, Sum};
+use gss_core::{AggregateFunction, FlatFat, Range, SliceStore, StorePolicy};
+
+fn slice_store<A: AggregateFunction<Input = i64> + Copy>(
+    f: A,
+    policy: StorePolicy,
+    n: usize,
+) -> SliceStore<A> {
+    let mut st = SliceStore::new(f, policy, false);
+    for i in 0..n as i64 {
+        st.append_slice(Range::new(i * 10, (i + 1) * 10));
+        st.add_in_order(i * 10, i % 97);
+    }
+    st
+}
+
+fn bench_latency(c: &mut Criterion) {
+    for n in [100usize, 10_000] {
+        let full = Range::new(0, n as i64 * 10);
+
+        let mut g = c.benchmark_group(format!("latency-sum-{n}"));
+        let lazy = slice_store(Sum, StorePolicy::Lazy, n);
+        g.bench_function("lazy-slicing", |b| {
+            b.iter(|| Sum.lower(&lazy.query_time(full).unwrap()))
+        });
+        let eager = slice_store(Sum, StorePolicy::Eager, n);
+        g.bench_function("eager-slicing", |b| {
+            b.iter(|| Sum.lower(&eager.query_time(full).unwrap()))
+        });
+        let tuples: Vec<i64> = (0..n as i64).map(|i| i % 97).collect();
+        g.bench_function("tuple-buffer", |b| {
+            b.iter(|| Sum.lower(&Sum.lift_all(tuples.iter()).unwrap()))
+        });
+        let mut tree = FlatFat::with_capacity(Sum, n);
+        for v in &tuples {
+            tree.push(Some(Sum.lift(v)));
+        }
+        g.bench_function("aggregate-tree", |b| {
+            b.iter(|| Sum.lower(&tree.query(0, n).unwrap()))
+        });
+        g.finish();
+
+        let mut g = c.benchmark_group(format!("latency-median-{n}"));
+        g.sample_size(20);
+        let lazy = slice_store(Median, StorePolicy::Lazy, n);
+        g.bench_function("lazy-slicing", |b| {
+            b.iter(|| Median.lower(&lazy.query_time(full).unwrap()))
+        });
+        let eager = slice_store(Median, StorePolicy::Eager, n);
+        g.bench_function("eager-slicing", |b| {
+            b.iter(|| Median.lower(&eager.query_time(full).unwrap()))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_latency);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: slice-split recomputation cost (paper Figure 15) —
+//! the expensive operation behind context-aware windows.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gss_aggregates::{Median, Sum};
+use gss_core::{AggregateFunction, Range, Slice, Time};
+
+fn filled_slice<A: AggregateFunction<Input = i64> + Copy>(f: A, n: usize) -> Slice<A> {
+    let mut slice: Slice<A> = Slice::new(Range::new(0, n as Time), true);
+    for i in 0..n as i64 {
+        slice.add_in_order(&f, i, i % 97);
+    }
+    slice
+}
+
+fn bench_split(c: &mut Criterion) {
+    for n in [1_000usize, 100_000] {
+        let mut g = c.benchmark_group(format!("split-{n}"));
+        g.sample_size(10);
+        let sum_template = filled_slice(Sum, n);
+        g.bench_function("sum", |b| {
+            b.iter_batched(
+                || sum_template.clone(),
+                |mut s| s.split(&Sum, n as Time / 2),
+                BatchSize::LargeInput,
+            )
+        });
+        let median_template = filled_slice(Median, n);
+        g.bench_function("median", |b| {
+            b.iter_batched(
+                || median_template.clone(),
+                |mut s| s.split(&Median, n as Time / 2),
+                BatchSize::LargeInput,
+            )
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_split);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench: per-tuple processing cost of the aggregation
+//! techniques on the paper's standard workload (paper Figure 8, micro
+//! version): 20 concurrent tumbling windows, in-order football data, sum.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use gss_aggregates::Sum;
+use gss_bench::{as_elements, build, concurrent_tumbling_queries, run, Technique};
+use gss_core::StreamOrder;
+use gss_data::{FootballConfig, FootballGenerator};
+
+fn bench_throughput(c: &mut Criterion) {
+    let tuples = FootballGenerator::new(FootballConfig::default()).take(100_000);
+    let elements = as_elements(&tuples);
+    let queries = concurrent_tumbling_queries(20);
+
+    let mut g = c.benchmark_group("throughput-20-windows");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(elements.len() as u64));
+    for tech in [
+        Technique::LazySlicing,
+        Technique::EagerSlicing,
+        Technique::Pairs,
+        Technique::Cutty,
+        Technique::Buckets,
+        Technique::TupleBuffer,
+        Technique::AggregateTree,
+    ] {
+        g.bench_function(tech.name(), |b| {
+            b.iter_batched(
+                || build(tech, Sum, &queries, StreamOrder::InOrder, 0),
+                |mut agg| run(agg.as_mut(), &elements).results,
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Figure 10: memory consumption on unordered streams.
+//!
+//! Four plots (paper Section 6.2.3):
+//!   (a) time-based windows, varying slices (50 k tuples fixed)
+//!   (b) time-based windows, varying tuples (500 slices fixed)
+//!   (c) count-based windows, varying slices (50 k tuples fixed)
+//!   (d) count-based windows, varying tuples (500 slices fixed)
+//!
+//! Expected shape: with time-based windows (tuples droppable) slicing and
+//! buckets depend only on the slice/window count, independent of the tuple
+//! count; tuple buffer and aggregate tree scale with tuples. With
+//! count-based windows every technique must keep tuples, so all curves
+//! become linear and parallel in the tuple count; buckets additionally
+//! replicate tuples across overlapping windows.
+//!
+//! Run: `cargo run --release -p gss-bench --bin fig10`
+
+use gss_aggregates::Sum;
+use gss_bench::{as_elements, build, run, Output, QuerySpec, Technique};
+use gss_core::{StreamOrder, Time};
+
+/// Feeds `n_tuples` uniformly over a span that yields ~`n_slices` slices
+/// for a tumbling window of `span / n_slices`, with no watermark so
+/// nothing is evicted; reports operator state bytes.
+fn measure(tech: Technique, count_based: bool, n_slices: usize, n_tuples: usize) -> usize {
+    let span: Time = 1_000_000;
+    let step = (span as usize / n_tuples).max(1) as Time;
+    let tuples: Vec<(Time, i64)> = (0..n_tuples as i64).map(|i| (i * step, i)).collect();
+    let query = if count_based {
+        QuerySpec::CountTumbling((n_tuples / n_slices).max(1) as u64)
+    } else {
+        QuerySpec::Tumbling((span / n_slices as Time).max(1))
+    };
+    let mut agg = build(tech, Sum, &[query], StreamOrder::OutOfOrder, span * 2);
+    let report = run(agg.as_mut(), &as_elements(&tuples));
+    report.memory_bytes
+}
+
+fn main() {
+    let techniques = |count_based: bool| {
+        if count_based {
+            vec![Technique::LazySlicing, Technique::TupleBuckets, Technique::TupleBuffer,
+                 Technique::AggregateTree]
+        } else {
+            vec![Technique::LazySlicing, Technique::Buckets, Technique::TupleBuffer,
+                 Technique::AggregateTree]
+        }
+    };
+
+    let mut out = Output::new(
+        "fig10",
+        &["plot", "technique", "slices", "tuples", "bytes"],
+    );
+    out.print_header();
+
+    for (plot, count_based, vary_slices) in
+        [("10a", false, true), ("10b", false, false), ("10c", true, true), ("10d", true, false)]
+    {
+        for tech in techniques(count_based) {
+            if vary_slices {
+                for n_slices in [10usize, 50, 100, 500, 1_000, 5_000, 10_000] {
+                    let bytes = measure(tech, count_based, n_slices, 50_000);
+                    out.row(&[
+                        plot.into(),
+                        tech.name().into(),
+                        n_slices.to_string(),
+                        "50000".into(),
+                        bytes.to_string(),
+                    ]);
+                }
+            } else {
+                for n_tuples in [1_000usize, 5_000, 10_000, 50_000, 100_000, 500_000, 1_000_000] {
+                    // Buckets with huge overlap get slow; cap for sanity.
+                    if matches!(tech, Technique::Buckets | Technique::TupleBuckets)
+                        && n_tuples > 500_000
+                    {
+                        continue;
+                    }
+                    let bytes = measure(tech, count_based, 500, n_tuples);
+                    out.row(&[
+                        plot.into(),
+                        tech.name().into(),
+                        "500".into(),
+                        n_tuples.to_string(),
+                        bytes.to_string(),
+                    ]);
+                }
+            }
+        }
+    }
+    out.finish();
+}

@@ -1,0 +1,108 @@
+//! Figure 11: output latency of the aggregate stores — the cost of
+//! producing one final window aggregate from `n` stored entries.
+//!
+//! (a) sum (algebraic) and (c) median (holistic), for 10 … 100 000
+//! entries. Expected shape (paper Section 6.2.4): lazy aggregation (lazy
+//! slicing, tuple buffer) scales linearly up to ~1 ms at 10⁵ entries;
+//! eager stores (eager slicing, aggregate tree) answer in microseconds
+//! (log n combines); buckets answer in nanoseconds (pre-computed, one
+//! lookup). Holistic medians shift slicing latencies up (the final merge
+//! is expensive) but leave buckets untouched.
+//!
+//! Run: `cargo run --release -p gss-bench --bin fig11`
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use gss_aggregates::{Median, Sum};
+use gss_core::{AggregateFunction, Range, SliceStore, StorePolicy};
+
+/// Median latency of `f` over `reps` runs, in nanoseconds.
+fn time_ns<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t.elapsed().as_nanos() as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Builds a slice store with `n` single-tuple slices.
+fn slice_store<A: AggregateFunction<Input = i64>>(
+    f: A,
+    policy: StorePolicy,
+    n: usize,
+) -> SliceStore<A> {
+    let mut st = SliceStore::new(f, policy, false);
+    for i in 0..n as i64 {
+        st.append_slice(Range::new(i * 10, (i + 1) * 10));
+        st.add_in_order(i * 10, i % 97);
+    }
+    st
+}
+
+fn bench_function<A: AggregateFunction<Input = i64> + Copy>(
+    f: A,
+    label: &str,
+    out: &mut gss_bench::Output,
+) {
+    let reps = 301;
+    for n in [10usize, 100, 1_000, 10_000, 100_000] {
+        // Lazy slicing: combine n slice partials on demand.
+        let lazy = slice_store(f, StorePolicy::Lazy, n);
+        let full = Range::new(0, n as i64 * 10);
+        let t_lazy = time_ns(reps, || f.lower(&lazy.query_time(full).unwrap()));
+
+        // Eager slicing: FlatFAT over slices, O(log n) combines.
+        let eager = slice_store(f, StorePolicy::Eager, n);
+        let t_eager = time_ns(reps, || f.lower(&eager.query_time(full).unwrap()));
+
+        // Buckets: the aggregate is precomputed; output is one map lookup
+        // plus lower().
+        let mut buckets: BTreeMap<i64, A::Partial> = BTreeMap::new();
+        let mut acc = f.lift(&0);
+        for i in 1..n as i64 {
+            acc = f.combine(acc, &f.lift(&(i % 97)));
+        }
+        buckets.insert(0, acc);
+        let t_buckets = time_ns(reps, || f.lower(buckets.get(&0).unwrap()));
+
+        // Tuple buffer: fold n raw tuples.
+        let tuples: Vec<i64> = (0..n as i64).map(|i| i % 97).collect();
+        let t_buffer = time_ns(reps, || f.lower(&f.lift_all(tuples.iter()).unwrap()));
+
+        // Aggregate tree over tuples: FlatFAT with n leaves.
+        let mut tree = gss_core::FlatFat::with_capacity(f, n);
+        for i in 0..n as i64 {
+            tree.push(Some(f.lift(&(i % 97))));
+        }
+        let t_tree = time_ns(reps, || f.lower(&tree.query(0, n).unwrap()));
+
+        for (tech, ns) in [
+            ("Lazy Slicing", t_lazy),
+            ("Eager Slicing", t_eager),
+            ("Buckets", t_buckets),
+            ("Tuple Buffer", t_buffer),
+            ("Aggregate Tree", t_tree),
+        ] {
+            out.row(&[
+                label.to_string(),
+                tech.to_string(),
+                n.to_string(),
+                format!("{ns:.0}"),
+            ]);
+        }
+    }
+}
+
+fn main() {
+    let mut out = Output::new("fig11", &["aggregation", "technique", "entries", "latency_ns"]);
+    out.print_header();
+    bench_function(Sum, "sum", &mut out);
+    bench_function(Median, "median", &mut out);
+    out.finish();
+}
+
+use gss_bench::Output;

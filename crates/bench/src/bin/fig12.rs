@@ -1,0 +1,105 @@
+//! Figure 12: impact of stream order on throughput.
+//!
+//! (a) varying the fraction of out-of-order tuples (0–100 %, delays
+//!     0–2 s) and
+//! (b) varying the delay of out-of-order tuples (ranges 0–0.5 s … 0–8 s at
+//!     20 % disorder),
+//! both with 20 concurrent windows (paper Section 6.3.1). Expected shape:
+//! slicing and buckets stay flat; tuple buffer and aggregate tree decay
+//! with the fraction, and the tuple buffer additionally decays with the
+//! delay (sorted-insert costs grow with displacement).
+//!
+//! Run: `cargo run --release -p gss-bench --bin fig12`
+
+use gss_aggregates::Sum;
+use gss_bench::{
+    build, concurrent_tumbling_queries, fmt_tput, run, truncate_elements, Output, QuerySpec,
+    Technique,
+};
+use gss_core::{StreamElement, StreamOrder};
+use gss_data::{make_out_of_order, with_watermarks, FootballConfig, FootballGenerator, OooConfig};
+
+fn scale() -> f64 {
+    std::env::var("GSS_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+}
+
+fn main() {
+    let base = (400_000.0 * scale()) as usize;
+    let tuples = FootballGenerator::new(FootballConfig::default()).take(base);
+    let techniques = [
+        Technique::LazySlicing,
+        Technique::EagerSlicing,
+        Technique::Buckets,
+        Technique::TupleBuffer,
+        Technique::AggregateTree,
+    ];
+
+    let mut queries = concurrent_tumbling_queries(20);
+    queries.push(QuerySpec::Session(1_000));
+
+    let mut out = Output::new(
+        "fig12",
+        &["plot", "technique", "x", "tuples_per_sec"],
+    );
+    out.print_header();
+
+    // (a) fraction sweep, delay fixed at 0-2 s.
+    for fraction in [0u8, 10, 20, 40, 60, 80, 100] {
+        let cfg = OooConfig { fraction_percent: fraction, max_delay: 2_000, ..Default::default() };
+        let arrivals = make_out_of_order(&tuples, cfg);
+        let elements: Vec<StreamElement<i64>> = with_watermarks(&arrivals, 500, 2_000);
+        for tech in techniques {
+            let cap = match tech {
+                Technique::AggregateTree => {
+                    if fraction == 0 {
+                        100_000
+                    } else {
+                        15_000
+                    }
+                }
+                Technique::TupleBuffer => 60_000,
+                _ => base,
+            };
+            let elems = truncate_elements(&elements, cap);
+            let mut agg = build(tech, Sum, &queries, StreamOrder::OutOfOrder, 2_000);
+            let report = run(agg.as_mut(), &elems);
+            out.row(&[
+                "12a".into(),
+                tech.name().into(),
+                fraction.to_string(),
+                format!("{:.0}", report.throughput()),
+            ]);
+            eprintln!("  12a {}% {}: {}", fraction, tech.name(), fmt_tput(report.throughput()));
+        }
+    }
+
+    // (b) delay sweep at 20 % disorder.
+    for max_delay in [500i64, 1_000, 2_000, 4_000, 8_000] {
+        let cfg = OooConfig { fraction_percent: 20, max_delay, ..Default::default() };
+        let arrivals = make_out_of_order(&tuples, cfg);
+        let elements: Vec<StreamElement<i64>> = with_watermarks(&arrivals, 500, max_delay);
+        for tech in techniques {
+            let cap = match tech {
+                Technique::AggregateTree => 15_000,
+                Technique::TupleBuffer => 60_000,
+                _ => base,
+            };
+            let elems = truncate_elements(&elements, cap);
+            let mut agg = build(tech, Sum, &queries, StreamOrder::OutOfOrder, max_delay);
+            let report = run(agg.as_mut(), &elems);
+            out.row(&[
+                "12b".into(),
+                tech.name().into(),
+                max_delay.to_string(),
+                format!("{:.0}", report.throughput()),
+            ]);
+            eprintln!(
+                "  12b 0-{}s {}: {}",
+                max_delay as f64 / 1000.0,
+                tech.name(),
+                fmt_tput(report.throughput())
+            );
+        }
+    }
+    out.finish();
+}

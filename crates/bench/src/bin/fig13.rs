@@ -1,0 +1,118 @@
+//! Figure 13: impact of the aggregation function on general slicing's
+//! throughput, for time-based vs. count-based windows.
+//!
+//! Setup (paper Section 6.3.2): 20 concurrent windows, 20 % out-of-order
+//! tuples with 0–2 s delays; the Tangwongsan et al. function set plus
+//! median and 90-percentile, plus a sum that hides its invertibility.
+//! Expected shape: all algebraic/distributive functions run at similar
+//! high throughput on time windows; on count windows the not-invertible
+//! "sum w/o invert" collapses (every shift recomputes) while min/max
+//! families barely degrade (most removals don't touch the extremum);
+//! holistic functions sit far below everything else.
+//!
+//! Run: `cargo run --release -p gss-bench --bin fig13`
+
+use std::time::Instant;
+
+use gss_aggregates::{
+    ArgMax, ArgMin, Avg, CountAgg, GeometricMean, Max, MaxCount, Median, Min, MinCount,
+    Percentile, PopulationStdDev, SampleStdDev, Sum, SumNoInvert, M4,
+};
+use gss_bench::Output;
+use gss_core::operator::{OperatorConfig, WindowOperator};
+use gss_core::{AggregateFunction, StreamElement, StreamOrder, Time};
+use gss_data::{make_out_of_order, with_watermarks, FootballConfig, FootballGenerator, OooConfig};
+use gss_windows::{CountTumblingWindow, TumblingWindow};
+
+fn scale() -> f64 {
+    std::env::var("GSS_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+}
+
+/// Drives general slicing with function `f` over the prepared arrival
+/// stream, mapping each base tuple into the function's input type.
+fn run_function<A: AggregateFunction>(
+    f: A,
+    elements: &[StreamElement<i64>],
+    count_based: bool,
+    map: impl Fn(Time, i64) -> A::Input,
+) -> f64 {
+    let mut op = WindowOperator::new(
+        f,
+        OperatorConfig {
+            order: StreamOrder::OutOfOrder,
+            allowed_lateness: 2_000,
+            ..Default::default()
+        },
+    );
+    for i in 0..20 {
+        if count_based {
+            op.add_query(Box::new(CountTumblingWindow::new((i + 1) * 2_000))).unwrap();
+        } else {
+            op.add_query(Box::new(TumblingWindow::new((i as i64 + 1) * 1_000))).unwrap();
+        }
+    }
+    let mut out = Vec::new();
+    let mut tuples = 0u64;
+    let start = Instant::now();
+    for e in elements {
+        match e {
+            StreamElement::Record { ts, value } => {
+                tuples += 1;
+                op.process_tuple(*ts, map(*ts, *value), &mut out);
+            }
+            StreamElement::Watermark(wm) => op.process_watermark(*wm, &mut out),
+            StreamElement::Punctuation(_) => {}
+        }
+        out.clear();
+    }
+    tuples as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let base = (300_000.0 * scale()) as usize;
+    let tuples = FootballGenerator::new(FootballConfig::default()).take(base);
+    let arrivals = make_out_of_order(
+        &tuples,
+        OooConfig { fraction_percent: 20, max_delay: 2_000, ..Default::default() },
+    );
+    let elements: Vec<StreamElement<i64>> = with_watermarks(&arrivals, 500, 2_000);
+    // Holistic functions over count windows recompute large slices; cap.
+    let holistic_elements = gss_bench::truncate_elements(&elements, base.min(60_000));
+
+    let mut out = Output::new("fig13", &["function", "measure", "tuples_per_sec"]);
+    out.print_header();
+
+    for count_based in [false, true] {
+        let measure = if count_based { "count" } else { "time" };
+        let mut rows: Vec<(String, f64)> = Vec::new();
+        macro_rules! bench {
+            ($name:expr, $f:expr, $elems:expr, $map:expr) => {{
+                let tps = run_function($f, $elems, count_based, $map);
+                eprintln!("  {} ({measure}): {:.0} tuples/s", $name, tps);
+                rows.push(($name.to_string(), tps));
+            }};
+        }
+
+        bench!("count", CountAgg, &elements, |_, v| v);
+        bench!("sum", Sum, &elements, |_, v| v);
+        bench!("sum w/o invert", SumNoInvert, &elements, |_, v| v);
+        bench!("avg", Avg, &elements, |_, v| v);
+        bench!("min", Min, &elements, |_, v| v);
+        bench!("max", Max, &elements, |_, v| v);
+        bench!("min-count", MinCount, &elements, |_, v| v);
+        bench!("max-count", MaxCount, &elements, |_, v| v);
+        bench!("arg-min", ArgMin, &elements, |ts, v| (v, ts));
+        bench!("arg-max", ArgMax, &elements, |ts, v| (v, ts));
+        bench!("geo-mean", GeometricMean, &elements, |_, v| v);
+        bench!("sample-stddev", SampleStdDev, &elements, |_, v| v);
+        bench!("pop-stddev", PopulationStdDev, &elements, |_, v| v);
+        bench!("m4", M4, &elements, |ts, v| (ts, v));
+        bench!("median", Median, &holistic_elements, |_, v| v);
+        bench!("p90", Percentile::p90(), &holistic_elements, |_, v| v);
+
+        for (name, tps) in rows {
+            out.row(&[name, measure.to_string(), format!("{tps:.0}")]);
+        }
+    }
+    out.finish();
+}

@@ -1,0 +1,70 @@
+//! Figure 8: throughput of in-order processing with context-free windows,
+//! as the number of concurrent windows grows from 1 to 1000.
+//!
+//! Workload (paper Section 6.2.1): concurrent tumbling window queries with
+//! lengths equally distributed from 1 to 20 seconds over the football
+//! stream; sum aggregation. Expected shape: all three slicing techniques
+//! (general slicing, Pairs, Cutty) process millions of tuples/s with
+//! near-constant throughput, while Buckets and Tuple Buffer degrade
+//! linearly with the window count and Aggregate Trees sit orders of
+//! magnitude below.
+//!
+//! Run: `cargo run --release -p gss-bench --bin fig8`
+
+use gss_aggregates::Sum;
+use gss_bench::{as_elements, build, concurrent_tumbling_queries, fmt_tput, run, Output, Technique};
+use gss_core::StreamOrder;
+use gss_data::{FootballConfig, FootballGenerator};
+
+fn scale() -> f64 {
+    std::env::var("GSS_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+}
+
+fn main() {
+    let base = (1_000_000.0 * scale()) as usize;
+    let mut gen = FootballGenerator::new(FootballConfig::default());
+    let tuples = gen.take(base);
+    let elements = as_elements(&tuples);
+
+    let techniques = [
+        Technique::LazySlicing,
+        Technique::EagerSlicing,
+        Technique::Pairs,
+        Technique::Cutty,
+        Technique::Buckets,
+        Technique::TupleBuffer,
+        Technique::AggregateTree,
+    ];
+    let window_counts = [1usize, 5, 10, 50, 100, 500, 1000];
+
+    let mut out = Output::new("fig8", &["technique", "concurrent_windows", "tuples_per_sec"]);
+    out.print_header();
+    for tech in techniques {
+        for &n in &window_counts {
+            // Cap tuple counts so O(windows)-per-tuple baselines finish.
+            let cap = match tech {
+                Technique::Buckets => (base / 5).min(8_000_000 / n).max(20_000),
+                Technique::TupleBuffer => (base / 5).min(4_000_000 / n).max(10_000),
+                Technique::AggregateTree => 200_000,
+                _ => base,
+            };
+            let elems = gss_bench::truncate_elements(&elements, cap);
+            let queries = concurrent_tumbling_queries(n);
+            let mut agg = build(tech, Sum, &queries, StreamOrder::InOrder, 0);
+            let report = run(agg.as_mut(), &elems);
+            out.row(&[
+                tech.name().to_string(),
+                n.to_string(),
+                format!("{:.0}", report.throughput()),
+            ]);
+            eprintln!(
+                "  {} @ {} windows: {} tuples/s ({} results)",
+                tech.name(),
+                n,
+                fmt_tput(report.throughput()),
+                report.results
+            );
+        }
+    }
+    out.finish();
+}

@@ -1,0 +1,322 @@
+//! # gss-bench
+//!
+//! Shared harness for regenerating every table and figure of the paper's
+//! evaluation (Section 6). Each `bin/` target reproduces one plot: it
+//! prints the same series the paper shows and writes a CSV to
+//! `target/experiments/`.
+//!
+//! Absolute numbers differ from the paper (different hardware, Rust vs.
+//! JVM); the *shapes* — which technique wins, by roughly what factor,
+//! where crossovers happen — are the reproduction target (EXPERIMENTS.md).
+
+use std::io::Write;
+use std::time::Instant;
+
+use gss_baselines::{AggregateTree, BucketMode, Buckets, Cutty, Pairs, TupleBuffer};
+use gss_core::operator::{OperatorConfig, WindowOperator};
+use gss_core::{
+    AggregateFunction, StorePolicy, StreamElement, StreamOrder, Time, WindowAggregator,
+    WindowFunction,
+};
+use gss_windows::{CountSlidingWindow, CountTumblingWindow, SessionWindow, TumblingWindow};
+
+/// The aggregation techniques compared throughout Section 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Technique {
+    LazySlicing,
+    EagerSlicing,
+    Pairs,
+    Cutty,
+    /// Aggregate buckets (Table 1 row 3) — Flink's default operator.
+    Buckets,
+    /// Tuple buckets (Table 1 row 4).
+    TupleBuckets,
+    TupleBuffer,
+    AggregateTree,
+}
+
+impl Technique {
+    pub fn name(self) -> &'static str {
+        match self {
+            Technique::LazySlicing => "Lazy Slicing",
+            Technique::EagerSlicing => "Eager Slicing",
+            Technique::Pairs => "Pairs",
+            Technique::Cutty => "Cutty",
+            Technique::Buckets => "Buckets",
+            Technique::TupleBuckets => "Tuple Buckets",
+            Technique::TupleBuffer => "Tuple Buffer",
+            Technique::AggregateTree => "Aggregate Tree",
+        }
+    }
+
+    /// Techniques that support out-of-order streams (Pairs and Cutty are
+    /// in-order only — paper Section 3.4).
+    pub fn supports_out_of_order(self) -> bool {
+        !matches!(self, Technique::Pairs | Technique::Cutty)
+    }
+}
+
+/// A window query used by the benchmark workloads.
+#[derive(Debug, Clone, Copy)]
+pub enum QuerySpec {
+    Tumbling(i64),
+    Sliding(i64, i64),
+    Session(i64),
+    CountTumbling(u64),
+    CountSliding(u64, u64),
+}
+
+impl QuerySpec {
+    pub fn build(self) -> Box<dyn WindowFunction> {
+        match self {
+            QuerySpec::Tumbling(l) => Box::new(TumblingWindow::new(l)),
+            QuerySpec::Sliding(l, s) => Box::new(gss_windows::SlidingWindow::new(l, s)),
+            QuerySpec::Session(g) => Box::new(SessionWindow::new(g).with_retention(g * 64)),
+            QuerySpec::CountTumbling(l) => Box::new(CountTumblingWindow::new(l)),
+            QuerySpec::CountSliding(l, s) => Box::new(CountSlidingWindow::new(l, s)),
+        }
+    }
+}
+
+/// The paper's standard multi-query workload: `n` concurrent tumbling
+/// windows with lengths equally distributed from 1 to 20 seconds
+/// (Section 6.2.1) — n queries cycling through the 20 lengths.
+pub fn concurrent_tumbling_queries(n: usize) -> Vec<QuerySpec> {
+    (0..n).map(|i| QuerySpec::Tumbling(((i % 20) as i64 + 1) * 1_000)).collect()
+}
+
+/// Builds an aggregator of the given technique over the given queries.
+/// Panics if the technique cannot express the workload (callers pick
+/// applicable techniques per experiment, like the paper does).
+pub fn build<A: AggregateFunction>(
+    tech: Technique,
+    f: A,
+    queries: &[QuerySpec],
+    order: StreamOrder,
+    lateness: Time,
+) -> Box<dyn WindowAggregator<A>> {
+    match tech {
+        Technique::LazySlicing | Technique::EagerSlicing => {
+            let policy = if tech == Technique::LazySlicing {
+                StorePolicy::Lazy
+            } else {
+                StorePolicy::Eager
+            };
+            let cfg = OperatorConfig { order, policy, allowed_lateness: lateness, ..Default::default() };
+            let mut op = WindowOperator::new(f, cfg);
+            for q in queries {
+                op.add_query(q.build()).expect("query mix supported");
+            }
+            Box::new(op)
+        }
+        Technique::Pairs => {
+            let mut p = Pairs::new(f);
+            for q in queries {
+                match q {
+                    QuerySpec::Tumbling(l) => {
+                        p.add_query(*l, *l);
+                    }
+                    QuerySpec::Sliding(l, s) => {
+                        p.add_query(*l, *s);
+                    }
+                    other => panic!("Pairs cannot express {other:?}"),
+                }
+            }
+            Box::new(p)
+        }
+        Technique::Cutty => {
+            let mut c = Cutty::new(f);
+            for q in queries {
+                c.add_query(q.build());
+            }
+            Box::new(c)
+        }
+        Technique::Buckets | Technique::TupleBuckets => {
+            let mode = if tech == Technique::Buckets {
+                BucketMode::Aggregate
+            } else {
+                BucketMode::Tuple
+            };
+            let mut b = Buckets::new(f, mode, order, lateness);
+            for q in queries {
+                b.add_query(q.build());
+            }
+            Box::new(b)
+        }
+        Technique::TupleBuffer => {
+            let mut t = TupleBuffer::new(f, order, lateness);
+            for q in queries {
+                t.add_query(q.build());
+            }
+            Box::new(t)
+        }
+        Technique::AggregateTree => {
+            let mut t = AggregateTree::new(f, order, lateness);
+            for q in queries {
+                t.add_query(q.build());
+            }
+            Box::new(t)
+        }
+    }
+}
+
+/// Result of driving one aggregator over a prepared element stream.
+pub struct RunReport {
+    pub tuples: u64,
+    pub results: u64,
+    pub seconds: f64,
+    pub memory_bytes: usize,
+}
+
+impl RunReport {
+    pub fn throughput(&self) -> f64 {
+        self.tuples as f64 / self.seconds.max(1e-9)
+    }
+}
+
+/// Drives the aggregator through the whole element stream, measuring wall
+/// time and counting emitted windows.
+pub fn run<A: AggregateFunction>(
+    agg: &mut dyn WindowAggregator<A>,
+    elements: &[StreamElement<A::Input>],
+) -> RunReport {
+    let mut out = Vec::new();
+    let mut tuples = 0u64;
+    let mut results = 0u64;
+    let start = Instant::now();
+    for e in elements {
+        match e {
+            StreamElement::Record { ts, value } => {
+                tuples += 1;
+                agg.process(*ts, value.clone(), &mut out);
+            }
+            StreamElement::Watermark(wm) => agg.on_watermark(*wm, &mut out),
+            StreamElement::Punctuation(_) => {}
+        }
+        results += out.len() as u64;
+        out.clear();
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    RunReport { tuples, results, seconds, memory_bytes: agg.memory_bytes() }
+}
+
+/// Caps a run so slow baselines finish: keeps at most `max_tuples` records
+/// (plus interleaved watermarks) from the element stream.
+pub fn truncate_elements<V: Clone>(
+    elements: &[StreamElement<V>],
+    max_tuples: usize,
+) -> Vec<StreamElement<V>> {
+    let mut out = Vec::new();
+    let mut n = 0;
+    for e in elements {
+        if e.is_record() {
+            n += 1;
+            if n > max_tuples {
+                break;
+            }
+        }
+        out.push(e.clone());
+    }
+    out
+}
+
+/// Converts `(ts, value)` records into stream elements with no watermarks
+/// (in-order runs).
+pub fn as_elements(tuples: &[(Time, i64)]) -> Vec<StreamElement<i64>> {
+    tuples.iter().map(|&(ts, value)| StreamElement::Record { ts, value }).collect()
+}
+
+/// A simple experiment CSV + console writer.
+pub struct Output {
+    rows: Vec<Vec<String>>,
+    header: Vec<String>,
+    path: std::path::PathBuf,
+}
+
+impl Output {
+    /// Creates an output named e.g. `fig8`; the CSV lands in
+    /// `target/experiments/fig8.csv`.
+    pub fn new(name: &str, header: &[&str]) -> Self {
+        let dir = std::path::Path::new("target/experiments");
+        std::fs::create_dir_all(dir).expect("create experiment dir");
+        Output {
+            rows: Vec::new(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            path: dir.join(format!("{name}.csv")),
+        }
+    }
+
+    pub fn print_header(&self) {
+        println!("{}", self.header.join("\t"));
+    }
+
+    pub fn row(&mut self, cells: &[String]) {
+        println!("{}", cells.join("\t"));
+        self.rows.push(cells.to_vec());
+    }
+
+    pub fn finish(self) {
+        let mut f = std::fs::File::create(&self.path).expect("create csv");
+        writeln!(f, "{}", self.header.join(",")).unwrap();
+        for r in &self.rows {
+            writeln!(f, "{}", r.join(",")).unwrap();
+        }
+        eprintln!("wrote {}", self.path.display());
+    }
+}
+
+/// Human-readable throughput.
+pub fn fmt_tput(tps: f64) -> String {
+    if tps >= 1e6 {
+        format!("{:.2}M", tps / 1e6)
+    } else if tps >= 1e3 {
+        format!("{:.1}k", tps / 1e3)
+    } else {
+        format!("{tps:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gss_aggregates::Sum;
+
+    #[test]
+    fn build_and_run_every_technique_in_order() {
+        let tuples: Vec<(Time, i64)> = (0..5_000).map(|i| (i, 1)).collect();
+        let elements = as_elements(&tuples);
+        let queries = concurrent_tumbling_queries(5);
+        for tech in [
+            Technique::LazySlicing,
+            Technique::EagerSlicing,
+            Technique::Pairs,
+            Technique::Cutty,
+            Technique::Buckets,
+            Technique::TupleBuckets,
+            Technique::TupleBuffer,
+            Technique::AggregateTree,
+        ] {
+            let mut agg = build(tech, Sum, &queries, StreamOrder::InOrder, 0);
+            let report = run(agg.as_mut(), &elements);
+            assert_eq!(report.tuples, 5_000, "{}", tech.name());
+            assert!(report.results > 0, "{} produced no windows", tech.name());
+        }
+    }
+
+    #[test]
+    fn query_workload_shape() {
+        let qs = concurrent_tumbling_queries(45);
+        assert_eq!(qs.len(), 45);
+        assert!(matches!(qs[0], QuerySpec::Tumbling(1000)));
+        assert!(matches!(qs[19], QuerySpec::Tumbling(20_000)));
+        assert!(matches!(qs[20], QuerySpec::Tumbling(1000)));
+    }
+
+    #[test]
+    fn truncation_caps_records() {
+        let tuples: Vec<(Time, i64)> = (0..100).map(|i| (i, 1)).collect();
+        let elements = as_elements(&tuples);
+        let t = truncate_elements(&elements, 10);
+        assert_eq!(t.iter().filter(|e| e.is_record()).count(), 10);
+    }
+}

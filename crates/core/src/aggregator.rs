@@ -1,0 +1,47 @@
+//! The common facade implemented by every window-aggregation technique.
+//!
+//! The paper compares general stream slicing against tuple buffers,
+//! aggregate trees, buckets, Pairs, and Cutty (Section 3 / Section 6). All
+//! of them — and the general slicing operator itself — implement
+//! [`WindowAggregator`], so the benchmark harness and the dataflow substrate
+//! can swap techniques freely.
+
+use crate::function::AggregateFunction;
+use crate::result::WindowResult;
+use crate::time::Time;
+
+/// A drop-in window aggregation operator: feed it tuples and watermarks, it
+/// emits window aggregates. Output semantics are identical across
+/// techniques (the paper's generality requirement: "general stream slicing
+/// replaces alternative operators for window aggregation without changing
+/// their input or output semantics").
+pub trait WindowAggregator<A: AggregateFunction>: Send {
+    /// Processes one stream tuple. Results (if any windows completed on an
+    /// in-order stream) are appended to `out`.
+    fn process(&mut self, ts: Time, value: A::Input, out: &mut Vec<WindowResult<A::Output>>);
+
+    /// Processes a watermark: emits every window that ended at or before
+    /// `wm` and evicts expired state.
+    fn on_watermark(&mut self, wm: Time, out: &mut Vec<WindowResult<A::Output>>);
+
+    /// Total bytes of operator state (deterministic deep size, the
+    /// substitution for the paper's `ObjectSizeCalculator` measurements).
+    fn memory_bytes(&self) -> usize;
+
+    /// Technique name for reports ("Lazy Slicing", "Buckets", ...).
+    fn name(&self) -> &'static str;
+
+    /// Convenience wrapper allocating a fresh result vector.
+    fn process_collect(&mut self, ts: Time, value: A::Input) -> Vec<WindowResult<A::Output>> {
+        let mut out = Vec::new();
+        self.process(ts, value, &mut out);
+        out
+    }
+
+    /// Convenience wrapper allocating a fresh result vector.
+    fn watermark_collect(&mut self, wm: Time) -> Vec<WindowResult<A::Output>> {
+        let mut out = Vec::new();
+        self.on_watermark(wm, &mut out);
+        out
+    }
+}

@@ -1,0 +1,63 @@
+//! Stream elements: the wire format between sources and operators.
+
+use crate::time::Time;
+
+/// One element of a data stream: a payload tuple, a low-watermark, or a
+/// window punctuation (paper Section 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamElement<V> {
+    /// A data tuple with its event timestamp.
+    Record { ts: Time, value: V },
+    /// No tuple with `ts < watermark` will arrive (late stragglers within
+    /// the allowed lateness produce output updates).
+    Watermark(Time),
+    /// A window punctuation marking a window boundary (FCF windows).
+    Punctuation(Time),
+}
+
+impl<V> StreamElement<V> {
+    /// The element's position in event time.
+    pub fn ts(&self) -> Time {
+        match self {
+            StreamElement::Record { ts, .. } => *ts,
+            StreamElement::Watermark(ts) => *ts,
+            StreamElement::Punctuation(ts) => *ts,
+        }
+    }
+
+    pub fn is_record(&self) -> bool {
+        matches!(self, StreamElement::Record { .. })
+    }
+
+    /// Maps the payload type.
+    pub fn map<W>(self, f: impl FnOnce(V) -> W) -> StreamElement<W> {
+        match self {
+            StreamElement::Record { ts, value } => StreamElement::Record { ts, value: f(value) },
+            StreamElement::Watermark(ts) => StreamElement::Watermark(ts),
+            StreamElement::Punctuation(ts) => StreamElement::Punctuation(ts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let r: StreamElement<i64> = StreamElement::Record { ts: 5, value: 9 };
+        assert_eq!(r.ts(), 5);
+        assert!(r.is_record());
+        let w: StreamElement<i64> = StreamElement::Watermark(7);
+        assert_eq!(w.ts(), 7);
+        assert!(!w.is_record());
+    }
+
+    #[test]
+    fn map_transforms_record_payloads_only() {
+        let r: StreamElement<i64> = StreamElement::Record { ts: 5, value: 9 };
+        assert_eq!(r.map(|v| v * 2), StreamElement::Record { ts: 5, value: 18 });
+        let p: StreamElement<i64> = StreamElement::Punctuation(3);
+        assert_eq!(p.map(|v| v * 2), StreamElement::Punctuation(3));
+    }
+}

@@ -1,0 +1,149 @@
+//! Deterministic deep-size accounting.
+//!
+//! The paper measures memory footprints with Nashorn's
+//! `ObjectSizeCalculator` (Section 6.1). We substitute a deterministic
+//! byte-accounting trait: every store reports the exact number of bytes its
+//! owned heap and inline data occupy. This keeps the memory experiments
+//! (Table 1, Figure 10) reproducible without a JVM.
+
+/// Types that can report the total size of the data they own: the inline
+/// (`size_of::<Self>()`) part plus all owned heap allocations.
+pub trait HeapSize {
+    /// Bytes owned on the heap (excluding `size_of::<Self>()`).
+    fn heap_bytes(&self) -> usize;
+
+    /// Total footprint: inline size plus owned heap bytes.
+    #[inline]
+    fn total_bytes(&self) -> usize
+    where
+        Self: Sized,
+    {
+        std::mem::size_of::<Self>() + self.heap_bytes()
+    }
+}
+
+macro_rules! impl_heapsize_scalar {
+    ($($t:ty),* $(,)?) => {
+        $(impl HeapSize for $t {
+            #[inline]
+            fn heap_bytes(&self) -> usize { 0 }
+        })*
+    };
+}
+
+impl_heapsize_scalar!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, ()
+);
+
+impl<T: HeapSize> HeapSize for Option<T> {
+    #[inline]
+    fn heap_bytes(&self) -> usize {
+        self.as_ref().map_or(0, HeapSize::heap_bytes)
+    }
+}
+
+impl<T: HeapSize> HeapSize for Vec<T> {
+    /// Accounts for the allocated capacity (not just the length), mirroring
+    /// what a real allocator charges, plus the heap data owned by elements.
+    fn heap_bytes(&self) -> usize {
+        self.capacity() * std::mem::size_of::<T>()
+            + self.iter().map(HeapSize::heap_bytes).sum::<usize>()
+    }
+}
+
+impl<T: HeapSize> HeapSize for std::collections::VecDeque<T> {
+    fn heap_bytes(&self) -> usize {
+        self.capacity() * std::mem::size_of::<T>()
+            + self.iter().map(HeapSize::heap_bytes).sum::<usize>()
+    }
+}
+
+impl<T: HeapSize> HeapSize for Box<T> {
+    fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<T>() + self.as_ref().heap_bytes()
+    }
+}
+
+impl HeapSize for String {
+    fn heap_bytes(&self) -> usize {
+        self.capacity()
+    }
+}
+
+impl<A: HeapSize, B: HeapSize> HeapSize for (A, B) {
+    fn heap_bytes(&self) -> usize {
+        self.0.heap_bytes() + self.1.heap_bytes()
+    }
+}
+
+impl<A: HeapSize, B: HeapSize, C: HeapSize> HeapSize for (A, B, C) {
+    fn heap_bytes(&self) -> usize {
+        self.0.heap_bytes() + self.1.heap_bytes() + self.2.heap_bytes()
+    }
+}
+
+impl<A: HeapSize, B: HeapSize, C: HeapSize, D: HeapSize> HeapSize for (A, B, C, D) {
+    fn heap_bytes(&self) -> usize {
+        self.0.heap_bytes() + self.1.heap_bytes() + self.2.heap_bytes() + self.3.heap_bytes()
+    }
+}
+
+impl<T: HeapSize, const N: usize> HeapSize for [T; N] {
+    fn heap_bytes(&self) -> usize {
+        self.iter().map(HeapSize::heap_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_have_no_heap() {
+        assert_eq!(42u64.heap_bytes(), 0);
+        assert_eq!(42u64.total_bytes(), 8);
+        assert_eq!(1.5f64.total_bytes(), 8);
+    }
+
+    #[test]
+    fn vec_accounts_for_capacity() {
+        let mut v: Vec<u64> = Vec::with_capacity(16);
+        v.push(1);
+        assert_eq!(v.heap_bytes(), 16 * 8);
+        assert_eq!(v.total_bytes(), std::mem::size_of::<Vec<u64>>() + 16 * 8);
+    }
+
+    #[test]
+    fn nested_vec_sums_element_heaps() {
+        let v: Vec<Vec<u8>> = vec![Vec::with_capacity(10), Vec::with_capacity(20)];
+        let elems = std::mem::size_of::<Vec<u8>>() * v.capacity();
+        assert_eq!(v.heap_bytes(), elems + 30);
+    }
+
+    #[test]
+    fn option_none_is_free() {
+        let none: Option<Vec<u8>> = None;
+        assert_eq!(none.heap_bytes(), 0);
+        let some: Option<Vec<u8>> = Some(Vec::with_capacity(7));
+        assert_eq!(some.heap_bytes(), 7);
+    }
+
+    #[test]
+    fn tuple_sums_components() {
+        let t = (Vec::<u8>::with_capacity(3), 1u64);
+        assert_eq!(t.heap_bytes(), 3);
+    }
+
+    #[test]
+    fn boxed_value_charges_pointee() {
+        let b = Box::new(5u64);
+        assert_eq!(b.heap_bytes(), 8);
+    }
+
+    #[test]
+    fn string_charges_capacity() {
+        let mut s = String::with_capacity(32);
+        s.push('x');
+        assert_eq!(s.heap_bytes(), 32);
+    }
+}

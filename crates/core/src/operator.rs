@@ -1,0 +1,1025 @@
+//! The general stream slicing window operator (paper Section 5).
+//!
+//! Combines the three processing components of Figure 7 — the **Stream
+//! Slicer** (creates slices on the fly for in-order tuples), the **Slice
+//! Manager** (triggers merge/split/update operations), and the **Window
+//! Manager** (computes final window aggregates) — around the shared
+//! [`SliceStore`]. The operator adapts automatically to the workload
+//! characteristics of its registered queries (Section 5.1): it stores
+//! tuples only when required, uses ⊖ when the function is invertible, and
+//! recomputes from source tuples only when unavoidable.
+
+use crate::aggregator::WindowAggregator;
+use crate::characteristics::WorkloadCharacteristics;
+use crate::function::AggregateFunction;
+use crate::mem::HeapSize;
+use crate::result::WindowResult;
+use crate::store::{SliceStore, StorePolicy};
+use crate::time::{Count, Measure, Range, StreamOrder, Time, TIME_MAX, TIME_MIN};
+use crate::window::{ContextEdges, Query, QueryId, WindowFunction};
+
+/// Configuration of a [`WindowOperator`].
+#[derive(Debug, Clone, Copy)]
+pub struct OperatorConfig {
+    /// Declared stream order (workload characteristic 1). In-order streams
+    /// emit windows directly — every tuple acts as a watermark; out-of-order
+    /// streams wait for explicit watermarks.
+    pub order: StreamOrder,
+    /// Lazy or eager final aggregation (Table 1 rows 5–8).
+    pub policy: StorePolicy,
+    /// How long after the watermark late tuples still update emitted
+    /// windows (paper Section 2). Ignored for in-order streams.
+    pub allowed_lateness: Time,
+    /// Ablation switch: keep tuples in slices even when the Figure-4
+    /// decision logic would drop them. Used to measure the value of the
+    /// adaptive storage decision; never needed in production.
+    pub force_tuple_storage: bool,
+    /// Ablation switch: slice at window ends even on in-order streams
+    /// (the paper's out-of-order edge set). Measures the value of
+    /// start-only slicing; never needed in production.
+    pub force_end_edges: bool,
+}
+
+impl Default for OperatorConfig {
+    fn default() -> Self {
+        OperatorConfig {
+            order: StreamOrder::InOrder,
+            policy: StorePolicy::Lazy,
+            allowed_lateness: 0,
+            force_tuple_storage: false,
+            force_end_edges: false,
+        }
+    }
+}
+
+impl OperatorConfig {
+    pub fn in_order() -> Self {
+        Self::default()
+    }
+
+    pub fn out_of_order(allowed_lateness: Time) -> Self {
+        OperatorConfig {
+            order: StreamOrder::OutOfOrder,
+            policy: StorePolicy::Lazy,
+            allowed_lateness,
+            ..Default::default()
+        }
+    }
+
+    pub fn with_policy(mut self, policy: StorePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// Why a query could not be registered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryError {
+    /// Count-measure and time-measure queries cannot share one operator on
+    /// an out-of-order stream: the Figure-6 count shift moves tuples across
+    /// slice boundaries, which would corrupt time-window aggregates. (The
+    /// paper evaluates the two measures separately; in-order streams may
+    /// mix them freely.)
+    MixedMeasuresOutOfOrder,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::MixedMeasuresOutOfOrder => write!(
+                f,
+                "count-measure and time-measure queries cannot be mixed on an \
+                 out-of-order stream"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Operational counters, useful for tests and the evaluation harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OperatorStats {
+    pub tuples: u64,
+    pub ooo_tuples: u64,
+    pub dropped_late: u64,
+    pub slices_created: u64,
+    pub splits: u64,
+    pub merges: u64,
+    pub shifts: u64,
+    pub windows_emitted: u64,
+    pub updates_emitted: u64,
+}
+
+/// The general stream slicing operator.
+pub struct WindowOperator<A: AggregateFunction> {
+    f: A,
+    cfg: OperatorConfig,
+    queries: Vec<Query>,
+    next_query_id: QueryId,
+    chars: WorkloadCharacteristics,
+    store: SliceStore<A>,
+    /// Cached next time-measure window edge (end of the open slice), the
+    /// single comparison the hot path performs per tuple.
+    next_time_edge: Option<Time>,
+    /// Cached next count-measure window edge.
+    next_count_edge: Option<Count>,
+    /// Highest event time processed so far.
+    max_ts: Time,
+    /// Highest punctuation position seen (punctuations can mark window
+    /// ends beyond the latest tuple).
+    max_punct: Time,
+    /// Last processed watermark.
+    watermark: Time,
+    /// Upper bound of the last trigger sweep, per measure.
+    last_trigger_time: Time,
+    last_trigger_count: Count,
+    /// Longest time-measure window extent among registered queries.
+    max_time_extent: i64,
+    /// Longest count-measure window extent among registered queries.
+    max_count_extent: i64,
+    /// Earliest time at which a time-measure window can end next; lets the
+    /// in-order hot path skip the trigger sweep (one comparison per tuple).
+    next_trigger_time: Option<Time>,
+    /// Earliest count at which a count-measure window can end next.
+    next_trigger_count: Option<Count>,
+    /// Sweep on every tuple (context-aware or unknown-end windows).
+    sweep_always: bool,
+    /// At least one trigger sweep has run (the first tuple always sweeps).
+    swept_once: bool,
+    stats: OperatorStats,
+    /// Indices into `queries` of context-aware windows (precomputed so the
+    /// per-tuple notify loop touches only those).
+    context_aware: Vec<usize>,
+    /// Reusable buffer for context notifications.
+    edges: ContextEdges,
+}
+
+impl<A: AggregateFunction> WindowOperator<A> {
+    /// Creates an operator with no queries. Add at least one query before
+    /// feeding tuples — tuples processed with no registered query are
+    /// absorbed into a single catch-all slice.
+    pub fn new(f: A, cfg: OperatorConfig) -> Self {
+        let chars = WorkloadCharacteristics::derive(&[], cfg.order, f.properties());
+        let store = SliceStore::new(f.clone(), cfg.policy, chars.requires_tuple_storage());
+        WindowOperator {
+            f,
+            cfg,
+            queries: Vec::new(),
+            next_query_id: 0,
+            chars,
+            store,
+            next_time_edge: None,
+            next_count_edge: None,
+            max_ts: TIME_MIN,
+            max_punct: TIME_MIN,
+            watermark: TIME_MIN,
+            last_trigger_time: TIME_MIN,
+            last_trigger_count: 0,
+            max_time_extent: 0,
+            max_count_extent: 0,
+            next_trigger_time: None,
+            next_trigger_count: None,
+            sweep_always: false,
+            swept_once: false,
+            stats: OperatorStats::default(),
+            context_aware: Vec::new(),
+            edges: ContextEdges::new(),
+        }
+    }
+
+    /// Registers a window query. The operator re-derives its workload
+    /// characteristics and adapts storage decisions (paper Section 5:
+    /// "our aggregator adapts when one adds or removes queries").
+    pub fn add_query(&mut self, window: Box<dyn WindowFunction>) -> Result<QueryId, QueryError> {
+        if self.cfg.order == StreamOrder::OutOfOrder {
+            let new_measure = window.measure();
+            if self.queries.iter().any(|q| q.window.measure() != new_measure) {
+                return Err(QueryError::MixedMeasuresOutOfOrder);
+            }
+        }
+        let id = self.next_query_id;
+        self.next_query_id += 1;
+        self.queries.push(Query::new(id, window));
+        self.rederive();
+        Ok(id)
+    }
+
+    /// Removes a query; returns `true` if it existed.
+    pub fn remove_query(&mut self, id: QueryId) -> bool {
+        let before = self.queries.len();
+        self.queries.retain(|q| q.id != id);
+        let removed = self.queries.len() != before;
+        if removed {
+            self.rederive();
+        }
+        removed
+    }
+
+    /// Current workload characteristics (for inspection/tests).
+    pub fn characteristics(&self) -> &WorkloadCharacteristics {
+        &self.chars
+    }
+
+    /// Operational counters.
+    pub fn stats(&self) -> &OperatorStats {
+        &self.stats
+    }
+
+    /// Number of slices currently stored.
+    pub fn slice_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Read access to the aggregate store (benchmarks measure its latency
+    /// and memory directly).
+    pub fn store(&self) -> &SliceStore<A> {
+        &self.store
+    }
+
+    /// The last processed watermark.
+    pub fn current_watermark(&self) -> Time {
+        self.watermark
+    }
+
+    fn rederive(&mut self) {
+        self.chars =
+            WorkloadCharacteristics::derive(&self.queries, self.cfg.order, self.f.properties());
+        self.store
+            .set_keep_tuples(self.chars.requires_tuple_storage() || self.cfg.force_tuple_storage);
+        self.max_time_extent = self
+            .queries
+            .iter()
+            .filter(|q| q.window.measure() == Measure::Time)
+            .map(|q| q.window.max_extent())
+            .max()
+            .unwrap_or(0);
+        self.max_count_extent = self
+            .queries
+            .iter()
+            .filter(|q| q.window.measure() == Measure::Count)
+            .map(|q| q.window.max_extent())
+            .max()
+            .unwrap_or(0);
+        // Re-derive edge caches: a new query may introduce earlier edges
+        // than the cached ones. Slicing for the new query starts strictly
+        // after the data already processed (`max_ts`) — windows of a new
+        // query that overlap the registration instant see partial data,
+        // like in the reference implementation.
+        if let Some(open_start) = self.store.last_slice().map(|s| s.start()) {
+            let from = open_start.max(self.max_ts);
+            self.next_time_edge = self.compute_next_time_edge(from);
+            self.store.set_last_end(self.next_time_edge.unwrap_or(TIME_MAX));
+        }
+        self.next_count_edge = self.compute_next_count_edge(self.store.total_count());
+        self.context_aware = self
+            .queries
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| q.window.context().is_context_aware())
+            .map(|(i, _)| i)
+            .collect();
+        self.refresh_trigger_caches();
+    }
+
+    /// Recomputes the cached positions at which the next window can end.
+    fn refresh_trigger_caches(&mut self) {
+        let probe_t =
+            if self.last_trigger_time == TIME_MIN { self.max_ts.max(0) } else { self.last_trigger_time };
+        let probe_c = self.last_trigger_count as Time;
+        let mut sweep = self.chars.has_context_aware;
+        let mut next_t: Option<Time> = None;
+        let mut next_c: Option<Count> = None;
+        for q in &self.queries {
+            match q.window.measure() {
+                Measure::Time => match q.window.next_window_end(probe_t) {
+                    Some(e) => next_t = Some(next_t.map_or(e, |x| x.min(e))),
+                    None => sweep = true,
+                },
+                Measure::Count => match q.window.next_window_end(probe_c) {
+                    Some(e) => next_c = Some(next_c.map_or(e as Count, |x| x.min(e as Count))),
+                    None => sweep = true,
+                },
+            }
+        }
+        self.next_trigger_time = next_t;
+        self.next_trigger_count = next_c;
+        self.sweep_always = sweep;
+    }
+
+    /// Minimum next time edge over all time-measure queries, strictly
+    /// after `ts`. In-order streams slice only at window starts.
+    fn compute_next_time_edge(&self, ts: Time) -> Option<Time> {
+        let starts_only = self.cfg.order.is_in_order() && !self.cfg.force_end_edges;
+        self.queries
+            .iter()
+            .filter(|q| q.window.measure() == Measure::Time)
+            .filter_map(|q| {
+                if starts_only {
+                    q.window.next_start_edge(ts)
+                } else {
+                    q.window.next_edge(ts)
+                }
+            })
+            .min()
+    }
+
+    /// Minimum next count edge over all count-measure queries, strictly
+    /// after count position `c`.
+    fn compute_next_count_edge(&self, c: Count) -> Option<Count> {
+        let starts_only = self.cfg.order.is_in_order();
+        self.queries
+            .iter()
+            .filter(|q| q.window.measure() == Measure::Count)
+            .filter_map(|q| {
+                let edge = if starts_only {
+                    q.window.next_start_edge(c as Time)
+                } else {
+                    q.window.next_edge(c as Time)
+                };
+                edge.map(|e| e as Count)
+            })
+            .min()
+    }
+
+    /// True when this operator runs in count-delimited mode (count-measure
+    /// queries on an out-of-order stream): slice lookups go by tuple
+    /// content and the Figure-6 shift keeps count alignment.
+    fn count_mode(&self) -> bool {
+        self.chars.has_count_measure && self.cfg.order == StreamOrder::OutOfOrder
+    }
+
+    // ------------------------------------------------------------------
+    // Step 1: the Stream Slicer (in-order tuples only)
+    // ------------------------------------------------------------------
+
+    /// Appends slices for every cached edge at or before `ts`. The common
+    /// case — no edge crossed — costs a single comparison.
+    fn advance_time_edges(&mut self, ts: Time) {
+        while let Some(edge) = self.next_time_edge {
+            if ts < edge {
+                break;
+            }
+            let next = self.compute_next_time_edge(edge);
+            self.store.append_slice(Range::new(edge, next.unwrap_or(TIME_MAX)));
+            self.stats.slices_created += 1;
+            self.next_time_edge = next;
+        }
+    }
+
+    /// Cuts the open slice when the tuple count reaches a count edge. The
+    /// incoming tuple at `ts` will be the first of the next count slice.
+    fn advance_count_edge_in_order(&mut self, ts: Time) {
+        while let Some(edge) = self.next_count_edge {
+            if self.store.total_count() < edge {
+                break;
+            }
+            if self.store.last_end().is_some_and(|end| ts < end)
+                && self.store.last_slice().is_some_and(|s| s.start() <= ts)
+            {
+                self.store.cut_last_at(ts);
+                self.stats.slices_created += 1;
+            }
+            self.next_count_edge = self.compute_next_count_edge(edge);
+        }
+    }
+
+    /// Closes the open slice whenever the total count has reached a count
+    /// edge. The cut lands at `max_ts`: all current tuples stay in the
+    /// closed slice (they precede the edge in count order) and later
+    /// arrivals — including ties at `max_ts`, whose count positions come
+    /// after — fall into the new open slice.
+    fn advance_count_edge_after_insert(&mut self) {
+        while let Some(edge) = self.next_count_edge {
+            if self.store.total_count() < edge {
+                break;
+            }
+            let cut_at = self.max_ts;
+            if self.store.last_end().is_some_and(|end| cut_at < end)
+                && self.store.last_slice().is_some_and(|sl| sl.start() <= cut_at)
+            {
+                self.store.cut_last_at(cut_at);
+                self.stats.slices_created += 1;
+            }
+            self.next_count_edge = self.compute_next_count_edge(edge);
+        }
+    }
+
+    /// Ensures the store has an open slice covering `ts` (first tuple).
+    fn ensure_first_slice(&mut self, ts: Time) {
+        if self.store.is_empty() {
+            let next = self.compute_next_time_edge(ts);
+            self.store.append_slice(Range::new(ts, next.unwrap_or(TIME_MAX)));
+            self.stats.slices_created += 1;
+            self.next_time_edge = next;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Step 2: the Slice Manager
+    // ------------------------------------------------------------------
+
+    /// Lets every context-aware window observe `ts` and applies the edge
+    /// changes it requests (splits for new edges, merges for removed ones).
+    fn notify_context_aware(&mut self, ts: Time, out: &mut Vec<WindowResult<A::Output>>) {
+        if !self.chars.has_context_aware {
+            return;
+        }
+        let mut edges = std::mem::take(&mut self.edges);
+        edges.clear();
+        for &i in &self.context_aware {
+            self.queries[i].window.notify_context(ts, &mut edges);
+        }
+        self.apply_edges(&edges, out);
+        self.edges = edges;
+    }
+
+    /// Applies requested edge additions (slice splits) and removals (slice
+    /// merges). An edge is only merged away if no other query still needs
+    /// an edge at that position — slice edges must exactly match window
+    /// edges to keep the slice count minimal (paper Section 5.3, Step 2).
+    fn apply_edges(&mut self, edges: &ContextEdges, _out: &mut Vec<WindowResult<A::Output>>) {
+        for &e in edges.added() {
+            if self.store.split_at(e) {
+                self.stats.splits += 1;
+            }
+        }
+        for &e in edges.removed() {
+            if self.edge_required_by_any_query(e) {
+                continue;
+            }
+            if self.store.merge_at(e) {
+                self.stats.merges += 1;
+            }
+        }
+    }
+
+    /// Does any registered query define a window edge exactly at `e`?
+    fn edge_required_by_any_query(&self, e: Time) -> bool {
+        self.queries
+            .iter()
+            .any(|q| q.window.measure() == Measure::Time && q.window.requires_edge_at(e))
+    }
+
+    // ------------------------------------------------------------------
+    // Step 3: the Window Manager
+    // ------------------------------------------------------------------
+
+    /// Emits every window that completed in `(last_trigger, wm]`.
+    /// `data_pos` is the highest *data* position known to the caller (the
+    /// current tuple's timestamp for in-order sweeps, `max_ts` for
+    /// watermark sweeps) and bounds the enumeration so flush watermarks
+    /// cannot sweep the whole time axis.
+    fn trigger_up_to(&mut self, wm: Time, data_pos: Time, out: &mut Vec<WindowResult<A::Output>>) {
+        let store = &self.store;
+        let f = &self.f;
+        let stats = &mut self.stats;
+        // Count-space watermark: on in-order streams every processed tuple
+        // is final; on out-of-order streams counts below the number of
+        // tuples at or before the time watermark are final.
+        let count_wm = if !self.chars.has_count_measure {
+            0
+        } else if self.cfg.order.is_in_order() {
+            store.total_count()
+        } else {
+            store.count_at_or_before(wm)
+        };
+        // Clamp the sweep to the data extent: windows ending beyond
+        // `max_ts + max_extent` are empty by construction, and a flush
+        // watermark (e.g. i64::MAX) must not enumerate windows across the
+        // whole time axis.
+        let max_pos = data_pos.max(self.max_punct);
+        if max_pos == TIME_MIN {
+            // No data yet: nothing can trigger, and advancing the trigger
+            // bookkeeping to an arbitrary watermark would skip windows of
+            // data still to come.
+            self.swept_once = true;
+            return;
+        }
+        let wm = wm.min(max_pos.saturating_add(self.max_time_extent).saturating_add(1));
+        // The first sweep starts from the first data position: windows
+        // ending earlier are empty by construction, and enumerating from
+        // TIME_MIN would overflow window arithmetic.
+        let time_prev = if self.last_trigger_time == TIME_MIN {
+            store.first_slice().map_or(wm, |s| s.start()).min(wm)
+        } else {
+            self.last_trigger_time
+        };
+        let count_prev = self.last_trigger_count;
+        for q in &mut self.queries {
+            let id = q.id;
+            match q.window.measure() {
+                Measure::Time => {
+                    q.window.trigger_windows(time_prev, wm, &mut |range| {
+                        if let Some(p) = store.query_time(range) {
+                            stats.windows_emitted += 1;
+                            out.push(WindowResult::new(id, Measure::Time, range, f.lower(&p)));
+                        }
+                    });
+                }
+                Measure::Count => {
+                    q.window.trigger_windows(count_prev as Time, count_wm as Time, &mut |range| {
+                        if let Some(p) = store.query_count(range.start as Count, range.end as Count)
+                        {
+                            stats.windows_emitted += 1;
+                            out.push(WindowResult::new(id, Measure::Count, range, f.lower(&p)));
+                        }
+                    });
+                }
+            }
+        }
+        self.last_trigger_time = self.last_trigger_time.max(wm);
+        self.last_trigger_count = self.last_trigger_count.max(count_wm);
+        self.swept_once = true;
+        self.refresh_trigger_caches();
+    }
+
+    /// Emits updated aggregates for already-triggered windows affected by a
+    /// late tuple at `ts` (within the allowed lateness).
+    fn emit_updates(&mut self, ts: Time, out: &mut Vec<WindowResult<A::Output>>) {
+        let store = &self.store;
+        let f = &self.f;
+        let stats = &mut self.stats;
+        let wm = self.watermark;
+        let count_wm = if self.chars.has_count_measure { store.count_at_or_before(wm) } else { 0 };
+        for q in &mut self.queries {
+            let id = q.id;
+            match q.window.measure() {
+                Measure::Time => {
+                    q.window.windows_containing(ts, &mut |range| {
+                        if range.end <= wm {
+                            if let Some(p) = store.query_time(range) {
+                                stats.updates_emitted += 1;
+                                out.push(WindowResult::update(
+                                    id,
+                                    Measure::Time,
+                                    range,
+                                    f.lower(&p),
+                                ));
+                            }
+                        }
+                    });
+                }
+                Measure::Count => {
+                    // The count shift affects every already-final window at
+                    // or after the insert position, not just the one
+                    // containing it.
+                    let c_ins = store.count_at_or_before(ts).saturating_sub(1);
+                    q.window.trigger_windows(c_ins as Time, count_wm as Time, &mut |range| {
+                        if let Some(p) = store.query_count(range.start as Count, range.end as Count)
+                        {
+                            stats.updates_emitted += 1;
+                            out.push(WindowResult::update(id, Measure::Count, range, f.lower(&p)));
+                        }
+                    });
+                }
+            }
+        }
+    }
+
+    /// Evicts slices no longer reachable by any window or late update. A
+    /// slice is evictable only if **every** registered measure allows it:
+    /// time queries bound eviction by `wm - lateness - max_extent` (and by
+    /// pending context-aware windows), count queries by the trailing
+    /// `max_count_extent` tuple counts.
+    fn evict(&mut self, wm: Time) {
+        let lateness = if self.cfg.order.is_in_order() { 0 } else { self.cfg.allowed_lateness };
+        if self.count_mode() {
+            let final_count = self.store.count_at_or_before(wm.saturating_sub(lateness));
+            let keep_from = final_count.saturating_sub(self.max_count_extent as u64);
+            self.store.evict_keeping_counts(keep_from);
+            return;
+        }
+        let has_time_queries =
+            self.queries.iter().any(|q| q.window.measure() == Measure::Time);
+        let k_time = if has_time_queries {
+            let mut boundary =
+                wm.saturating_sub(lateness).saturating_sub(self.max_time_extent);
+            for q in &self.queries {
+                if let Some(pending) = q.window.earliest_pending_start() {
+                    boundary = boundary.min(pending);
+                }
+            }
+            self.store.slices().take_while(|s| s.end() <= boundary).count()
+        } else {
+            self.store.len().saturating_sub(1)
+        };
+        let k_count = if self.chars.has_count_measure {
+            let keep_from =
+                self.store.total_count().saturating_sub(self.max_count_extent as u64);
+            self.store.count_evictable(keep_from)
+        } else {
+            self.store.len()
+        };
+        self.store.evict_first(k_time.min(k_count));
+    }
+
+    // ------------------------------------------------------------------
+    // Tuple processing (Figure 7 input path)
+    // ------------------------------------------------------------------
+
+    /// Processes one tuple. Emits window results on `out` (in-order
+    /// streams emit directly; out-of-order streams emit on watermarks plus
+    /// late-update corrections here).
+    pub fn process_tuple(
+        &mut self,
+        ts: Time,
+        value: A::Input,
+        out: &mut Vec<WindowResult<A::Output>>,
+    ) {
+        self.stats.tuples += 1;
+        if ts >= self.max_ts || self.store.is_empty() {
+            self.process_in_order(ts, value, out);
+        } else {
+            self.process_out_of_order(ts, value, out);
+        }
+    }
+
+    fn process_in_order(
+        &mut self,
+        ts: Time,
+        value: A::Input,
+        out: &mut Vec<WindowResult<A::Output>>,
+    ) {
+        let slices_at_entry = self.stats.slices_created;
+        // Stream Slicer: cut slices for every window edge at or before ts.
+        self.ensure_first_slice(ts);
+        self.advance_time_edges(ts);
+        self.advance_count_edge_in_order(ts);
+        // Slice Manager: context-aware windows may add/remove edges.
+        self.notify_context_aware(ts, out);
+        // Window Manager: on in-order streams every tuple acts as a
+        // watermark carrying its own timestamp (paper Section 5.3, Step 3).
+        // Triggering happens *before* the tuple is added: windows ending at
+        // or before `ts` never contain it, which keeps start-only slicing
+        // correct even when window ends fall between start edges (Cutty's
+        // in-order trick) — the open slice holds no tuple at or past any
+        // end being triggered.
+        let in_order_emit = self.cfg.order.is_in_order();
+        if in_order_emit {
+            let sweep = self.sweep_always
+                || !self.swept_once
+                || self.next_trigger_time.is_some_and(|t| ts >= t)
+                || self.next_trigger_count.is_some_and(|c| self.store.total_count() >= c);
+            if sweep {
+                self.trigger_up_to(ts, ts, out);
+                self.watermark = ts;
+            }
+        }
+        // Update: one incremental ⊕ into the open slice.
+        self.store.add_in_order(ts, value);
+        self.max_ts = ts;
+        if in_order_emit {
+            // Count windows can complete exactly with this tuple; emit them
+            // immediately rather than on the next arrival.
+            if self.next_trigger_count.is_some_and(|c| self.store.total_count() >= c) {
+                self.trigger_up_to(ts, ts, out);
+                self.watermark = ts;
+            }
+            // Evict only when slices were cut this call — eviction work is
+            // amortized over slice lifetimes, keeping the per-tuple hot
+            // path at one comparison.
+            if self.stats.slices_created != slices_at_entry {
+                self.evict(ts);
+            }
+        }
+    }
+
+    fn process_out_of_order(
+        &mut self,
+        ts: Time,
+        value: A::Input,
+        out: &mut Vec<WindowResult<A::Output>>,
+    ) {
+        self.stats.ooo_tuples += 1;
+        debug_assert!(
+            self.cfg.order == StreamOrder::OutOfOrder,
+            "out-of-order tuple on a stream declared in-order"
+        );
+        if self.watermark != TIME_MIN && ts < self.watermark - self.cfg.allowed_lateness {
+            self.stats.dropped_late += 1;
+            return;
+        }
+        // Slice Manager: context changes first (may split/merge so the
+        // tuple's slice exists and is correctly bounded).
+        self.notify_context_aware(ts, out);
+        if self.count_mode() {
+            // If earlier arrivals already filled the open slice to a count
+            // edge (the in-order path defers that cut to the next tuple),
+            // close it *before* inserting so the boundary exists and the
+            // shift cascade below sees correctly sized slices.
+            self.advance_count_edge_after_insert();
+            let idx = self
+                .store
+                .covering_index_by_tuples(ts)
+                .expect("store cannot be empty when processing an out-of-order tuple");
+            self.store.add_out_of_order(idx, ts, value);
+            // Figure 6: restore count alignment by shifting the last tuple
+            // of each slice one slice further, starting at the insert
+            // slice. A tuple landing in the open (latest) slice needs no
+            // shift at all.
+            let last = self.store.len() - 1;
+            for i in idx..last {
+                if self.store.shift_last_into_next(i) {
+                    self.stats.shifts += 1;
+                }
+            }
+            // The insert grew the total count; close the open slice if it
+            // just reached a count edge.
+            self.advance_count_edge_after_insert();
+        } else {
+            let idx = match self.store.covering_index(ts) {
+                Some(i) => i,
+                None => {
+                    // The tuple falls into a coverage gap (before the first
+                    // slice, or between slices after a bounded insert).
+                    // Bound the new slice by the next window edge so it
+                    // never spans one.
+                    let next_slice_start = self
+                        .store
+                        .slices()
+                        .map(|s| s.start())
+                        .find(|&s| s > ts)
+                        .unwrap_or(TIME_MAX);
+                    let next_edge = self.compute_next_time_edge(ts).unwrap_or(TIME_MAX);
+                    let end = next_edge.min(next_slice_start);
+                    debug_assert!(end > ts, "gap slice must cover its tuple");
+                    let idx = self.store.insert_gap_slice(Range::new(ts, end));
+                    self.stats.slices_created += 1;
+                    idx
+                }
+            };
+            self.store.add_out_of_order(idx, ts, value);
+        }
+        // Window Manager: late tuples below the watermark revise emitted
+        // windows.
+        if self.watermark != TIME_MIN && ts <= self.watermark {
+            self.emit_updates(ts, out);
+        }
+    }
+
+    /// Processes a stream punctuation (FCF windows, paper Section 4.4).
+    pub fn process_punctuation(&mut self, ts: Time, out: &mut Vec<WindowResult<A::Output>>) {
+        self.max_punct = self.max_punct.max(ts);
+        if self.store.is_empty() {
+            self.ensure_first_slice(ts);
+        }
+        self.advance_time_edges(ts);
+        let mut edges = std::mem::take(&mut self.edges);
+        edges.clear();
+        for q in &mut self.queries {
+            q.window.on_punctuation(ts, &mut edges);
+        }
+        self.apply_edges(&edges, out);
+        self.edges = edges;
+        if self.cfg.order.is_in_order() {
+            self.trigger_up_to(ts, self.max_ts.max(ts), out);
+            self.watermark = ts;
+        }
+    }
+
+    /// Processes a watermark: emits completed windows and evicts state.
+    pub fn process_watermark(&mut self, wm: Time, out: &mut Vec<WindowResult<A::Output>>) {
+        if wm <= self.watermark {
+            return;
+        }
+        self.trigger_up_to(wm, self.max_ts, out);
+        self.watermark = wm;
+        self.evict(wm);
+    }
+}
+
+impl<A: AggregateFunction> Clone for WindowOperator<A> {
+    /// Deep-copies the complete operator state — slices, aggregates,
+    /// window context, watermarks, and bookkeeping. A clone is a
+    /// **checkpoint**: persist it (or keep it on a standby) and resume
+    /// processing from the captured position for Flink-style recovery;
+    /// both copies evolve independently afterwards.
+    fn clone(&self) -> Self {
+        WindowOperator {
+            f: self.f.clone(),
+            cfg: self.cfg,
+            queries: self.queries.clone(),
+            next_query_id: self.next_query_id,
+            chars: self.chars,
+            store: self.store.clone(),
+            next_time_edge: self.next_time_edge,
+            next_count_edge: self.next_count_edge,
+            max_ts: self.max_ts,
+            max_punct: self.max_punct,
+            watermark: self.watermark,
+            last_trigger_time: self.last_trigger_time,
+            last_trigger_count: self.last_trigger_count,
+            max_time_extent: self.max_time_extent,
+            max_count_extent: self.max_count_extent,
+            next_trigger_time: self.next_trigger_time,
+            next_trigger_count: self.next_trigger_count,
+            sweep_always: self.sweep_always,
+            swept_once: self.swept_once,
+            stats: self.stats,
+            context_aware: self.context_aware.clone(),
+            edges: self.edges.clone(),
+        }
+    }
+}
+
+impl<A: AggregateFunction> WindowAggregator<A> for WindowOperator<A> {
+    fn process(&mut self, ts: Time, value: A::Input, out: &mut Vec<WindowResult<A::Output>>) {
+        self.process_tuple(ts, value, out);
+    }
+
+    fn on_watermark(&mut self, wm: Time, out: &mut Vec<WindowResult<A::Output>>) {
+        self.process_watermark(wm, out);
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.store.heap_bytes()
+    }
+
+    fn name(&self) -> &'static str {
+        match self.cfg.policy {
+            StorePolicy::Lazy => "Lazy Slicing",
+            StorePolicy::Eager => "Eager Slicing",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsupport::{SumI64, TumblingStub};
+
+    fn op_in_order() -> WindowOperator<SumI64> {
+        let mut op = WindowOperator::new(SumI64, OperatorConfig::in_order());
+        op.add_query(Box::new(TumblingStub { length: 10 })).unwrap();
+        op
+    }
+
+    fn op_ooo(lateness: Time) -> WindowOperator<SumI64> {
+        let mut op = WindowOperator::new(SumI64, OperatorConfig::out_of_order(lateness));
+        op.add_query(Box::new(TumblingStub { length: 10 })).unwrap();
+        op
+    }
+
+    #[test]
+    fn in_order_emits_per_window() {
+        let mut op = op_in_order();
+        let mut out = Vec::new();
+        for ts in [1, 5, 12, 25] {
+            op.process_tuple(ts, 1, &mut out);
+        }
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].range, Range::new(0, 10));
+        assert_eq!(out[0].value, 2);
+        assert_eq!(out[1].range, Range::new(10, 20));
+        assert_eq!(out[1].value, 1);
+    }
+
+    #[test]
+    fn watermark_regression_is_ignored() {
+        let mut op = op_ooo(100);
+        let mut out = Vec::new();
+        op.process_tuple(5, 5, &mut out);
+        op.process_tuple(25, 25, &mut out);
+        op.process_watermark(20, &mut out);
+        let n = out.len();
+        op.process_watermark(10, &mut out); // regressing watermark: no-op
+        op.process_watermark(20, &mut out); // repeated: no-op
+        assert_eq!(out.len(), n);
+        assert_eq!(op.current_watermark(), 20);
+    }
+
+    #[test]
+    fn flush_watermark_emits_everything_without_looping() {
+        let mut op = op_ooo(100);
+        let mut out = Vec::new();
+        op.process_tuple(5, 5, &mut out);
+        op.process_tuple(95, 95, &mut out);
+        // A flush watermark at i64::MAX must clamp to the data extent.
+        op.process_watermark(i64::MAX - 1, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].value, 5);
+        assert_eq!(out[1].value, 95);
+    }
+
+    #[test]
+    fn watermark_before_any_data_does_not_skip_later_windows() {
+        let mut op = op_ooo(100);
+        let mut out = Vec::new();
+        op.process_watermark(1_000_000, &mut out);
+        assert!(out.is_empty());
+        op.process_tuple(2_000_000, 7, &mut out);
+        op.process_watermark(2_000_011, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value, 7);
+    }
+
+    #[test]
+    fn stats_track_processing() {
+        let mut op = op_ooo(100);
+        let mut out = Vec::new();
+        op.process_tuple(5, 1, &mut out);
+        op.process_tuple(15, 1, &mut out);
+        op.process_tuple(7, 1, &mut out); // out of order
+        op.process_watermark(20, &mut out);
+        let s = op.stats();
+        assert_eq!(s.tuples, 3);
+        assert_eq!(s.ooo_tuples, 1);
+        assert_eq!(s.dropped_late, 0);
+        assert!(s.slices_created >= 2);
+        assert_eq!(s.windows_emitted, 2);
+    }
+
+    #[test]
+    fn empty_windows_are_skipped() {
+        let mut op = op_in_order();
+        let mut out = Vec::new();
+        op.process_tuple(5, 5, &mut out);
+        op.process_tuple(95, 95, &mut out); // 8 empty windows in between
+        assert_eq!(out.len(), 1, "only the nonempty window [0,10) fires");
+        assert_eq!(out[0].value, 5);
+    }
+
+    #[test]
+    fn query_removal_stops_emissions() {
+        let mut op = WindowOperator::new(SumI64, OperatorConfig::in_order());
+        let q = op.add_query(Box::new(TumblingStub { length: 10 })).unwrap();
+        let mut out = Vec::new();
+        op.process_tuple(5, 5, &mut out);
+        assert!(op.remove_query(q));
+        op.process_tuple(25, 25, &mut out);
+        op.process_tuple(45, 45, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn duplicate_timestamps_accumulate_in_order() {
+        let mut op = op_in_order();
+        let mut out = Vec::new();
+        for _ in 0..5 {
+            op.process_tuple(3, 1, &mut out);
+        }
+        op.process_tuple(12, 0, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].value, 5);
+    }
+
+    #[test]
+    fn force_tuple_storage_ablation_flag() {
+        let cfg = OperatorConfig { force_tuple_storage: true, ..Default::default() };
+        let mut op = WindowOperator::new(SumI64, cfg);
+        op.add_query(Box::new(TumblingStub { length: 10 })).unwrap();
+        let mut out = Vec::new();
+        op.process_tuple(1, 1, &mut out);
+        assert!(op.store().keeps_tuples());
+        // The adaptive decision for this workload would be to drop them.
+        assert!(!op.characteristics().requires_tuple_storage());
+    }
+
+    #[test]
+    fn lateness_boundary_is_inclusive_of_allowed_updates() {
+        let mut op = op_ooo(10);
+        let mut out = Vec::new();
+        op.process_tuple(5, 5, &mut out);
+        op.process_tuple(40, 40, &mut out);
+        op.process_watermark(30, &mut out);
+        out.clear();
+        // Exactly at watermark - lateness: still allowed.
+        op.process_tuple(20, 20, &mut out);
+        assert_eq!(op.stats().dropped_late, 0);
+        // Below it: dropped.
+        op.process_tuple(19, 19, &mut out);
+        assert_eq!(op.stats().dropped_late, 1);
+    }
+
+    #[test]
+    fn operator_reports_memory() {
+        let mut op = op_in_order();
+        let m0 = op.memory_bytes();
+        let mut out = Vec::new();
+        for i in 0..1_000 {
+            op.process_tuple(i, 1, &mut out);
+        }
+        assert!(op.memory_bytes() >= m0);
+        assert_eq!(op.name(), "Lazy Slicing");
+        let eager: WindowOperator<SumI64> = WindowOperator::new(
+            SumI64,
+            OperatorConfig::in_order().with_policy(StorePolicy::Eager),
+        );
+        assert_eq!(eager.name(), "Eager Slicing");
+    }
+
+    #[test]
+    fn collect_helpers_allocate_results() {
+        let mut op = op_in_order();
+        assert!(op.process_collect(5, 5).is_empty());
+        let results = op.process_collect(15, 15);
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].value, 5);
+        // An explicit watermark also works on in-order streams and flushes
+        // the still-open window [10, 20).
+        let flushed = op.watermark_collect(100);
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].value, 15);
+    }
+}

@@ -1,0 +1,49 @@
+//! Window results emitted by aggregation operators.
+
+use crate::time::{Measure, Range};
+use crate::window::QueryId;
+
+/// One emitted window aggregate.
+///
+/// `range` is expressed in the query's [`Measure`]: timestamps for
+/// time-measure windows, absolute tuple counts for count-measure windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowResult<O> {
+    /// The query that produced this window.
+    pub query: QueryId,
+    /// The measure `range` is expressed in.
+    pub measure: Measure,
+    /// The window bounds `[start, end)`.
+    pub range: Range,
+    /// The lowered (final) aggregate.
+    pub value: O,
+    /// `true` when this result revises a window that was already emitted —
+    /// an out-of-order tuple arrived after the watermark but within the
+    /// allowed lateness (paper Section 5.3, Step 3, case 1), or a context
+    /// change revealed a window ending before the current watermark
+    /// (case 2).
+    pub is_update: bool,
+}
+
+impl<O> WindowResult<O> {
+    pub fn new(query: QueryId, measure: Measure, range: Range, value: O) -> Self {
+        WindowResult { query, measure, range, value, is_update: false }
+    }
+
+    pub fn update(query: QueryId, measure: Measure, range: Range, value: O) -> Self {
+        WindowResult { query, measure, range, value, is_update: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_update_flag() {
+        let r = WindowResult::new(1, Measure::Time, Range::new(0, 10), 5i64);
+        assert!(!r.is_update);
+        let u = WindowResult::update(1, Measure::Time, Range::new(0, 10), 6i64);
+        assert!(u.is_update);
+    }
+}

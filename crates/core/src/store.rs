@@ -1,0 +1,695 @@
+//! The Aggregate Store (paper Figure 7): the shared data structure holding
+//! slices, accessed by the stream slicer (to create slices), the slice
+//! manager (to update them), and the window manager (to compute window
+//! aggregates).
+//!
+//! Two variants mirror the paper's lazy/eager distinction (Table 1 rows
+//! 5–8): the **lazy** store keeps only the ordered slice list and combines
+//! slice partials on demand; the **eager** store additionally maintains a
+//! [`FlatFat`] tree over slice partials, trading update work for `O(log s)`
+//! window queries and microsecond output latencies (Figure 11).
+
+use std::collections::VecDeque;
+
+use crate::flatfat::FlatFat;
+use crate::function::AggregateFunction;
+use crate::mem::HeapSize;
+use crate::slice::Slice;
+use crate::time::{Range, Time};
+
+/// Lazy vs. eager final aggregation (paper Section 3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorePolicy {
+    /// Store slices only; combine on demand when windows end.
+    Lazy,
+    /// Maintain an aggregate tree over slices for low-latency output.
+    Eager,
+}
+
+/// An ordered collection of slices with optional eager index and count
+/// bookkeeping for count-measure windows.
+#[derive(Clone)]
+pub struct SliceStore<A: AggregateFunction> {
+    f: A,
+    slices: VecDeque<Slice<A>>,
+    /// Eager index: leaf `i` mirrors `slices[i].aggregate()`.
+    eager: Option<FlatFat<A>>,
+    keep_tuples: bool,
+    /// Number of tuples evicted from the front; offsets count positions so
+    /// count-measure queries use absolute counts.
+    evicted_tuples: u64,
+}
+
+impl<A: AggregateFunction> SliceStore<A> {
+    pub fn new(f: A, policy: StorePolicy, keep_tuples: bool) -> Self {
+        let eager = match policy {
+            StorePolicy::Lazy => None,
+            StorePolicy::Eager => Some(FlatFat::new(f.clone())),
+        };
+        SliceStore { f, slices: VecDeque::new(), eager, keep_tuples, evicted_tuples: 0 }
+    }
+
+    /// Number of slices currently stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slices.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slices.is_empty()
+    }
+
+    /// Whether slices store their source tuples (Figure-4 decision).
+    #[inline]
+    pub fn keeps_tuples(&self) -> bool {
+        self.keep_tuples
+    }
+
+    /// Changes the tuple-storage policy for **future** slices. Called when
+    /// adding/removing queries changes the workload characteristics. If
+    /// storage turns off, existing slices drop their tuples; if it turns
+    /// on, existing aggregate-only slices stay as they are (their tuples
+    /// are gone) and correctness holds for data from now on — matching the
+    /// paper's query-add/remove adaptivity.
+    pub fn set_keep_tuples(&mut self, keep: bool) {
+        if self.keep_tuples == keep {
+            return;
+        }
+        self.keep_tuples = keep;
+        if !keep {
+            for s in &mut self.slices {
+                s.drop_tuples();
+            }
+        } else if let Some(last) = self.slices.back_mut() {
+            if last.is_empty() {
+                last.enable_tuple_storage();
+            }
+        }
+    }
+
+    pub fn slices(&self) -> impl Iterator<Item = &Slice<A>> {
+        self.slices.iter()
+    }
+
+    pub fn slice(&self, i: usize) -> &Slice<A> {
+        &self.slices[i]
+    }
+
+    pub fn first_slice(&self) -> Option<&Slice<A>> {
+        self.slices.front()
+    }
+
+    pub fn last_slice(&self) -> Option<&Slice<A>> {
+        self.slices.back()
+    }
+
+    /// End timestamp of the latest slice (exclusive), if any.
+    pub fn last_end(&self) -> Option<Time> {
+        self.slices.back().map(|s| s.end())
+    }
+
+    /// Appends a fresh empty slice covering `range`. The caller (stream
+    /// slicer) guarantees ranges are appended in order and do not overlap.
+    pub fn append_slice(&mut self, range: Range) {
+        debug_assert!(
+            self.slices.back().is_none_or(|s| s.end() <= range.start),
+            "slices must be appended in order"
+        );
+        self.slices.push_back(Slice::new(range, self.keep_tuples));
+        if let Some(t) = &mut self.eager {
+            t.push(None);
+        }
+    }
+
+    /// Extends the end of the latest slice (the open slice grows as time
+    /// advances). No-op if the store is empty.
+    pub fn extend_last(&mut self, end: Time) {
+        if let Some(s) = self.slices.back_mut() {
+            if s.end() < end {
+                s.set_end(end);
+            }
+        }
+    }
+
+    /// Sets the end of the latest (open) slice unconditionally — used when
+    /// query changes move the next window edge earlier. The caller must
+    /// guarantee no stored tuple lies at or beyond `end`.
+    pub fn set_last_end(&mut self, end: Time) {
+        if let Some(s) = self.slices.back_mut() {
+            debug_assert!(s.is_empty() || s.t_last() < end, "open-slice tuples beyond new end");
+            s.set_end(end);
+        }
+    }
+
+    /// Cuts the open (latest) slice at `ts`: the latest slice's end becomes
+    /// `ts` and a fresh slice `[ts, old_end)` is appended. Existing tuples
+    /// stay in the left part (used for session starts and count edges,
+    /// where all current tuples precede the cut).
+    pub fn cut_last_at(&mut self, ts: Time) {
+        let Some(last) = self.slices.back_mut() else {
+            return;
+        };
+        let old_end = last.end();
+        debug_assert!(ts >= last.start() && ts < old_end, "cut point {ts} outside open slice");
+        last.set_end(ts);
+        self.append_slice_unchecked(Range::new(ts, old_end));
+    }
+
+    /// Prepends a slice before the current first slice (late tuples older
+    /// than any slice, e.g. at stream start).
+    pub fn prepend_slice(&mut self, range: Range) {
+        debug_assert!(
+            self.slices.front().is_none_or(|s| range.end <= s.start()),
+            "prepended slice must precede the first slice"
+        );
+        self.slices.push_front(Slice::new(range, self.keep_tuples));
+        if let Some(t) = &mut self.eager {
+            t.insert(0, None);
+        }
+    }
+
+    /// Inserts a slice into a coverage gap (late tuples landing between
+    /// existing slices). Returns the insertion index. The range must not
+    /// overlap existing slices.
+    pub fn insert_gap_slice(&mut self, range: Range) -> usize {
+        let idx = self.slices.partition_point(|s| s.end() <= range.start);
+        debug_assert!(
+            idx == self.slices.len() || range.end <= self.slices[idx].start(),
+            "gap slice {range} overlaps successor"
+        );
+        self.slices.insert(idx, Slice::new(range, self.keep_tuples));
+        if let Some(t) = &mut self.eager {
+            t.insert(idx, None);
+        }
+        idx
+    }
+
+    /// `append_slice` without the ordering debug-assert (for count cuts
+    /// where a tied timestamp may equal the previous end).
+    fn append_slice_unchecked(&mut self, range: Range) {
+        self.slices.push_back(Slice::new(range, self.keep_tuples));
+        if let Some(t) = &mut self.eager {
+            t.push(None);
+        }
+    }
+
+    /// Adds an in-order tuple to the **latest** slice (the hot path: one ⊕
+    /// per tuple).
+    pub fn add_in_order(&mut self, ts: Time, value: A::Input) {
+        let idx = self.slices.len() - 1;
+        let slice = self.slices.back_mut().expect("add_in_order on empty store");
+        slice.add_in_order(&self.f, ts, value);
+        self.refresh_leaf(idx);
+    }
+
+    /// Index of the slice whose time range contains `ts` (time-tiled
+    /// stores).
+    pub fn covering_index(&self, ts: Time) -> Option<usize> {
+        // First slice whose end is beyond ts…
+        let idx = self.slices.partition_point(|s| s.end() <= ts);
+        // …must also start at or before ts (session gaps leave holes).
+        (idx < self.slices.len() && self.slices[idx].start() <= ts).then_some(idx)
+    }
+
+    /// Index of the slice an out-of-order tuple at `ts` should join in a
+    /// count-delimited store: the first slice whose last tuple lies
+    /// strictly after `ts` (slices partition the event-time-sorted tuple
+    /// sequence, and a late tie must land *after* every stored tuple with
+    /// an equal timestamp — count ties break by arrival order). Falls back
+    /// to the latest slice.
+    pub fn covering_index_by_tuples(&self, ts: Time) -> Option<usize> {
+        if self.slices.is_empty() {
+            return None;
+        }
+        // Scan from the back (small delays are the common case): the
+        // target is the lowest non-empty slice whose last tuple lies
+        // strictly after `ts`; empty slices never receive late ties.
+        let mut candidate = self.slices.len() - 1;
+        for (i, s) in self.slices.iter().enumerate().rev() {
+            if s.is_empty() {
+                continue;
+            }
+            if s.t_last() <= ts {
+                break;
+            }
+            candidate = i;
+        }
+        Some(candidate)
+    }
+
+    /// Adds an out-of-order tuple to slice `idx`.
+    pub fn add_out_of_order(&mut self, idx: usize, ts: Time, value: A::Input) {
+        self.slices[idx].add_out_of_order(&self.f, ts, value);
+        self.refresh_leaf(idx);
+    }
+
+    /// Splits the slice covering `ts` at `ts`. Returns `false` if `ts`
+    /// already is a slice edge (nothing to do) or lies outside all slices.
+    pub fn split_at(&mut self, ts: Time) -> bool {
+        let Some(idx) = self.covering_index(ts) else {
+            return false;
+        };
+        if self.slices[idx].start() == ts {
+            return false;
+        }
+        let right = self.slices[idx].split(&self.f, ts);
+        self.slices.insert(idx + 1, right);
+        if let Some(t) = &mut self.eager {
+            t.insert(idx + 1, None);
+        }
+        self.refresh_leaf(idx);
+        self.refresh_leaf(idx + 1);
+        true
+    }
+
+    /// Merges the two slices adjacent at edge `ts` (`slices[i].end == ts ==
+    /// slices[i+1].start`). Returns `false` if `ts` is not such an edge.
+    pub fn merge_at(&mut self, ts: Time) -> bool {
+        let idx = self.slices.partition_point(|s| s.end() < ts);
+        if idx + 1 >= self.slices.len()
+            || self.slices[idx].end() != ts
+            || self.slices[idx + 1].start() != ts
+        {
+            return false;
+        }
+        let right = self.slices.remove(idx + 1).expect("bounds checked");
+        self.slices[idx].merge(&self.f, right);
+        if let Some(t) = &mut self.eager {
+            t.remove(idx + 1);
+        }
+        self.refresh_leaf(idx);
+        true
+    }
+
+    /// Combines the partial aggregates of all slices inside the time range
+    /// `[range.start, range.end)`, in slice order. Window edges align with
+    /// slice edges (the slicing invariant), so overlap implies containment.
+    pub fn query_time(&self, range: Range) -> Option<A::Partial> {
+        let l = self.slices.partition_point(|s| s.end() <= range.start);
+        let r = self.slices.partition_point(|s| s.start() < range.end);
+        if l >= r {
+            return None;
+        }
+        // Overlap implies containment *of tuples*: the slicing invariant
+        // guarantees every window edge is a slice edge, but the open
+        // (latest) slice and session slices may nominally extend past the
+        // window end while holding no tuples there.
+        debug_assert!(
+            self.slices
+                .iter()
+                .skip(l)
+                .take(r - l)
+                .all(|s| s.is_empty()
+                    || (s.t_first() >= range.start && s.t_last() < range.end)),
+            "window {range} does not align with slice contents"
+        );
+        self.query_slice_range(l, r)
+    }
+
+    /// Combines the partials of slices `[l, r)` (indices), in order.
+    pub fn query_slice_range(&self, l: usize, r: usize) -> Option<A::Partial> {
+        if let Some(t) = &self.eager {
+            return t.query(l, r);
+        }
+        let mut acc: Option<A::Partial> = None;
+        for s in self.slices.iter().skip(l).take(r - l) {
+            acc = self.f.combine_opt(acc, s.aggregate());
+        }
+        acc
+    }
+
+    /// Combines the partials of slices covering the absolute count range
+    /// `[c1, c2)`. Slice boundaries must align with `c1`/`c2` (the count
+    /// slicing invariant maintained by the Figure-6 shift).
+    pub fn query_count(&self, c1: u64, c2: u64) -> Option<A::Partial> {
+        if c2 <= c1 {
+            return None;
+        }
+        let mut acc: Option<A::Partial> = None;
+        let mut pos = self.evicted_tuples;
+        for (i, s) in self.slices.iter().enumerate() {
+            let next = pos + s.len() as u64;
+            if next > c1 && pos < c2 {
+                debug_assert!(
+                    pos >= c1 && next <= c2,
+                    "count window [{c1}, {c2}) does not align with slice counts at slice {i}"
+                );
+                acc = self.f.combine_opt(acc, s.aggregate());
+            }
+            if pos >= c2 {
+                break;
+            }
+            pos = next;
+        }
+        acc
+    }
+
+    /// Number of tuples (absolute count) with timestamp `<= ts`, counting
+    /// evicted tuples. Requires stored tuples for the partially-covered
+    /// slice; exact because count workloads always store tuples.
+    pub fn count_at_or_before(&self, ts: Time) -> u64 {
+        let mut count = self.evicted_tuples;
+        for s in &self.slices {
+            if !s.is_empty() && s.t_last() <= ts {
+                count += s.len() as u64;
+            } else {
+                if let Some(tuples) = s.tuples() {
+                    count += tuples.partition_point(|(t, _)| *t <= ts) as u64;
+                }
+                break;
+            }
+        }
+        count
+    }
+
+    /// Total number of tuples ever added (absolute count).
+    pub fn total_count(&self) -> u64 {
+        self.evicted_tuples + self.slices.iter().map(|s| s.len() as u64).sum::<u64>()
+    }
+
+    /// Absolute count position of the start of slice `idx`.
+    pub fn count_start_of(&self, idx: usize) -> u64 {
+        self.evicted_tuples
+            + self.slices.iter().take(idx).map(|s| s.len() as u64).sum::<u64>()
+    }
+
+    /// Moves the last tuple of slice `idx` into slice `idx + 1` (the
+    /// Figure-6 shift for count-based windows). Uses ⊖ when the function is
+    /// invertible, otherwise recomputes the source slice. Returns `false`
+    /// if there is no successor or the slice is empty.
+    pub fn shift_last_into_next(&mut self, idx: usize) -> bool {
+        if idx + 1 >= self.slices.len() || self.slices[idx].is_empty() {
+            return false;
+        }
+        let Some((ts, value)) = self.slices[idx].remove_last(&self.f) else {
+            return false;
+        };
+        // The moved tuple precedes everything in the successor slice —
+        // including equal-timestamp tuples — so it is inserted at the
+        // front of its timestamp group (incremental for commutative
+        // functions, recompute otherwise). Count-delimited slices treat
+        // time ranges as advisory — lookups go through
+        // `covering_index_by_tuples` — so ranges stay untouched.
+        self.slices[idx + 1].add_shifted(&self.f, ts, value);
+        self.refresh_leaf(idx);
+        self.refresh_leaf(idx + 1);
+        true
+    }
+
+    /// Evicts every slice whose end lies at or before `ts`. Returns the
+    /// number of evicted slices.
+    pub fn evict_before(&mut self, ts: Time) -> usize {
+        let k = self.slices.partition_point(|s| s.end() <= ts);
+        self.evict_first(k);
+        k
+    }
+
+    /// Number of leading slices whose tuples all lie at absolute counts
+    /// below `keep_from` (safe to evict for count-measure windows).
+    pub fn count_evictable(&self, keep_from: u64) -> usize {
+        let mut k = 0;
+        let mut pos = self.evicted_tuples;
+        for s in &self.slices {
+            let next = pos + s.len() as u64;
+            if next <= keep_from && k + 1 < self.slices.len() {
+                k += 1;
+                pos = next;
+            } else {
+                break;
+            }
+        }
+        k
+    }
+
+    /// Evicts the first `k` slices unconditionally.
+    pub fn evict_first(&mut self, k: usize) {
+        for s in self.slices.iter().take(k) {
+            self.evicted_tuples += s.len() as u64;
+        }
+        self.slices.drain(..k);
+        if let Some(t) = &mut self.eager {
+            t.remove_prefix(k);
+        }
+    }
+
+    /// Evicts leading slices whose tuples are entirely below the absolute
+    /// count `keep_from` (count-measure eviction).
+    pub fn evict_keeping_counts(&mut self, keep_from: u64) -> usize {
+        let k = self.count_evictable(keep_from);
+        self.evict_first(k);
+        k
+    }
+
+    /// Re-synchronizes the eager leaf for slice `idx`.
+    fn refresh_leaf(&mut self, idx: usize) {
+        if let Some(t) = &mut self.eager {
+            t.update(idx, self.slices[idx].aggregate().cloned());
+        }
+    }
+
+    /// The aggregate function.
+    pub fn function(&self) -> &A {
+        &self.f
+    }
+}
+
+impl<A: AggregateFunction> HeapSize for SliceStore<A> {
+    fn heap_bytes(&self) -> usize {
+        self.slices.heap_bytes() + self.eager.as_ref().map_or(0, |t| t.total_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsupport::{Concat, SumI64};
+
+    fn store(policy: StorePolicy, keep: bool) -> SliceStore<SumI64> {
+        SliceStore::new(SumI64, policy, keep)
+    }
+
+    /// Builds a store with slices [0,10), [10,20), [20,30) holding the
+    /// given tuples.
+    fn filled(policy: StorePolicy, keep: bool) -> SliceStore<SumI64> {
+        let mut st = store(policy, keep);
+        st.append_slice(Range::new(0, 10));
+        st.add_in_order(1, 1);
+        st.add_in_order(5, 5);
+        st.append_slice(Range::new(10, 20));
+        st.add_in_order(12, 12);
+        st.append_slice(Range::new(20, 30));
+        st.add_in_order(21, 21);
+        st.add_in_order(29, 29);
+        st
+    }
+
+    #[test]
+    fn append_and_query_lazy() {
+        let st = filled(StorePolicy::Lazy, false);
+        assert_eq!(st.len(), 3);
+        assert_eq!(st.query_time(Range::new(0, 30)), Some(68));
+        assert_eq!(st.query_time(Range::new(10, 20)), Some(12));
+        assert_eq!(st.query_time(Range::new(0, 20)), Some(18));
+        assert_eq!(st.query_time(Range::new(30, 40)), None);
+    }
+
+    #[test]
+    fn eager_matches_lazy() {
+        let lazy = filled(StorePolicy::Lazy, false);
+        let eager = filled(StorePolicy::Eager, false);
+        for (a, b) in [(0, 10), (0, 20), (0, 30), (10, 30), (20, 30)] {
+            assert_eq!(
+                lazy.query_time(Range::new(a, b)),
+                eager.query_time(Range::new(a, b)),
+                "range [{a},{b})"
+            );
+        }
+    }
+
+    #[test]
+    fn covering_index_finds_slice() {
+        let st = filled(StorePolicy::Lazy, false);
+        assert_eq!(st.covering_index(0), Some(0));
+        assert_eq!(st.covering_index(9), Some(0));
+        assert_eq!(st.covering_index(10), Some(1));
+        assert_eq!(st.covering_index(29), Some(2));
+        assert_eq!(st.covering_index(30), None);
+        assert_eq!(st.covering_index(-1), None);
+    }
+
+    #[test]
+    fn covering_index_respects_session_gaps() {
+        let mut st = store(StorePolicy::Lazy, false);
+        st.append_slice(Range::new(0, 10));
+        st.append_slice(Range::new(50, 60)); // gap [10, 50)
+        assert_eq!(st.covering_index(5), Some(0));
+        assert_eq!(st.covering_index(30), None);
+        assert_eq!(st.covering_index(55), Some(1));
+    }
+
+    #[test]
+    fn ooo_add_updates_aggregate_and_eager_leaf() {
+        let mut st = filled(StorePolicy::Eager, false);
+        let idx = st.covering_index(13).unwrap();
+        st.add_out_of_order(idx, 13, 100);
+        assert_eq!(st.query_time(Range::new(10, 20)), Some(112));
+        assert_eq!(st.query_time(Range::new(0, 30)), Some(168));
+    }
+
+    #[test]
+    fn split_inserts_new_slice() {
+        let mut st = filled(StorePolicy::Eager, true);
+        assert!(st.split_at(3));
+        assert_eq!(st.len(), 4);
+        assert_eq!(st.query_time(Range::new(0, 3)), Some(1));
+        assert_eq!(st.query_time(Range::new(3, 10)), Some(5));
+        assert_eq!(st.query_time(Range::new(0, 30)), Some(68));
+    }
+
+    #[test]
+    fn split_on_existing_edge_is_noop() {
+        let mut st = filled(StorePolicy::Lazy, true);
+        assert!(!st.split_at(10));
+        assert!(!st.split_at(0));
+        assert!(!st.split_at(99));
+        assert_eq!(st.len(), 3);
+    }
+
+    #[test]
+    fn merge_at_edge_combines() {
+        let mut st = filled(StorePolicy::Eager, false);
+        assert!(st.merge_at(10));
+        assert_eq!(st.len(), 2);
+        assert_eq!(st.query_time(Range::new(0, 20)), Some(18));
+        assert_eq!(st.query_time(Range::new(0, 30)), Some(68));
+        assert!(!st.merge_at(15)); // not an edge
+        assert!(!st.merge_at(30)); // no successor
+    }
+
+    #[test]
+    fn merge_skips_gap_boundaries() {
+        let mut st = store(StorePolicy::Lazy, false);
+        st.append_slice(Range::new(0, 10));
+        st.append_slice(Range::new(50, 60));
+        // 10 ends slice 0 but slice 1 starts at 50: not a shared edge.
+        assert!(!st.merge_at(10));
+        assert_eq!(st.len(), 2);
+    }
+
+    #[test]
+    fn eviction_advances_count_offset() {
+        let mut st = filled(StorePolicy::Eager, false);
+        assert_eq!(st.total_count(), 5);
+        assert_eq!(st.evict_before(20), 2);
+        assert_eq!(st.len(), 1);
+        assert_eq!(st.total_count(), 5); // absolute counts keep history
+        assert_eq!(st.query_time(Range::new(20, 30)), Some(50));
+    }
+
+    #[test]
+    fn count_queries_align_with_slice_counts() {
+        let st = filled(StorePolicy::Lazy, true);
+        // Slice tuple counts: 2, 1, 2 -> boundaries at 0, 2, 3, 5.
+        assert_eq!(st.query_count(0, 2), Some(6));
+        assert_eq!(st.query_count(2, 3), Some(12));
+        assert_eq!(st.query_count(0, 5), Some(68));
+        assert_eq!(st.query_count(3, 5), Some(50));
+        assert_eq!(st.query_count(4, 4), None);
+    }
+
+    #[test]
+    fn count_at_or_before_counts_within_slices() {
+        let st = filled(StorePolicy::Lazy, true);
+        assert_eq!(st.count_at_or_before(-5), 0);
+        assert_eq!(st.count_at_or_before(1), 1);
+        assert_eq!(st.count_at_or_before(5), 2);
+        assert_eq!(st.count_at_or_before(12), 3);
+        assert_eq!(st.count_at_or_before(28), 4);
+        assert_eq!(st.count_at_or_before(1000), 5);
+    }
+
+    #[test]
+    fn shift_moves_last_tuple_to_successor() {
+        let mut st = filled(StorePolicy::Lazy, true);
+        assert!(st.shift_last_into_next(0));
+        // Tuple (5,5) moved from slice 0 to slice 1.
+        assert_eq!(st.slice(0).len(), 1);
+        assert_eq!(st.slice(1).len(), 2);
+        assert_eq!(st.slice(0).aggregate(), Some(&1));
+        assert_eq!(st.slice(1).aggregate(), Some(&17));
+        // Count boundaries now: 0,1,3,5.
+        assert_eq!(st.query_count(0, 1), Some(1));
+        assert_eq!(st.query_count(1, 3), Some(17));
+    }
+
+    #[test]
+    fn shift_preserves_event_time_order_for_non_commutative() {
+        let mut st: SliceStore<Concat> = SliceStore::new(Concat, StorePolicy::Lazy, true);
+        st.append_slice(Range::new(0, 10));
+        st.add_in_order(1, 1);
+        st.add_in_order(8, 8);
+        st.append_slice(Range::new(10, 20));
+        st.add_in_order(11, 11);
+        assert!(st.shift_last_into_next(0));
+        assert_eq!(st.slice(1).aggregate(), Some(&vec![8, 11]));
+    }
+
+    #[test]
+    fn shift_without_successor_fails() {
+        let mut st = filled(StorePolicy::Lazy, true);
+        assert!(!st.shift_last_into_next(2));
+    }
+
+    #[test]
+    fn covering_index_by_tuples_places_ties_after_equals() {
+        // Slice t_lasts: 5, 12, 29. A tuple tied with a slice's last tuple
+        // belongs to the *next* slice (its count position follows every
+        // stored equal-timestamp tuple).
+        let st = filled(StorePolicy::Lazy, true);
+        assert_eq!(st.covering_index_by_tuples(0), Some(0));
+        assert_eq!(st.covering_index_by_tuples(5), Some(1));
+        assert_eq!(st.covering_index_by_tuples(6), Some(1));
+        assert_eq!(st.covering_index_by_tuples(12), Some(2));
+        assert_eq!(st.covering_index_by_tuples(13), Some(2));
+        assert_eq!(st.covering_index_by_tuples(99), Some(2));
+    }
+
+    #[test]
+    fn evict_keeping_counts_drops_leading_slices() {
+        let mut st = filled(StorePolicy::Eager, true);
+        // Keep counts from 3 on: slices 0 (counts 0..2) and 1 (2..3) go.
+        assert_eq!(st.evict_keeping_counts(3), 2);
+        assert_eq!(st.len(), 1);
+        assert_eq!(st.query_count(3, 5), Some(50));
+    }
+
+    #[test]
+    fn set_keep_tuples_drops_existing_tuples() {
+        let mut st = filled(StorePolicy::Lazy, true);
+        assert!(st.slice(0).keeps_tuples());
+        st.set_keep_tuples(false);
+        assert!(!st.slice(0).keeps_tuples());
+        // Aggregates survive.
+        assert_eq!(st.query_time(Range::new(0, 30)), Some(68));
+    }
+
+    #[test]
+    fn memory_grows_with_tuple_storage() {
+        let a = filled(StorePolicy::Lazy, false);
+        let b = filled(StorePolicy::Lazy, true);
+        let c = filled(StorePolicy::Eager, true);
+        assert!(b.heap_bytes() > a.heap_bytes());
+        assert!(c.heap_bytes() > b.heap_bytes());
+    }
+
+    #[test]
+    fn extend_last_grows_open_slice() {
+        let mut st = store(StorePolicy::Lazy, false);
+        st.append_slice(Range::new(0, 10));
+        st.extend_last(15);
+        assert_eq!(st.last_end(), Some(15));
+        st.extend_last(12); // never shrinks
+        assert_eq!(st.last_end(), Some(15));
+    }
+}

@@ -1,0 +1,161 @@
+//! Tiny aggregate functions used by the core's own tests and doctests.
+//!
+//! Real, user-facing aggregations live in `gss-aggregates` (which depends on
+//! this crate); the core needs a couple of minimal functions with known
+//! algebraic properties to test the slicing machinery in isolation.
+
+use crate::function::{AggregateFunction, FunctionKind, FunctionProperties};
+
+/// Commutative, invertible integer sum. Partial = running sum.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SumI64;
+
+impl AggregateFunction for SumI64 {
+    type Input = i64;
+    type Partial = i64;
+    type Output = i64;
+
+    fn lift(&self, v: &i64) -> i64 {
+        *v
+    }
+    fn combine(&self, a: i64, b: &i64) -> i64 {
+        a + b
+    }
+    fn lower(&self, p: &i64) -> i64 {
+        *p
+    }
+    fn invert(&self, a: i64, b: &i64) -> Option<i64> {
+        Some(a - b)
+    }
+    fn properties(&self) -> FunctionProperties {
+        FunctionProperties { commutative: true, invertible: true, kind: FunctionKind::Distributive }
+    }
+}
+
+/// Integer sum with invertibility deliberately *not* declared — the "sum
+/// w/o invert" baseline of paper Figure 13.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SumNoInvert;
+
+impl AggregateFunction for SumNoInvert {
+    type Input = i64;
+    type Partial = i64;
+    type Output = i64;
+
+    fn lift(&self, v: &i64) -> i64 {
+        *v
+    }
+    fn combine(&self, a: i64, b: &i64) -> i64 {
+        a + b
+    }
+    fn lower(&self, p: &i64) -> i64 {
+        *p
+    }
+    fn properties(&self) -> FunctionProperties {
+        FunctionProperties {
+            commutative: true,
+            invertible: false,
+            kind: FunctionKind::Distributive,
+        }
+    }
+}
+
+/// Order-preserving concatenation: associative but **non-commutative** and
+/// non-invertible. The partial is the ordered list of inputs, so tests can
+/// assert that slicing preserved aggregation order exactly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Concat;
+
+impl AggregateFunction for Concat {
+    type Input = i64;
+    type Partial = Vec<i64>;
+    type Output = Vec<i64>;
+
+    fn lift(&self, v: &i64) -> Vec<i64> {
+        vec![*v]
+    }
+    fn combine(&self, mut a: Vec<i64>, b: &Vec<i64>) -> Vec<i64> {
+        a.extend_from_slice(b);
+        a
+    }
+    fn lower(&self, p: &Vec<i64>) -> Vec<i64> {
+        p.clone()
+    }
+    fn properties(&self) -> FunctionProperties {
+        FunctionProperties { commutative: false, invertible: false, kind: FunctionKind::Holistic }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_inverts() {
+        let s = SumI64;
+        let ab = s.combine(s.lift(&3), &s.lift(&4));
+        assert_eq!(s.invert(ab, &4), Some(3));
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let c = Concat;
+        let ab = c.combine(c.lift(&1), &c.lift(&2));
+        let ba = c.combine(c.lift(&2), &c.lift(&1));
+        assert_ne!(ab, ba);
+        assert_eq!(ab, vec![1, 2]);
+    }
+
+    #[test]
+    fn sum_no_invert_declares_correctly() {
+        assert!(!SumNoInvert.properties().invertible);
+        assert_eq!(SumNoInvert.invert(5, &2), None);
+    }
+}
+
+/// A minimal tumbling window for core-internal tests (real window types
+/// live in `gss-windows`, which depends on this crate).
+#[derive(Debug, Clone, Copy)]
+pub struct TumblingStub {
+    pub length: crate::time::Time,
+}
+
+impl crate::window::WindowFunction for TumblingStub {
+    fn measure(&self) -> crate::time::Measure {
+        crate::time::Measure::Time
+    }
+    fn context(&self) -> crate::window::ContextClass {
+        crate::window::ContextClass::ContextFree
+    }
+    fn next_edge(&self, ts: crate::time::Time) -> Option<crate::time::Time> {
+        Some((ts.div_euclid(self.length) + 1) * self.length)
+    }
+    fn next_window_end(&self, ts: crate::time::Time) -> Option<crate::time::Time> {
+        self.next_edge(ts)
+    }
+    fn requires_edge_at(&self, e: crate::time::Time) -> bool {
+        e.rem_euclid(self.length) == 0
+    }
+    fn trigger_windows(
+        &mut self,
+        prev: crate::time::Time,
+        cur: crate::time::Time,
+        out: &mut dyn FnMut(crate::time::Range),
+    ) {
+        let mut e = (prev.div_euclid(self.length) + 1) * self.length;
+        while e <= cur {
+            out(crate::time::Range::new(e - self.length, e));
+            e += self.length;
+        }
+    }
+    fn windows_containing(&self, ts: crate::time::Time, out: &mut dyn FnMut(crate::time::Range)) {
+        let s = ts.div_euclid(self.length) * self.length;
+        out(crate::time::Range::new(s, s + self.length));
+    }
+    fn max_extent(&self) -> i64 {
+        self.length
+    }
+    fn clone_box(&self) -> Box<dyn crate::window::WindowFunction> {
+        Box::new(*self)
+    }
+}

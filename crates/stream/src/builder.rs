@@ -1,0 +1,186 @@
+//! A fluent pipeline builder: source → map/filter → key-by → windowed
+//! aggregation, in the style of dataflow APIs (Flink's `DataStream`,
+//! Beam's `PCollection`), composed from the crate's primitives.
+//!
+//! ```
+//! use gss_core::operator::{OperatorConfig, WindowOperator};
+//! use gss_core::{StreamOrder, WindowAggregator};
+//! use gss_stream::{BoundedOutOfOrderness, Pipeline, PipelineConfig};
+//! use gss_windows::TumblingWindow;
+//!
+//! let records = (0..10_000i64).map(|i| (i, i % 100));
+//! let report = Pipeline::from_records(records, BoundedOutOfOrderness::new(100, 50))
+//!     .map(|_ts, v| v * 2)
+//!     .filter(|_ts, v| *v % 4 == 0)
+//!     .key_by(|_ts, v| (*v % 8) as u64)
+//!     .aggregate(PipelineConfig::with_parallelism(2), |_partition| {
+//!         let mut op = WindowOperator::new(
+//!             gss_core::testsupport::SumI64,
+//!             OperatorConfig { order: StreamOrder::OutOfOrder, allowed_lateness: 100, ..Default::default() },
+//!         );
+//!         op.add_query(Box::new(TumblingWindow::new(1_000))).unwrap();
+//!         Box::new(op) as Box<dyn WindowAggregator<_>>
+//!     });
+//! assert!(report.result_count > 0);
+//! ```
+
+use gss_core::{AggregateFunction, StreamElement, Time, WindowAggregator};
+
+use crate::pipeline::{run_keyed, PipelineConfig, PipelineReport};
+use crate::source::{filter_records, key_by, map_records, IteratorSource};
+use crate::watermark::WatermarkStrategy;
+
+/// An unkeyed element stream under construction.
+pub struct Pipeline<V> {
+    elements: Box<dyn Iterator<Item = StreamElement<V>>>,
+}
+
+impl<V: 'static> Pipeline<V> {
+    /// Starts from timestamped records, generating watermarks with the
+    /// given strategy (plus a final flush watermark).
+    pub fn from_records<I, W>(records: I, strategy: W) -> Self
+    where
+        I: IntoIterator<Item = (Time, V)>,
+        I::IntoIter: 'static,
+        W: WatermarkStrategy + 'static,
+    {
+        Pipeline { elements: Box::new(IteratorSource::new(records.into_iter(), strategy)) }
+    }
+
+    /// Starts from pre-built stream elements (records, watermarks,
+    /// punctuations).
+    pub fn from_elements<I>(elements: I) -> Self
+    where
+        I: IntoIterator<Item = StreamElement<V>>,
+        I::IntoIter: 'static,
+    {
+        Pipeline { elements: Box::new(elements.into_iter()) }
+    }
+
+    /// Transforms record payloads; watermarks pass through.
+    pub fn map<W: 'static>(self, f: impl FnMut(Time, V) -> W + 'static) -> Pipeline<W> {
+        Pipeline { elements: Box::new(map_records(self.elements, f)) }
+    }
+
+    /// Drops records failing the predicate; watermarks pass through.
+    pub fn filter(self, pred: impl FnMut(Time, &V) -> bool + 'static) -> Pipeline<V> {
+        Pipeline { elements: Box::new(filter_records(self.elements, pred)) }
+    }
+
+    /// Assigns a key to every record, enabling partitioned execution.
+    pub fn key_by(self, key: impl FnMut(Time, &V) -> u64 + 'static) -> KeyedPipeline<V> {
+        KeyedPipeline { elements: Box::new(key_by(self.elements, key)) }
+    }
+
+    /// Collects the element stream (for tests and small jobs).
+    pub fn collect(self) -> Vec<StreamElement<V>> {
+        self.elements.collect()
+    }
+}
+
+/// A keyed element stream, ready for windowed aggregation.
+pub struct KeyedPipeline<V> {
+    elements: Box<dyn Iterator<Item = StreamElement<(u64, V)>>>,
+}
+
+impl<V: 'static> KeyedPipeline<V> {
+    /// Runs a window aggregation with one operator instance per partition
+    /// (the `factory` builds each instance).
+    pub fn aggregate<A, F>(self, cfg: PipelineConfig, factory: F) -> PipelineReport<A::Output>
+    where
+        A: AggregateFunction<Input = V>,
+        A::Output: Send,
+        F: Fn(usize) -> Box<dyn WindowAggregator<A>>,
+    {
+        run_keyed(self.elements, cfg, factory)
+    }
+
+    /// Collects the keyed element stream.
+    pub fn collect(self) -> Vec<StreamElement<(u64, V)>> {
+        self.elements.collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::watermark::AscendingTimestamps;
+    use gss_core::operator::{OperatorConfig, WindowOperator};
+    use gss_core::testsupport::SumI64;
+    use gss_core::StreamOrder;
+    use gss_core::window::WindowFunction;
+    use gss_core::ContextClass;
+    use gss_core::Measure;
+    use gss_core::Range;
+
+    #[derive(Clone, Copy)]
+    struct Tumble100;
+    impl WindowFunction for Tumble100 {
+        fn measure(&self) -> Measure {
+            Measure::Time
+        }
+        fn context(&self) -> ContextClass {
+            ContextClass::ContextFree
+        }
+        fn next_edge(&self, ts: Time) -> Option<Time> {
+            Some((ts.div_euclid(100) + 1) * 100)
+        }
+        fn next_window_end(&self, ts: Time) -> Option<Time> {
+            self.next_edge(ts)
+        }
+        fn trigger_windows(&mut self, p: Time, c: Time, out: &mut dyn FnMut(Range)) {
+            let mut e = (p.div_euclid(100) + 1) * 100;
+            while e <= c {
+                out(Range::new(e - 100, e));
+                e += 100;
+            }
+        }
+        fn windows_containing(&self, ts: Time, out: &mut dyn FnMut(Range)) {
+            let s = ts.div_euclid(100) * 100;
+            out(Range::new(s, s + 100));
+        }
+        fn max_extent(&self) -> i64 {
+            100
+        }
+        fn clone_box(&self) -> Box<dyn WindowFunction> {
+            Box::new(*self)
+        }
+    }
+
+    #[test]
+    fn map_filter_key_flow() {
+        let records = (0..1_000i64).map(|i| (i, i));
+        let report = Pipeline::from_records(records, AscendingTimestamps::default())
+            .map(|_, v| v % 10)
+            .filter(|_, v| *v != 0)
+            .key_by(|_, v| (*v % 4) as u64)
+            .aggregate(PipelineConfig::default(), |_| {
+                let mut op = WindowOperator::new(
+                    SumI64,
+                    OperatorConfig {
+                        order: StreamOrder::OutOfOrder,
+                        allowed_lateness: 0,
+                        ..Default::default()
+                    },
+                );
+                op.add_query(Box::new(Tumble100)).unwrap();
+                Box::new(op)
+            });
+        assert_eq!(report.records, 900); // v % 10 == 0 filtered out
+        assert!(report.result_count >= 10);
+        // Every window sums 1..=9 repeated 10x = 450 split across keys.
+        let total: i64 = report.results.iter().map(|(_, r)| r.value).sum();
+        assert_eq!(total, 900 / 9 * 45);
+    }
+
+    #[test]
+    fn collect_preserves_structure() {
+        let records = vec![(0i64, 1i64), (10, 2)];
+        let elements =
+            Pipeline::from_records(records, AscendingTimestamps::default()).collect();
+        assert_eq!(elements.iter().filter(|e| e.is_record()).count(), 2);
+        assert!(matches!(elements.last(), Some(StreamElement::Watermark(_))));
+        let keyed = Pipeline::from_elements(elements).key_by(|_, v| *v as u64).collect();
+        assert!(matches!(keyed[0], StreamElement::Record { value: (1, 1), .. }));
+    }
+}

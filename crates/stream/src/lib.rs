@@ -1,0 +1,18 @@
+//! # gss-stream
+//!
+//! A minimal tuple-at-a-time dataflow substrate: bounded channels, key
+//! partitioning, watermark broadcast, and one window-operator instance per
+//! partition — the parallelization model of Flink/Storm-style systems that
+//! the paper assumes (Section 5.3) and measures in Section 6.4.
+
+pub mod builder;
+pub mod metrics;
+pub mod pipeline;
+pub mod source;
+pub mod watermark;
+
+pub use builder::{KeyedPipeline, Pipeline};
+pub use metrics::LatencyHistogram;
+pub use pipeline::{partition_of, process_cpu_time, run_keyed, PipelineConfig, PipelineReport};
+pub use source::{filter_records, key_by, map_records, IteratorSource};
+pub use watermark::{AscendingTimestamps, BoundedOutOfOrderness, NoWatermarks, WatermarkStrategy};

@@ -1,0 +1,230 @@
+//! Runtime metrics: a log-bucketed latency histogram and a throughput
+//! meter, the instrumentation a window operator deployment reports.
+//!
+//! The histogram uses logarithmic buckets (HdrHistogram-style, base-2 with
+//! linear sub-buckets), giving ~6 % relative error over nine orders of
+//! magnitude at a fixed 2 KiB footprint — enough to report the paper's
+//! latency classes (nanoseconds for buckets, microseconds for eager
+//! stores, milliseconds for lazy ones) from one structure.
+
+use std::time::Duration;
+
+const SUB_BUCKET_BITS: u32 = 4; // 16 linear sub-buckets per octave
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
+const OCTAVES: usize = 40; // covers 1ns .. ~1100s
+
+/// Fixed-size log-bucketed histogram of nanosecond values.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_ns: u128,
+    max_ns: u64,
+    min_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; OCTAVES * SUB_BUCKETS],
+            total: 0,
+            sum_ns: 0,
+            max_ns: 0,
+            min_ns: u64::MAX,
+        }
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        if ns < SUB_BUCKETS as u64 {
+            return ns as usize;
+        }
+        let octave = 63 - ns.leading_zeros() as usize; // floor(log2 ns)
+        let shift = octave - SUB_BUCKET_BITS as usize;
+        let sub = ((ns >> shift) as usize) & (SUB_BUCKETS - 1);
+        let idx = (octave - SUB_BUCKET_BITS as usize + 1) * SUB_BUCKETS + sub;
+        idx.min(OCTAVES * SUB_BUCKETS - 1)
+    }
+
+    /// Representative (lower-bound) value of a bucket.
+    fn bucket_floor(idx: usize) -> u64 {
+        let octave = idx / SUB_BUCKETS;
+        let sub = (idx % SUB_BUCKETS) as u64;
+        if octave == 0 {
+            return sub;
+        }
+        let shift = octave - 1;
+        ((SUB_BUCKETS as u64) + sub) << shift
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
+        self.record_ns(ns);
+    }
+
+    pub fn record_ns(&mut self, ns: u64) {
+        self.counts[Self::bucket_of(ns)] += 1;
+        self.total += 1;
+        self.sum_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+        self.min_ns = self.min_ns.min(ns);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    pub fn min(&self) -> Duration {
+        Duration::from_nanos(if self.total == 0 { 0 } else { self.min_ns })
+    }
+
+    pub fn mean(&self) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos((self.sum_ns / self.total as u128) as u64)
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (bucket lower bound — a slight
+    /// underestimate, bounded by the bucket's ~6 % width).
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let v = Self::bucket_floor(idx).clamp(self.min_ns.min(self.max_ns), self.max_ns);
+                return Duration::from_nanos(v);
+            }
+        }
+        self.max()
+    }
+
+    /// Merges another histogram into this one (for per-partition metrics).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+    }
+
+    /// One-line summary: `n=.. mean=.. p50=.. p99=.. max=..`.
+    pub fn summary(&self) -> String {
+        format!(
+            "n={} mean={:?} p50={:?} p99={:?} max={:?}",
+            self.total,
+            self.mean(),
+            self.quantile(0.5),
+            self.quantile(0.99),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn exact_for_small_values() {
+        let mut h = LatencyHistogram::new();
+        for ns in [1u64, 2, 3, 3, 3, 10, 15] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.min(), Duration::from_nanos(1));
+        assert_eq!(h.max(), Duration::from_nanos(15));
+        assert_eq!(h.quantile(0.5), Duration::from_nanos(3));
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        let mut h = LatencyHistogram::new();
+        // One sample: every quantile must be within ~6.25% of the value.
+        for value in [100u64, 10_000, 1_000_000, 123_456_789] {
+            let mut h1 = LatencyHistogram::new();
+            h1.record_ns(value);
+            let got = h1.quantile(0.5).as_nanos() as f64;
+            let rel = (value as f64 - got).abs() / value as f64;
+            assert!(rel <= 0.0626, "value {value}: got {got}, rel err {rel}");
+            h.record_ns(value);
+        }
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let mut h = LatencyHistogram::new();
+        let mut x = 1u64;
+        for i in 0..10_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            h.record_ns((x % 1_000_000) + i % 97);
+        }
+        let mut prev = Duration::ZERO;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= prev, "quantile {q} regressed: {v:?} < {prev:?}");
+            prev = v;
+        }
+        assert!(h.quantile(1.0) <= h.max());
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut c = LatencyHistogram::new();
+        for i in 0..1_000u64 {
+            let ns = i * 37 % 10_000;
+            if i % 2 == 0 {
+                a.record_ns(ns);
+            } else {
+                b.record_ns(ns);
+            }
+            c.record_ns(ns);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        assert_eq!(a.mean(), c.mean());
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), c.quantile(q));
+        }
+    }
+
+    #[test]
+    fn summary_is_readable() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_micros(5));
+        let s = h.summary();
+        assert!(s.contains("n=1"));
+        assert!(s.contains("mean="));
+    }
+}

@@ -1,0 +1,143 @@
+//! Sources: turn plain `(timestamp, value)` iterators into element
+//! streams with watermarks, ready for [`crate::run_keyed`] or direct
+//! operator feeding.
+
+use gss_core::{StreamElement, Time};
+
+use crate::watermark::WatermarkStrategy;
+
+/// Adapts an iterator of timestamped records into a stream of
+/// [`StreamElement`]s, interleaving watermarks from a strategy and
+/// emitting a final flush watermark when the input ends.
+pub struct IteratorSource<I, V, W>
+where
+    I: Iterator<Item = (Time, V)>,
+    W: WatermarkStrategy,
+{
+    input: I,
+    strategy: W,
+    pending_wm: Option<Time>,
+    closed: bool,
+}
+
+impl<I, V, W> IteratorSource<I, V, W>
+where
+    I: Iterator<Item = (Time, V)>,
+    W: WatermarkStrategy,
+{
+    pub fn new(input: I, strategy: W) -> Self {
+        IteratorSource { input, strategy, pending_wm: None, closed: false }
+    }
+}
+
+impl<I, V, W> Iterator for IteratorSource<I, V, W>
+where
+    I: Iterator<Item = (Time, V)>,
+    W: WatermarkStrategy,
+{
+    type Item = StreamElement<V>;
+
+    fn next(&mut self) -> Option<StreamElement<V>> {
+        if let Some(wm) = self.pending_wm.take() {
+            return Some(StreamElement::Watermark(wm));
+        }
+        match self.input.next() {
+            Some((ts, value)) => {
+                self.pending_wm = self.strategy.on_record(ts);
+                Some(StreamElement::Record { ts, value })
+            }
+            None if !self.closed => {
+                self.closed = true;
+                Some(StreamElement::Watermark(self.strategy.on_close()))
+            }
+            None => None,
+        }
+    }
+}
+
+/// Maps record payloads, passing watermarks and punctuations through.
+pub fn map_records<V, W2>(
+    elements: impl Iterator<Item = StreamElement<V>>,
+    mut f: impl FnMut(Time, V) -> W2,
+) -> impl Iterator<Item = StreamElement<W2>> {
+    elements.map(move |e| match e {
+        StreamElement::Record { ts, value } => StreamElement::Record { ts, value: f(ts, value) },
+        StreamElement::Watermark(wm) => StreamElement::Watermark(wm),
+        StreamElement::Punctuation(p) => StreamElement::Punctuation(p),
+    })
+}
+
+/// Filters records by a predicate; watermarks and punctuations always
+/// pass (dropping them would stall downstream progress).
+pub fn filter_records<V>(
+    elements: impl Iterator<Item = StreamElement<V>>,
+    mut pred: impl FnMut(Time, &V) -> bool,
+) -> impl Iterator<Item = StreamElement<V>> {
+    elements.filter(move |e| match e {
+        StreamElement::Record { ts, value } => pred(*ts, value),
+        _ => true,
+    })
+}
+
+/// Assigns keys to records (for [`crate::run_keyed`]).
+pub fn key_by<V>(
+    elements: impl Iterator<Item = StreamElement<V>>,
+    mut key: impl FnMut(Time, &V) -> u64,
+) -> impl Iterator<Item = StreamElement<(u64, V)>> {
+    elements.map(move |e| match e {
+        StreamElement::Record { ts, value } => {
+            let k = key(ts, &value);
+            StreamElement::Record { ts, value: (k, value) }
+        }
+        StreamElement::Watermark(wm) => StreamElement::Watermark(wm),
+        StreamElement::Punctuation(p) => StreamElement::Punctuation(p),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::watermark::{AscendingTimestamps, BoundedOutOfOrderness};
+
+    #[test]
+    fn source_interleaves_watermarks_and_flushes() {
+        let records = vec![(0i64, 1i64), (60, 2), (120, 3)];
+        let elements: Vec<_> =
+            IteratorSource::new(records.into_iter(), BoundedOutOfOrderness::new(10, 50))
+                .collect();
+        // record, record, wm(50), record, wm(110), flush-wm
+        assert!(matches!(elements[0], StreamElement::Record { ts: 0, .. }));
+        assert!(matches!(elements[1], StreamElement::Record { ts: 60, .. }));
+        assert!(matches!(elements[2], StreamElement::Watermark(50)));
+        assert!(matches!(elements[3], StreamElement::Record { ts: 120, .. }));
+        assert!(matches!(elements[4], StreamElement::Watermark(110)));
+        assert!(matches!(elements.last(), Some(StreamElement::Watermark(w)) if *w == i64::MAX - 1));
+    }
+
+    #[test]
+    fn map_and_filter_preserve_watermarks() {
+        let records = vec![(0i64, 1i64), (10, 2), (20, 3)];
+        let src = IteratorSource::new(records.into_iter(), AscendingTimestamps::default());
+        let mapped = map_records(src, |_, v| v * 10);
+        let filtered: Vec<_> = filter_records(mapped, |_, v| *v != 20).collect();
+        let records: Vec<i64> = filtered
+            .iter()
+            .filter_map(|e| match e {
+                StreamElement::Record { value, .. } => Some(*value),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(records, vec![10, 30]);
+        let wms = filtered.iter().filter(|e| matches!(e, StreamElement::Watermark(_))).count();
+        assert!(wms >= 3, "watermarks must pass through filters");
+    }
+
+    #[test]
+    fn key_by_attaches_keys() {
+        let records = vec![(0i64, 5i64), (1, 6)];
+        let src = IteratorSource::new(records.into_iter(), AscendingTimestamps::default());
+        let keyed: Vec<_> = key_by(src, |_, v| (*v % 2) as u64).collect();
+        assert!(matches!(keyed[0], StreamElement::Record { value: (1, 5), .. }));
+        assert!(matches!(keyed[2], StreamElement::Record { value: (0, 6), .. }));
+    }
+}

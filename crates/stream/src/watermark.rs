@@ -1,0 +1,120 @@
+//! Watermark generation strategies.
+//!
+//! Out-of-order streams need watermarks to bound how long the operator
+//! waits for stragglers (paper Section 2). These strategies mirror the
+//! generators streaming systems ship: periodic bounded-out-of-orderness
+//! (the Flink default) and ascending-timestamps for in-order sources.
+
+use gss_core::{Time, TIME_MIN};
+
+/// Decides when to emit watermarks while observing record timestamps.
+pub trait WatermarkStrategy: Send {
+    /// Observes a record timestamp; returns a watermark to emit after the
+    /// record, if one is due.
+    fn on_record(&mut self, ts: Time) -> Option<Time>;
+
+    /// The watermark that closes the stream.
+    fn on_close(&self) -> Time {
+        i64::MAX - 1
+    }
+}
+
+/// Emits `max_seen - bound` every `period` of event-time progress. With a
+/// disorder bound `d <= bound`, no record ever arrives below the
+/// watermark (late records inside the allowed lateness still update
+/// results).
+#[derive(Debug, Clone)]
+pub struct BoundedOutOfOrderness {
+    bound: Time,
+    period: Time,
+    max_seen: Time,
+    next_at: Time,
+}
+
+impl BoundedOutOfOrderness {
+    pub fn new(bound: Time, period: Time) -> Self {
+        assert!(bound >= 0 && period > 0);
+        BoundedOutOfOrderness { bound, period, max_seen: TIME_MIN, next_at: TIME_MIN }
+    }
+}
+
+impl WatermarkStrategy for BoundedOutOfOrderness {
+    fn on_record(&mut self, ts: Time) -> Option<Time> {
+        if self.max_seen == TIME_MIN {
+            self.max_seen = ts;
+            self.next_at = ts + self.period;
+            return None;
+        }
+        self.max_seen = self.max_seen.max(ts);
+        if self.max_seen >= self.next_at {
+            self.next_at = self.max_seen + self.period;
+            Some(self.max_seen - self.bound)
+        } else {
+            None
+        }
+    }
+}
+
+/// For in-order sources: the watermark is the latest timestamp itself,
+/// emitted with every record.
+#[derive(Debug, Clone, Default)]
+pub struct AscendingTimestamps {
+    max_seen: Time,
+}
+
+impl WatermarkStrategy for AscendingTimestamps {
+    fn on_record(&mut self, ts: Time) -> Option<Time> {
+        debug_assert!(ts >= self.max_seen || self.max_seen == 0, "not ascending");
+        self.max_seen = ts;
+        Some(ts)
+    }
+}
+
+/// Never emits watermarks (driven externally or purely in-order
+/// tuple-at-a-time emission).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoWatermarks;
+
+impl WatermarkStrategy for NoWatermarks {
+    fn on_record(&mut self, _ts: Time) -> Option<Time> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_lags_by_bound() {
+        let mut s = BoundedOutOfOrderness::new(100, 50);
+        assert_eq!(s.on_record(0), None);
+        assert_eq!(s.on_record(10), None);
+        assert_eq!(s.on_record(60), Some(-40)); // 60 - 100
+        assert_eq!(s.on_record(70), None);
+        assert_eq!(s.on_record(200), Some(100));
+    }
+
+    #[test]
+    fn bounded_ignores_regressing_timestamps() {
+        let mut s = BoundedOutOfOrderness::new(10, 50);
+        s.on_record(0);
+        assert_eq!(s.on_record(100), Some(90));
+        // A late record never moves the watermark backwards.
+        assert_eq!(s.on_record(20), None);
+        assert_eq!(s.on_record(200), Some(190));
+    }
+
+    #[test]
+    fn ascending_emits_every_record() {
+        let mut s = AscendingTimestamps::default();
+        assert_eq!(s.on_record(5), Some(5));
+        assert_eq!(s.on_record(9), Some(9));
+    }
+
+    #[test]
+    fn close_flushes() {
+        let s = BoundedOutOfOrderness::new(10, 50);
+        assert_eq!(s.on_close(), i64::MAX - 1);
+    }
+}

@@ -1,0 +1,30 @@
+//! # gss-windows
+//!
+//! Window-type implementations for general stream slicing, covering the
+//! paper's full context classification (Section 4.4):
+//!
+//! * **Context free (CF)** — [`TumblingWindow`], [`SlidingWindow`],
+//!   [`CountTumblingWindow`], [`CountSlidingWindow`]: all edges are known
+//!   a priori.
+//! * **Forward context free (FCF)** — [`PunctuationWindow`]: edges are
+//!   marked by stream punctuations.
+//! * **Forward context aware (FCA)** — [`SessionWindow`] (the special case
+//!   that never needs recomputation) and [`MultiMeasureWindow`] ("last N
+//!   tuples every S seconds", which genuinely splits slices through stored
+//!   tuples).
+//!
+//! New window types plug in by implementing
+//! [`gss_core::WindowFunction`] — no change to the slicing core is needed
+//! (paper Section 5.4.2).
+
+pub mod multimeasure;
+pub mod periodic;
+pub mod punctuation;
+pub mod session;
+
+pub use multimeasure::MultiMeasureWindow;
+pub use periodic::{
+    CountSlidingWindow, CountTumblingWindow, PeriodicEdges, SlidingWindow, TumblingWindow,
+};
+pub use punctuation::PunctuationWindow;
+pub use session::SessionWindow;

@@ -1,0 +1,58 @@
+//! Count-measure windows on an out-of-order stream — the Figure-6 shift in
+//! action: a late tuple changes the count of every succeeding tuple, so
+//! the last tuple of each slice moves one slice further. Invertible
+//! aggregations (sum) pay one ⊖ per shift; non-invertible ones recompute.
+//!
+//! Run with: `cargo run --release --example count_windows`
+
+use general_stream_slicing::prelude::*;
+use gss_data::{make_out_of_order, with_watermarks, OooConfig};
+
+fn run<A: AggregateFunction<Input = i64>>(
+    f: A,
+    label: &str,
+    elements: &[StreamElement<i64>],
+) -> (usize, u64, std::time::Duration)
+where
+    A::Output: std::fmt::Debug,
+{
+    let mut op = WindowOperator::new(f, OperatorConfig::out_of_order(5_000));
+    op.add_query(Box::new(CountTumblingWindow::new(100))).unwrap();
+    let started = std::time::Instant::now();
+    let mut out = Vec::new();
+    for e in elements {
+        match e {
+            StreamElement::Record { ts, value } => op.process_tuple(*ts, *value, &mut out),
+            StreamElement::Watermark(wm) => op.process_watermark(*wm, &mut out),
+            StreamElement::Punctuation(_) => {}
+        }
+    }
+    let elapsed = started.elapsed();
+    println!(
+        "{label:<16} {:>7} windows, {:>8} shifts, {:?}",
+        out.iter().filter(|w| !w.is_update).count(),
+        op.stats().shifts,
+        elapsed
+    );
+    (out.len(), op.stats().shifts, elapsed)
+}
+
+fn main() {
+    let tuples: Vec<(Time, i64)> = (0..200_000).map(|i| (i, i % 97)).collect();
+    let arrivals = make_out_of_order(
+        &tuples,
+        OooConfig { fraction_percent: 20, max_delay: 2_000, ..Default::default() },
+    );
+    let elements = with_watermarks(&arrivals, 1_000, 2_000);
+
+    println!("tumbling window of 100 tuples, 20% out-of-order, delays up to 2 s\n");
+    let (_, shifts_inv, t_inv) = run(Sum, "sum (invertible)", &elements);
+    let (_, shifts_no, t_no) = run(SumNoInvert, "sum w/o invert", &elements);
+
+    assert_eq!(shifts_inv, shifts_no, "same workload, same shift count");
+    println!(
+        "\ninvertibility exploited: identical shifts, but removals are one ⊖ \
+         instead of a slice recomputation ({:.1}x faster here)",
+        t_no.as_secs_f64() / t_inv.as_secs_f64()
+    );
+}

@@ -1,0 +1,112 @@
+//! User-defined window types (paper Section 5.4.2): implement
+//! [`WindowFunction`] and plug it into the slicing core without touching
+//! the merge/split/update machinery.
+//!
+//! This example defines **business-hours windows**: one window per day
+//! covering 09:00–17:00 only. They are context free (all edges are known a
+//! priori) yet not expressible as tumbling or sliding windows.
+//!
+//! Run with: `cargo run --release --example custom_window`
+
+use general_stream_slicing::prelude::*;
+
+const HOUR: Time = 3_600_000;
+const DAY: Time = 24 * HOUR;
+const OPEN: Time = 9 * HOUR;
+const CLOSE: Time = 17 * HOUR;
+
+/// `[day*24h + 9h, day*24h + 17h)` for every day.
+#[derive(Clone, Copy)]
+struct BusinessHours;
+
+impl BusinessHours {
+    fn day_of(ts: Time) -> Time {
+        ts.div_euclid(DAY)
+    }
+}
+
+impl WindowFunction for BusinessHours {
+    fn measure(&self) -> Measure {
+        Measure::Time
+    }
+
+    fn context(&self) -> ContextClass {
+        ContextClass::ContextFree
+    }
+
+    fn next_edge(&self, ts: Time) -> Option<Time> {
+        let day = Self::day_of(ts);
+        let within = ts - day * DAY;
+        Some(if within < OPEN {
+            day * DAY + OPEN
+        } else if within < CLOSE {
+            day * DAY + CLOSE
+        } else {
+            (day + 1) * DAY + OPEN
+        })
+    }
+
+    fn next_window_end(&self, ts: Time) -> Option<Time> {
+        let day = Self::day_of(ts);
+        let within = ts - day * DAY;
+        Some(if within < CLOSE { day * DAY + CLOSE } else { (day + 1) * DAY + CLOSE })
+    }
+
+    fn requires_edge_at(&self, e: Time) -> bool {
+        let within = e.rem_euclid(DAY);
+        within == OPEN || within == CLOSE
+    }
+
+    fn trigger_windows(&mut self, prev: Time, cur: Time, out: &mut dyn FnMut(Range)) {
+        let mut day = Self::day_of(prev);
+        loop {
+            let end = day * DAY + CLOSE;
+            if end > cur {
+                break;
+            }
+            if end > prev {
+                out(Range::new(day * DAY + OPEN, end));
+            }
+            day += 1;
+        }
+    }
+
+    fn windows_containing(&self, ts: Time, out: &mut dyn FnMut(Range)) {
+        let day = Self::day_of(ts);
+        let within = ts - day * DAY;
+        if (OPEN..CLOSE).contains(&within) {
+            out(Range::new(day * DAY + OPEN, day * DAY + CLOSE));
+        }
+    }
+
+    fn max_extent(&self) -> i64 {
+        CLOSE - OPEN
+    }
+
+    fn clone_box(&self) -> Box<dyn WindowFunction> {
+        Box::new(*self)
+    }
+}
+
+fn main() {
+    let mut op = WindowOperator::new(Sum, OperatorConfig::in_order());
+    op.add_query(Box::new(BusinessHours)).unwrap();
+
+    // One sale of value 1 every minute, around the clock, for three days.
+    let mut out = Vec::new();
+    for minute in 0..(3 * 24 * 60) {
+        op.process_tuple(minute * 60_000, 1, &mut out);
+    }
+
+    println!("business-hours revenue (only 09:00-17:00 tuples count):\n");
+    for w in &out {
+        let day = w.range.start.div_euclid(DAY);
+        println!("day {day}: window {} -> {} sales", w.range, w.value);
+        // 8 business hours x 60 sales/hour:
+        assert_eq!(w.value, 8 * 60);
+    }
+    println!(
+        "\nno changes to the slicing core were needed — the window type is \
+         ~80 lines implementing WindowFunction"
+    );
+}

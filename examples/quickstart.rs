@@ -1,0 +1,60 @@
+//! Quickstart: one general-slicing operator, several concurrent queries.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use general_stream_slicing::prelude::*;
+
+fn main() {
+    // The operator adapts to its workload: an in-order stream with
+    // context-free windows stores no tuples at all, only slice partials.
+    let mut op = WindowOperator::new(Avg, OperatorConfig::in_order());
+
+    // Three queries share one slice store: a tumbling window per second, a
+    // sliding 5 s window advancing every second, and 300 ms sessions.
+    let tumbling = op.add_query(Box::new(TumblingWindow::new(1_000))).unwrap();
+    let sliding = op.add_query(Box::new(SlidingWindow::new(5_000, 1_000))).unwrap();
+    let sessions = op.add_query(Box::new(SessionWindow::new(300))).unwrap();
+
+    // Feed a synthetic sensor stream: one reading every 10 ms, with a
+    // burst pause after every 200 readings so sessions split.
+    let mut out: Vec<WindowResult<f64>> = Vec::new();
+    let mut ts: Time = 0;
+    for i in 0..5_000i64 {
+        op.process_tuple(ts, i % 100, &mut out);
+        ts += if i % 200 == 199 { 400 } else { 10 };
+    }
+
+    let name = |q: QueryId| {
+        if q == tumbling {
+            "tumbling 1s"
+        } else if q == sliding {
+            "sliding 5s/1s"
+        } else if q == sessions {
+            "session 300ms"
+        } else {
+            "?"
+        }
+    };
+
+    println!("emitted {} window aggregates\n", out.len());
+    println!("{:<14} {:>10} {:>10} {:>10}", "query", "start", "end", "avg");
+    for w in out.iter().take(8).chain(out.iter().rev().take(4).rev()) {
+        println!(
+            "{:<14} {:>10} {:>10} {:>10.2}",
+            name(w.query),
+            w.range.start,
+            w.range.end,
+            w.value
+        );
+    }
+
+    let stats = op.stats();
+    println!(
+        "\noperator stats: {} tuples, {} slices created, {} windows emitted",
+        stats.tuples, stats.slices_created, stats.windows_emitted
+    );
+    println!(
+        "tuples stored in slices: {} (context-free in-order workloads keep none)",
+        op.store().keeps_tuples()
+    );
+}

@@ -1,0 +1,260 @@
+//! Property-based tests: general stream slicing against brute-force
+//! oracles, under randomized streams, window parameters, and disorder.
+
+use general_stream_slicing::prelude::*;
+use gss_core::testsupport::Concat;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Sorts tuples by event time (stable) — the canonical stream content.
+fn sorted(tuples: &[(Time, i64)]) -> Vec<(Time, i64)> {
+    let mut s: Vec<(usize, (Time, i64))> = tuples.iter().copied().enumerate().collect();
+    s.sort_by_key(|(i, (t, _))| (*t, *i));
+    s.into_iter().map(|(_, t)| t).collect()
+}
+
+fn oracle_sum(tuples: &[(Time, i64)], range: Range) -> Option<i64> {
+    let vs: Vec<i64> =
+        tuples.iter().filter(|(t, _)| range.contains(*t)).map(|(_, v)| *v).collect();
+    if vs.is_empty() {
+        None
+    } else {
+        Some(vs.iter().sum())
+    }
+}
+
+/// Final value per (query, window) after applying updates in order.
+fn finals(results: &[WindowResult<i64>]) -> BTreeMap<(QueryId, Time, Time), i64> {
+    let mut m = BTreeMap::new();
+    for r in results {
+        m.insert((r.query, r.range.start, r.range.end), r.value);
+    }
+    m
+}
+
+/// Bounded-disorder arrival order: every 3rd index is swapped forward by a
+/// data-dependent displacement.
+fn disorder(tuples: &[(Time, i64)], strength: usize) -> Vec<(Time, i64)> {
+    let mut arrivals = tuples.to_vec();
+    if strength == 0 || arrivals.len() < 2 {
+        return arrivals;
+    }
+    for i in (0..arrivals.len()).step_by(3) {
+        let j = (i + 1 + (i * 7) % strength).min(arrivals.len() - 1);
+        arrivals.swap(i, j);
+    }
+    arrivals
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// In-order sliding windows match the oracle for every emitted window,
+    /// and every nonempty complete window is emitted.
+    #[test]
+    fn in_order_sliding_matches_oracle(
+        raw in prop::collection::vec((0i64..2_000, -100i64..100), 1..200),
+        length in 1i64..60,
+        slide in 1i64..60,
+    ) {
+        let tuples = sorted(&raw);
+        let mut op = WindowOperator::new(Sum, OperatorConfig::in_order());
+        op.add_query(Box::new(SlidingWindow::new(length, slide))).unwrap();
+        let mut out = Vec::new();
+        for &(ts, v) in &tuples {
+            op.process_tuple(ts, v, &mut out);
+        }
+        let max_ts = tuples.last().unwrap().0;
+        for r in &out {
+            prop_assert_eq!(Some(r.value), oracle_sum(&tuples, r.range),
+                "window {} vs oracle", r.range);
+        }
+        // Completeness: every nonempty window fully before max_ts fires.
+        let mut k = (tuples[0].0 - length).div_euclid(slide);
+        loop {
+            let w = Range::new(k * slide, k * slide + length);
+            if w.end > max_ts { break; }
+            if let Some(expected) = oracle_sum(&tuples, w) {
+                let got = out.iter().find(|r| r.range == w);
+                prop_assert!(got.is_some(), "window {} never emitted", w);
+                prop_assert_eq!(got.unwrap().value, expected);
+            }
+            k += 1;
+        }
+    }
+
+    /// Out-of-order streams converge to the oracle after the flush
+    /// watermark, for any bounded disorder.
+    #[test]
+    fn ooo_sliding_converges_to_oracle(
+        raw in prop::collection::vec((0i64..2_000, -100i64..100), 1..200),
+        length in 1i64..60,
+        slide in 1i64..60,
+        strength in 0usize..40,
+    ) {
+        let tuples = sorted(&raw);
+        let arrivals = disorder(&tuples, strength);
+        let mut op = WindowOperator::new(Sum, OperatorConfig::out_of_order(1_000_000));
+        op.add_query(Box::new(SlidingWindow::new(length, slide))).unwrap();
+        let mut out = Vec::new();
+        for &(ts, v) in &arrivals {
+            op.process_tuple(ts, v, &mut out);
+        }
+        op.process_watermark(i64::MAX - 1, &mut out);
+        for ((_, s, e), v) in finals(&out) {
+            prop_assert_eq!(Some(v), oracle_sum(&tuples, Range::new(s, e)),
+                "window [{}, {})", s, e);
+        }
+    }
+
+    /// Eager and lazy stores agree on every workload.
+    #[test]
+    fn eager_equals_lazy(
+        raw in prop::collection::vec((0i64..1_000, -50i64..50), 1..150),
+        length in 1i64..40,
+        slide in 1i64..40,
+        strength in 0usize..20,
+    ) {
+        let arrivals = disorder(&sorted(&raw), strength);
+        let mut all = Vec::new();
+        for policy in [StorePolicy::Lazy, StorePolicy::Eager] {
+            let mut op = WindowOperator::new(
+                Sum, OperatorConfig::out_of_order(1_000_000).with_policy(policy));
+            op.add_query(Box::new(SlidingWindow::new(length, slide))).unwrap();
+            let mut out = Vec::new();
+            for &(ts, v) in &arrivals {
+                op.process_tuple(ts, v, &mut out);
+            }
+            op.process_watermark(i64::MAX - 1, &mut out);
+            all.push(finals(&out));
+        }
+        prop_assert_eq!(&all[0], &all[1]);
+    }
+
+    /// Non-commutative aggregation over an out-of-order stream produces
+    /// values in exact event-time order (the tuple-storage path).
+    #[test]
+    fn non_commutative_preserves_event_time_order(
+        raw in prop::collection::vec((0i64..500, 0i64..1000), 1..100),
+        length in 5i64..100,
+        strength in 0usize..30,
+    ) {
+        let tuples = sorted(&raw);
+        let arrivals = disorder(&tuples, strength);
+        // Equal timestamps aggregate in *arrival* order; the oracle must
+        // use the same tie-break.
+        let canon = sorted(&arrivals);
+        let mut op = WindowOperator::new(Concat, OperatorConfig::out_of_order(1_000_000));
+        op.add_query(Box::new(TumblingWindow::new(length))).unwrap();
+        let mut out = Vec::new();
+        for &(ts, v) in &arrivals {
+            op.process_tuple(ts, v, &mut out);
+        }
+        op.process_watermark(i64::MAX - 1, &mut out);
+        let mut last_per_window: BTreeMap<Time, Vec<i64>> = BTreeMap::new();
+        for r in out {
+            last_per_window.insert(r.range.start, r.value);
+        }
+        for (start, got) in last_per_window {
+            let range = Range::new(start, start + length);
+            let expect: Vec<i64> = canon
+                .iter()
+                .filter(|(t, _)| range.contains(*t))
+                .map(|(_, v)| *v)
+                .collect();
+            prop_assert_eq!(got, expect, "window {}", range);
+        }
+    }
+
+    /// Count tumbling windows partition the event-time-sorted stream into
+    /// consecutive chunks, regardless of arrival order (Figure 6 shift).
+    #[test]
+    fn count_windows_chunk_sorted_stream(
+        raw in prop::collection::vec((0i64..2_000, -100i64..100), 1..200),
+        window in 1u64..30,
+        strength in 0usize..30,
+    ) {
+        let tuples = sorted(&raw);
+        let arrivals = disorder(&tuples, strength);
+        // Count positions tie-break by arrival order, like the operator.
+        let canon = sorted(&arrivals);
+        let mut op = WindowOperator::new(Sum, OperatorConfig::out_of_order(1_000_000));
+        op.add_query(Box::new(CountTumblingWindow::new(window))).unwrap();
+        let mut out = Vec::new();
+        for &(ts, v) in &arrivals {
+            op.process_tuple(ts, v, &mut out);
+        }
+        op.process_watermark(i64::MAX - 1, &mut out);
+        for ((_, c1, c2), v) in finals(&out) {
+            let expect: i64 = canon[c1 as usize..c2 as usize].iter().map(|(_, v)| v).sum();
+            prop_assert_eq!(v, expect, "count window [{}, {})", c1, c2);
+        }
+        // Completeness: every full chunk fires.
+        let full = tuples.len() as u64 / window;
+        let emitted = out.iter().filter(|r| !r.is_update)
+            .map(|r| r.range.start).collect::<std::collections::BTreeSet<_>>();
+        prop_assert_eq!(emitted.len() as u64, full);
+    }
+
+    /// Sessions computed by slicing equal sessions computed by a direct
+    /// scan over the sorted stream.
+    #[test]
+    fn sessions_match_oracle(
+        raw in prop::collection::vec((0i64..3_000, 1i64..100), 1..150),
+        gap in 1i64..100,
+        strength in 0usize..25,
+    ) {
+        let tuples = sorted(&raw);
+        let arrivals = disorder(&tuples, strength);
+        let mut op = WindowOperator::new(Sum, OperatorConfig::out_of_order(1_000_000));
+        op.add_query(Box::new(SessionWindow::new(gap).with_retention(1_000_000))).unwrap();
+        let mut out = Vec::new();
+        for &(ts, v) in &arrivals {
+            op.process_tuple(ts, v, &mut out);
+        }
+        op.process_watermark(i64::MAX - 1, &mut out);
+        // Oracle sessions over the sorted tuples.
+        let mut oracle: Vec<(Time, Time, i64)> = Vec::new(); // (start, end, sum)
+        for &(ts, v) in &tuples {
+            match oracle.last_mut() {
+                Some((_, end, sum)) if ts < *end => {
+                    *end = (*end).max(ts + gap);
+                    *sum += v;
+                }
+                _ => oracle.push((ts, ts + gap, v)),
+            }
+        }
+        let got = finals(&out);
+        prop_assert_eq!(got.len(), oracle.len(), "session count");
+        for (start, end, sum) in oracle {
+            prop_assert_eq!(got.get(&(0, start, end)), Some(&sum),
+                "session [{}, {})", start, end);
+        }
+        // Sessions never require tuple storage on their own.
+        prop_assert!(!op.store().keeps_tuples());
+    }
+
+    /// The slicing invariant: slice edges are distinct, ordered, and the
+    /// number of live slices stays bounded by the query horizon.
+    #[test]
+    fn slices_are_ordered_and_minimal(
+        raw in prop::collection::vec((0i64..5_000, -10i64..10), 10..300),
+        length in 1i64..50,
+        slide in 1i64..50,
+    ) {
+        let tuples = sorted(&raw);
+        let mut op = WindowOperator::new(Sum, OperatorConfig::in_order());
+        op.add_query(Box::new(SlidingWindow::new(length, slide))).unwrap();
+        let mut out = Vec::new();
+        for &(ts, v) in &tuples {
+            op.process_tuple(ts, v, &mut out);
+        }
+        let slices: Vec<Range> = op.store().slices().map(|s| s.range()).collect();
+        for w in slices.windows(2) {
+            prop_assert!(w[0].end <= w[1].start, "slices out of order: {} then {}", w[0], w[1]);
+        }
+        // Live slices bounded: window extent / slide + a small constant.
+        let bound = (length / slide + 4) as usize * 2 + 4;
+        prop_assert!(slices.len() <= bound, "{} slices > bound {}", slices.len(), bound);
+    }
+}
