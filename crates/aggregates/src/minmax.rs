@@ -104,9 +104,7 @@ impl AggregateFunction for MinCount {
         match a.value.cmp(&b.value) {
             std::cmp::Ordering::Less => a,
             std::cmp::Ordering::Greater => *b,
-            std::cmp::Ordering::Equal => {
-                ExtremumCount { value: a.value, count: a.count + b.count }
-            }
+            std::cmp::Ordering::Equal => ExtremumCount { value: a.value, count: a.count + b.count },
         }
     }
     fn lower(&self, p: &ExtremumCount) -> (i64, u64) {
@@ -142,9 +140,7 @@ impl AggregateFunction for MaxCount {
         match a.value.cmp(&b.value) {
             std::cmp::Ordering::Greater => a,
             std::cmp::Ordering::Less => *b,
-            std::cmp::Ordering::Equal => {
-                ExtremumCount { value: a.value, count: a.count + b.count }
-            }
+            std::cmp::Ordering::Equal => ExtremumCount { value: a.value, count: a.count + b.count },
         }
     }
     fn lower(&self, p: &ExtremumCount) -> (i64, u64) {

@@ -94,9 +94,8 @@ impl<A: AggregateFunction> AggregateTree<A> {
             0
         };
         let mut windows: Vec<(gss_core::QueryId, Measure, Range)> = Vec::new();
-        self.queries.trigger(wm, count_wm, self.first_ts, self.max_ts, |id, m, r| {
-            windows.push((id, m, r))
-        });
+        self.queries
+            .trigger(wm, count_wm, self.first_ts, self.max_ts, |id, m, r| windows.push((id, m, r)));
         for (id, m, r) in windows {
             let p = match m {
                 Measure::Time => self.aggregate_time(r),

@@ -39,11 +39,7 @@ struct Bucket<A: AggregateFunction> {
 
 impl<A: AggregateFunction> Bucket<A> {
     fn new(end: Time, mode: BucketMode) -> Self {
-        Bucket {
-            end,
-            partial: None,
-            tuples: matches!(mode, BucketMode::Tuple).then(Vec::new),
-        }
+        Bucket { end, partial: None, tuples: matches!(mode, BucketMode::Tuple).then(Vec::new) }
     }
 
     fn add(&mut self, f: &A, ts: Time, value: &A::Input, in_order: bool) {
@@ -60,6 +56,21 @@ impl<A: AggregateFunction> Bucket<A> {
         self.partial = Some(match self.partial.take() {
             None => lifted,
             Some(p) => f.combine(p, &lifted),
+        });
+    }
+
+    /// Adds a run of in-order tuples whose pre-folded partial is
+    /// `run_partial`: one ⊕ into the bucket partial and one bulk tuple
+    /// append, replacing `run.len()` individual `add` calls. The caller
+    /// guarantees the run is in order (every timestamp at or after the
+    /// bucket's stored tuples).
+    fn add_run(&mut self, f: &A, run: &[(Time, A::Input)], run_partial: &A::Partial) {
+        if let Some(tuples) = &mut self.tuples {
+            tuples.extend_from_slice(run);
+        }
+        self.partial = Some(match self.partial.take() {
+            None => run_partial.clone(),
+            Some(p) => f.combine(p, run_partial),
         });
     }
 }
@@ -157,9 +168,7 @@ impl<A: AggregateFunction> Buckets<A> {
                         let mut partial: Option<A::Partial> = None;
                         let mut tuples: Vec<(Time, A::Input)> = Vec::new();
                         let mut sources = absorbed;
-                        if !sources.contains(&range.start)
-                            && per_query.contains_key(&range.start)
-                        {
+                        if !sources.contains(&range.start) && per_query.contains_key(&range.start) {
                             sources.push(range.start);
                             sources.sort_unstable();
                         }
@@ -195,9 +204,8 @@ impl<A: AggregateFunction> Buckets<A> {
         // of stream order.
         let count_wm = self.total_count;
         let mut windows: Vec<(QueryId, Measure, Range)> = Vec::new();
-        self.queries.trigger(wm, count_wm, self.first_ts, self.max_ts, |id, m, r| {
-            windows.push((id, m, r))
-        });
+        self.queries
+            .trigger(wm, count_wm, self.first_ts, self.max_ts, |id, m, r| windows.push((id, m, r)));
         for (id, m, r) in windows {
             let key = match m {
                 Measure::Time => r.start,
@@ -229,6 +237,47 @@ impl<A: AggregateFunction> Buckets<A> {
         }
     }
 
+    /// Length of the longest prefix of `batch[start..]` whose tuples all
+    /// land in the **same** set of buckets (no window edge crossed) and
+    /// complete no window, so the whole run costs one bucket-map walk and
+    /// one ⊕ per bucket. Count-measure queries advance the count axis per
+    /// tuple and are handled per tuple.
+    fn run_len(&self, batch: &[(Time, A::Input)], start: usize) -> usize {
+        if self.queries.has_context_aware() || self.queries.has_count_measure() {
+            return 0;
+        }
+        let first = batch[start].0;
+        if first < self.max_ts {
+            return 0;
+        }
+        // The containing-window set is constant up to the next window
+        // start or end edge.
+        let mut bound = match self.queries.next_time_edge_after(first) {
+            Some(e) => e,
+            None => return 0,
+        };
+        if self.order.is_in_order() {
+            if self.queries.last_trigger_time == TIME_MIN {
+                return 0;
+            }
+            match self.queries.next_time_end_after(self.queries.last_trigger_time) {
+                Some(e) => bound = bound.min(e),
+                None => return 0,
+            }
+        }
+        let mut prev = first;
+        let mut n = 0;
+        while n < batch.len() - start {
+            let ts = batch[start + n].0;
+            if ts < prev || ts >= bound {
+                break;
+            }
+            prev = ts;
+            n += 1;
+        }
+        n
+    }
+
     fn evict(&mut self, wm: Time) {
         let lateness = if self.order.is_in_order() { 0 } else { self.allowed_lateness };
         let horizon = wm.saturating_sub(lateness);
@@ -257,10 +306,7 @@ impl<A: AggregateFunction> WindowAggregator<A> for Buckets<A> {
         self.queries.notify(ts, &mut scratch);
         self.scratch = scratch;
         let in_order = ts >= self.max_ts;
-        if !in_order
-            && self.watermark != TIME_MIN
-            && ts < self.watermark - self.allowed_lateness
-        {
+        if !in_order && self.watermark != TIME_MIN && ts < self.watermark - self.allowed_lateness {
             return; // dropped: too late
         }
         self.assign(ts, &value, in_order);
@@ -273,6 +319,61 @@ impl<A: AggregateFunction> WindowAggregator<A> for Buckets<A> {
             }
         } else if self.watermark != TIME_MIN && ts <= self.watermark {
             self.emit_updates(ts, out);
+        }
+    }
+
+    fn process_batch(
+        &mut self,
+        batch: &[(Time, A::Input)],
+        out: &mut Vec<WindowResult<A::Output>>,
+    ) {
+        let mut i = 0;
+        while i < batch.len() {
+            let n = self.run_len(batch, i);
+            if n <= 1 {
+                let (ts, value) = &batch[i];
+                self.process(*ts, value.clone(), out);
+                i += 1;
+                continue;
+            }
+            let run = &batch[i..i + n];
+            let first = run[0].0;
+            let last = run[n - 1].0;
+            self.first_ts =
+                if self.first_ts == TIME_MIN { first } else { self.first_ts.min(first) };
+            // Fold the run once, then pay one ⊕ per containing bucket
+            // instead of one per tuple per bucket.
+            let f = &self.f;
+            let mut it = run.iter();
+            let mut p = f.lift(&it.next().expect("run is non-empty").1);
+            for (_, v) in it {
+                p = f.combine(p, &f.lift(v));
+            }
+            let mode = self.mode;
+            let buckets = &mut self.buckets;
+            let mut ranges: Vec<Range> = Vec::new();
+            for q in self.queries.iter() {
+                ranges.clear();
+                q.window.windows_containing(first, &mut |r| ranges.push(r));
+                let per_query = buckets.get_mut(&q.id).expect("bucket map per query");
+                for &range in &ranges {
+                    let bucket = per_query
+                        .entry(range.start)
+                        .or_insert_with(|| Bucket::new(range.end, mode));
+                    bucket.end = bucket.end.max(range.end);
+                    bucket.add_run(f, run, &p);
+                }
+            }
+            self.total_count += n as Count;
+            self.max_ts = last;
+            if self.order.is_in_order() {
+                // No window completed inside the run (run_len guarantees
+                // that): one sweep replaces the per-tuple sweeps, emitting
+                // nothing and advancing bookkeeping and eviction.
+                self.watermark = last;
+                self.emit(last, out);
+            }
+            i += n;
         }
     }
 
@@ -290,7 +391,11 @@ impl<A: AggregateFunction> WindowAggregator<A> for Buckets<A> {
                 .buckets
                 .values()
                 .flat_map(|per| per.values())
-                .map(|b| std::mem::size_of::<Bucket<A>>() + 2 * std::mem::size_of::<Time>() + b.heap_bytes())
+                .map(|b| {
+                    std::mem::size_of::<Bucket<A>>()
+                        + 2 * std::mem::size_of::<Time>()
+                        + b.heap_bytes()
+                })
                 .sum::<usize>()
     }
 

@@ -22,7 +22,12 @@ impl Default for QuerySet {
 
 impl QuerySet {
     pub fn new() -> Self {
-        QuerySet { queries: Vec::new(), next_id: 0, last_trigger_time: TIME_MIN, last_trigger_count: 0 }
+        QuerySet {
+            queries: Vec::new(),
+            next_id: 0,
+            last_trigger_time: TIME_MIN,
+            last_trigger_count: 0,
+        }
     }
 
     pub fn add(&mut self, window: Box<dyn WindowFunction>) -> QueryId {
@@ -76,6 +81,48 @@ impl QuerySet {
             .map(|q| q.window.max_extent())
             .max()
             .unwrap_or(0)
+    }
+
+    /// Earliest time at which a time-measure window can end strictly after
+    /// `t`. `None` when some query cannot tell (unknown window ends force
+    /// per-tuple sweeps); `TIME_MAX` when no time-measure query exists.
+    pub fn next_time_end_after(&self, t: Time) -> Option<Time> {
+        let mut next = gss_core::TIME_MAX;
+        for q in self.queries.iter().filter(|q| q.window.measure() == Measure::Time) {
+            match q.window.next_window_end(t) {
+                Some(e) => next = next.min(e),
+                None => return None,
+            }
+        }
+        Some(next)
+    }
+
+    /// Earliest count at which a count-measure window can end strictly
+    /// after count position `c`. Same conventions as
+    /// [`next_time_end_after`](QuerySet::next_time_end_after).
+    pub fn next_count_end_after(&self, c: Count) -> Option<Count> {
+        let mut next = Count::MAX;
+        for q in self.queries.iter().filter(|q| q.window.measure() == Measure::Count) {
+            match q.window.next_window_end(c as Time) {
+                Some(e) => next = next.min(e as Count),
+                None => return None,
+            }
+        }
+        Some(next)
+    }
+
+    /// Earliest window edge — start or end — strictly after `t` among
+    /// time-measure queries: the set of windows containing a timestamp is
+    /// constant on `[t, edge)`. `None` when some query cannot tell.
+    pub fn next_time_edge_after(&self, t: Time) -> Option<Time> {
+        let mut next = gss_core::TIME_MAX;
+        for q in self.queries.iter().filter(|q| q.window.measure() == Measure::Time) {
+            match q.window.next_edge(t) {
+                Some(e) => next = next.min(e),
+                None => return None,
+            }
+        }
+        Some(next)
     }
 
     /// Lets context-aware queries observe a tuple (edge changes are

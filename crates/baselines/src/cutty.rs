@@ -71,19 +71,11 @@ impl<A: AggregateFunction> Cutty<A> {
     }
 
     fn next_start_edge(&self, ts: Time) -> Time {
-        self.queries
-            .iter()
-            .filter_map(|q| q.window.next_start_edge(ts))
-            .min()
-            .unwrap_or(TIME_MAX)
+        self.queries.iter().filter_map(|q| q.window.next_start_edge(ts)).min().unwrap_or(TIME_MAX)
     }
 
     fn next_window_end(&self, ts: Time) -> Time {
-        self.queries
-            .iter()
-            .filter_map(|q| q.window.next_window_end(ts))
-            .min()
-            .unwrap_or(TIME_MAX)
+        self.queries.iter().filter_map(|q| q.window.next_window_end(ts)).min().unwrap_or(TIME_MAX)
     }
 
     /// Eager aggregation: `O(log s)` tree query plus the open slice.

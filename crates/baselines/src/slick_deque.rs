@@ -189,8 +189,7 @@ mod tests {
         }
         assert!(out.len() > 20);
         for r in &out {
-            let expect = values
-                [(r.range.start.max(0) as usize)..(r.range.end.min(200) as usize)]
+            let expect = values[(r.range.start.max(0) as usize)..(r.range.end.min(200) as usize)]
                 .iter()
                 .max()
                 .copied()

@@ -1,0 +1,47 @@
+//! Microbenchmark for the batched ingestion fast path: per-tuple
+//! `process` vs `process_batch` at growing batch sizes, over the fig8
+//! workload (concurrent tumbling windows, sum, in-order stream).
+//!
+//! Run: `cargo bench -p gss-bench --bench batch`
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use gss_aggregates::Sum;
+use gss_bench::{as_elements, build, concurrent_tumbling_queries, run, run_batched, Technique};
+use gss_core::{StreamOrder, Time};
+use gss_data::{FootballConfig, FootballGenerator};
+
+const TUPLES: usize = 200_000;
+const QUERIES: usize = 5;
+
+fn bench_batch(c: &mut Criterion) {
+    let mut gen = FootballGenerator::new(FootballConfig::default());
+    let tuples: Vec<(Time, i64)> = gen.take(TUPLES);
+    let elements = as_elements(&tuples);
+    let queries = concurrent_tumbling_queries(QUERIES);
+
+    for tech in [Technique::LazySlicing, Technique::EagerSlicing, Technique::TupleBuffer] {
+        let mut group = c.benchmark_group(format!("batch_ingestion/{}", tech.name()));
+        group.throughput(Throughput::Elements(TUPLES as u64));
+        group.sample_size(10);
+        group.bench_function("per_tuple", |b| {
+            b.iter_batched(
+                || build(tech, Sum, &queries, StreamOrder::InOrder, 0),
+                |mut agg| run(agg.as_mut(), &elements),
+                BatchSize::LargeInput,
+            )
+        });
+        for batch_size in [64usize, 512, 4096] {
+            group.bench_function(format!("batched_{batch_size}"), |b| {
+                b.iter_batched(
+                    || build(tech, Sum, &queries, StreamOrder::InOrder, 0),
+                    |mut agg| run_batched(agg.as_mut(), &elements, batch_size),
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

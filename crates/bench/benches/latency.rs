@@ -25,9 +25,7 @@ fn bench_latency(c: &mut Criterion) {
 
         let mut g = c.benchmark_group(format!("latency-sum-{n}"));
         let lazy = slice_store(Sum, StorePolicy::Lazy, n);
-        g.bench_function("lazy-slicing", |b| {
-            b.iter(|| Sum.lower(&lazy.query_time(full).unwrap()))
-        });
+        g.bench_function("lazy-slicing", |b| b.iter(|| Sum.lower(&lazy.query_time(full).unwrap())));
         let eager = slice_store(Sum, StorePolicy::Eager, n);
         g.bench_function("eager-slicing", |b| {
             b.iter(|| Sum.lower(&eager.query_time(full).unwrap()))
@@ -40,9 +38,7 @@ fn bench_latency(c: &mut Criterion) {
         for v in &tuples {
             tree.push(Some(Sum.lift(v)));
         }
-        g.bench_function("aggregate-tree", |b| {
-            b.iter(|| Sum.lower(&tree.query(0, n).unwrap()))
-        });
+        g.bench_function("aggregate-tree", |b| b.iter(|| Sum.lower(&tree.query(0, n).unwrap())));
         g.finish();
 
         let mut g = c.benchmark_group(format!("latency-median-{n}"));

@@ -14,20 +14,22 @@
 //! Run: `cargo run --release -p gss-bench --bin ablation`
 
 use gss_aggregates::{Median, MedianNoRle, Sum, SumNoInvert};
-use gss_data::{MachineConfig, MachineGenerator};
 use gss_bench::{as_elements, fmt_tput, run, truncate_elements, Output};
 use gss_core::operator::{OperatorConfig, WindowOperator};
-use gss_core::{
-    AggregateFunction, StorePolicy, StreamElement, StreamOrder,
-};
+use gss_core::{AggregateFunction, StorePolicy, StreamElement, StreamOrder};
 use gss_data::{make_out_of_order, with_watermarks, FootballConfig, FootballGenerator, OooConfig};
+use gss_data::{MachineConfig, MachineGenerator};
 use gss_windows::{CountTumblingWindow, SlidingWindow, TumblingWindow};
 
 fn scale() -> f64 {
     std::env::var("GSS_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
 }
 
-fn operator<A: AggregateFunction>(f: A, cfg: OperatorConfig, n_windows: usize) -> WindowOperator<A> {
+fn operator<A: AggregateFunction>(
+    f: A,
+    cfg: OperatorConfig,
+    n_windows: usize,
+) -> WindowOperator<A> {
     let mut op = WindowOperator::new(f, cfg);
     for i in 0..n_windows {
         op.add_query(Box::new(TumblingWindow::new(((i % 20) as i64 + 1) * 1_000))).unwrap();
@@ -45,10 +47,8 @@ fn main() {
     );
     let ooo: Vec<StreamElement<i64>> = with_watermarks(&arrivals, 500, 2_000);
 
-    let mut out = Output::new(
-        "ablation",
-        &["ablation", "variant", "tuples_per_sec", "memory_bytes"],
-    );
+    let mut out =
+        Output::new("ablation", &["ablation", "variant", "tuples_per_sec", "memory_bytes"]);
     out.print_header();
     let mut emit = |ablation: &str, variant: &str, r: gss_bench::RunReport| {
         out.row(&[
@@ -57,7 +57,11 @@ fn main() {
             format!("{:.0}", r.throughput()),
             r.memory_bytes.to_string(),
         ]);
-        eprintln!("  {ablation} / {variant}: {} t/s, {} bytes", fmt_tput(r.throughput()), r.memory_bytes);
+        eprintln!(
+            "  {ablation} / {variant}: {} t/s, {} bytes",
+            fmt_tput(r.throughput()),
+            r.memory_bytes
+        );
     };
 
     // 1. Adaptive tuple storage vs. always-store (in-order CF workload
@@ -127,9 +131,8 @@ fn main() {
     //    (paper Section 5.4.1's design choice), on the low-cardinality
     //    machine data where RLE shines.
     {
-        let m_tuples =
-            MachineGenerator::new(MachineConfig { rate_hz: 2000, ..Default::default() })
-                .take(base.min(100_000));
+        let m_tuples = MachineGenerator::new(MachineConfig { rate_hz: 2000, ..Default::default() })
+            .take(base.min(100_000));
         let m_elems = as_elements(&m_tuples);
         let cfg = OperatorConfig::default();
         let mut rle = WindowOperator::new(Median, cfg);

@@ -1,0 +1,164 @@
+//! Batched ingestion: throughput of `process_batch` vs per-tuple
+//! `process` at growing batch sizes, over the Figure 8 workload
+//! (concurrent tumbling windows, sum aggregation, in-order football
+//! stream).
+//!
+//! Expected shape: batching amortizes the per-tuple slice lookup, edge
+//! checks, and trigger probes into one pass per run of in-order records,
+//! so throughput climbs with the batch size and saturates once the
+//! per-batch overhead is negligible (batch 512+). Batch size 1 matches
+//! the per-tuple path.
+//!
+//! Writes `target/experiments/batch.csv` and a machine-readable summary
+//! to `BENCH_batch.json` at the repo root.
+//!
+//! Run: `cargo run --release -p gss-bench --bin batch`
+
+use std::io::Write as _;
+
+use gss_aggregates::Sum;
+use gss_bench::{
+    as_elements, build, concurrent_tumbling_queries, fmt_tput, run, run_batched, Output, Technique,
+};
+use gss_core::StreamOrder;
+use gss_data::{FootballConfig, FootballGenerator};
+
+fn scale() -> f64 {
+    std::env::var("GSS_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+}
+
+struct Row {
+    technique: &'static str,
+    windows: usize,
+    mode: String,
+    batch_size: usize,
+    tuples: u64,
+    tuples_per_sec: f64,
+    speedup_vs_per_tuple: f64,
+}
+
+fn main() {
+    let base = (1_000_000.0 * scale()) as usize;
+    let mut gen = FootballGenerator::new(FootballConfig::default());
+    let tuples = gen.take(base);
+    let elements = as_elements(&tuples);
+
+    let techniques = [
+        Technique::LazySlicing,
+        Technique::EagerSlicing,
+        Technique::TupleBuffer,
+        Technique::Buckets,
+    ];
+    let window_counts = [1usize, 20];
+    let batch_sizes = [1usize, 64, 512, 4096];
+
+    let mut out = Output::new(
+        "batch",
+        &["technique", "concurrent_windows", "mode", "tuples_per_sec", "speedup"],
+    );
+    out.print_header();
+    let mut rows: Vec<Row> = Vec::new();
+    for tech in techniques {
+        for &n in &window_counts {
+            // Same caps as fig8 so O(windows)-per-tuple baselines finish.
+            let cap = match tech {
+                Technique::Buckets => (base / 5).min(8_000_000 / n).max(20_000),
+                Technique::TupleBuffer => (base / 5).min(4_000_000 / n).max(10_000),
+                _ => base,
+            };
+            let elems = gss_bench::truncate_elements(&elements, cap);
+            let queries = concurrent_tumbling_queries(n);
+
+            let mut agg = build(tech, Sum, &queries, StreamOrder::InOrder, 0);
+            let per_tuple = run(agg.as_mut(), &elems);
+            let base_tput = per_tuple.throughput();
+            out.row(&[
+                tech.name().to_string(),
+                n.to_string(),
+                "per_tuple".to_string(),
+                format!("{base_tput:.0}"),
+                "1.00".to_string(),
+            ]);
+            rows.push(Row {
+                technique: tech.name(),
+                windows: n,
+                mode: "per_tuple".to_string(),
+                batch_size: 0,
+                tuples: per_tuple.tuples,
+                tuples_per_sec: base_tput,
+                speedup_vs_per_tuple: 1.0,
+            });
+
+            for &b in &batch_sizes {
+                let mut agg = build(tech, Sum, &queries, StreamOrder::InOrder, 0);
+                let report = run_batched(agg.as_mut(), &elems, b);
+                assert_eq!(
+                    report.results,
+                    per_tuple.results,
+                    "{} @ {n} windows batch {b}: result count diverged",
+                    tech.name()
+                );
+                let tput = report.throughput();
+                let speedup = tput / base_tput.max(1e-9);
+                out.row(&[
+                    tech.name().to_string(),
+                    n.to_string(),
+                    format!("batch_{b}"),
+                    format!("{tput:.0}"),
+                    format!("{speedup:.2}"),
+                ]);
+                eprintln!(
+                    "  {} @ {} windows, batch {}: {} tuples/s ({:.2}x per-tuple)",
+                    tech.name(),
+                    n,
+                    b,
+                    fmt_tput(tput),
+                    speedup
+                );
+                rows.push(Row {
+                    technique: tech.name(),
+                    windows: n,
+                    mode: format!("batch_{b}"),
+                    batch_size: b,
+                    tuples: report.tuples,
+                    tuples_per_sec: tput,
+                    speedup_vs_per_tuple: speedup,
+                });
+            }
+        }
+    }
+    out.finish();
+    write_json(&rows);
+}
+
+/// Writes `BENCH_batch.json` at the repo root (no serde in the tree; the
+/// schema is flat, so hand-rolled JSON is fine).
+fn write_json(rows: &[Row]) {
+    let mut f = std::fs::File::create("BENCH_batch.json").expect("create BENCH_batch.json");
+    writeln!(f, "{{").unwrap();
+    writeln!(f, "  \"workload\": \"fig8-style tumbling sum over football stream (in-order)\",")
+        .unwrap();
+    writeln!(f, "  \"batch_sizes\": [1, 64, 512, 4096],").unwrap();
+    writeln!(f, "  \"results\": [").unwrap();
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        writeln!(
+            f,
+            "    {{\"technique\": \"{}\", \"concurrent_windows\": {}, \"mode\": \"{}\", \
+             \"batch_size\": {}, \"tuples\": {}, \"tuples_per_sec\": {:.0}, \
+             \"speedup_vs_per_tuple\": {:.3}}}{}",
+            r.technique,
+            r.windows,
+            r.mode,
+            r.batch_size,
+            r.tuples,
+            r.tuples_per_sec,
+            r.speedup_vs_per_tuple,
+            comma
+        )
+        .unwrap();
+    }
+    writeln!(f, "  ]").unwrap();
+    writeln!(f, "}}").unwrap();
+    eprintln!("wrote BENCH_batch.json");
+}

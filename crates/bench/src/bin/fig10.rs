@@ -39,18 +39,23 @@ fn measure(tech: Technique, count_based: bool, n_slices: usize, n_tuples: usize)
 fn main() {
     let techniques = |count_based: bool| {
         if count_based {
-            vec![Technique::LazySlicing, Technique::TupleBuckets, Technique::TupleBuffer,
-                 Technique::AggregateTree]
+            vec![
+                Technique::LazySlicing,
+                Technique::TupleBuckets,
+                Technique::TupleBuffer,
+                Technique::AggregateTree,
+            ]
         } else {
-            vec![Technique::LazySlicing, Technique::Buckets, Technique::TupleBuffer,
-                 Technique::AggregateTree]
+            vec![
+                Technique::LazySlicing,
+                Technique::Buckets,
+                Technique::TupleBuffer,
+                Technique::AggregateTree,
+            ]
         }
     };
 
-    let mut out = Output::new(
-        "fig10",
-        &["plot", "technique", "slices", "tuples", "bytes"],
-    );
+    let mut out = Output::new("fig10", &["plot", "technique", "slices", "tuples", "bytes"]);
     out.print_header();
 
     for (plot, count_based, vary_slices) in

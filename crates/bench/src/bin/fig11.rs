@@ -87,12 +87,7 @@ fn bench_function<A: AggregateFunction<Input = i64> + Copy>(
             ("Tuple Buffer", t_buffer),
             ("Aggregate Tree", t_tree),
         ] {
-            out.row(&[
-                label.to_string(),
-                tech.to_string(),
-                n.to_string(),
-                format!("{ns:.0}"),
-            ]);
+            out.row(&[label.to_string(), tech.to_string(), n.to_string(), format!("{ns:.0}")]);
         }
     }
 }

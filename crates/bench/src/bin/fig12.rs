@@ -37,10 +37,7 @@ fn main() {
     let mut queries = concurrent_tumbling_queries(20);
     queries.push(QuerySpec::Session(1_000));
 
-    let mut out = Output::new(
-        "fig12",
-        &["plot", "technique", "x", "tuples_per_sec"],
-    );
+    let mut out = Output::new("fig12", &["plot", "technique", "x", "tuples_per_sec"]);
     out.print_header();
 
     // (a) fraction sweep, delay fixed at 0-2 s.

@@ -15,8 +15,8 @@
 use std::time::Instant;
 
 use gss_aggregates::{
-    ArgMax, ArgMin, Avg, CountAgg, GeometricMean, Max, MaxCount, Median, Min, MinCount,
-    Percentile, PopulationStdDev, SampleStdDev, Sum, SumNoInvert, M4,
+    ArgMax, ArgMin, Avg, CountAgg, GeometricMean, Max, MaxCount, Median, Min, MinCount, Percentile,
+    PopulationStdDev, SampleStdDev, Sum, SumNoInvert, M4,
 };
 use gss_bench::Output;
 use gss_core::operator::{OperatorConfig, WindowOperator};

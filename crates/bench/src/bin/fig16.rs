@@ -37,9 +37,14 @@ fn main() {
         // Time measure: n tumbling queries, lengths 1-20 s.
         let time_queries: Vec<QuerySpec> =
             (0..n).map(|i| QuerySpec::Tumbling(((i % 20) as i64 + 1) * 1_000)).collect();
-        let mut agg = build(Technique::LazySlicing, Sum, &time_queries, StreamOrder::OutOfOrder, 2_000);
+        let mut agg =
+            build(Technique::LazySlicing, Sum, &time_queries, StreamOrder::OutOfOrder, 2_000);
         let report = run(agg.as_mut(), &elements);
-        out.row(&["slicing time-based".into(), n.to_string(), format!("{:.0}", report.throughput())]);
+        out.row(&[
+            "slicing time-based".into(),
+            n.to_string(),
+            format!("{:.0}", report.throughput()),
+        ]);
         eprintln!("  time {n}: {}", fmt_tput(report.throughput()));
 
         // Count measure: n count-tumbling queries, 2k-40k tuples (the 1-20 s

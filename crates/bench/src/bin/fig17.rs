@@ -80,8 +80,7 @@ fn main() {
             .enumerate()
             .map(|(i, &(ts, v))| (ts, ((i % 64) as u64, (ts, v))))
             .collect();
-        let elements: Vec<StreamElement<(u64, (Time, i64))>> =
-            with_watermarks(&keyed, 500, 2_000);
+        let elements: Vec<StreamElement<(u64, (Time, i64))>> = with_watermarks(&keyed, 500, 2_000);
         let factory = make_factory(technique);
 
         for p in [1usize, 2, 4, 8, 16] {

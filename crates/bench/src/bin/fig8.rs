@@ -12,7 +12,9 @@
 //! Run: `cargo run --release -p gss-bench --bin fig8`
 
 use gss_aggregates::Sum;
-use gss_bench::{as_elements, build, concurrent_tumbling_queries, fmt_tput, run, Output, Technique};
+use gss_bench::{
+    as_elements, build, concurrent_tumbling_queries, fmt_tput, run, Output, Technique,
+};
 use gss_core::StreamOrder;
 use gss_data::{FootballConfig, FootballGenerator};
 

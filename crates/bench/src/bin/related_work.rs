@@ -33,12 +33,9 @@ fn main() {
     out.print_header();
 
     // SUM over one sliding window.
-    for tech in [
-        Technique::LazySlicing,
-        Technique::EagerSlicing,
-        Technique::Pairs,
-        Technique::Cutty,
-    ] {
+    for tech in
+        [Technique::LazySlicing, Technique::EagerSlicing, Technique::Pairs, Technique::Cutty]
+    {
         let mut agg = build(tech, Sum, &query, StreamOrder::InOrder, 0);
         let r = run(agg.as_mut(), &elements);
         out.row(&["sum".into(), tech.name().into(), format!("{:.0}", r.throughput())]);

@@ -38,12 +38,7 @@ fn main() {
     let s = SLICES;
     let rows: Vec<(&str, Technique, bool, usize)> = vec![
         ("1. Tuple Buffer", Technique::TupleBuffer, false, t * SIZE_TUPLE),
-        (
-            "2. Aggregate Tree",
-            Technique::AggregateTree,
-            false,
-            t * SIZE_TUPLE + (t - 1) * SIZE_AGG,
-        ),
+        ("2. Aggregate Tree", Technique::AggregateTree, false, t * SIZE_TUPLE + (t - 1) * SIZE_AGG),
         ("3. Agg. Buckets", Technique::Buckets, false, s * SIZE_AGG + s * SIZE_BUCKET),
         (
             "4. Tuple Buckets",
@@ -72,10 +67,8 @@ fn main() {
         ),
     ];
 
-    let mut out = Output::new(
-        "table1",
-        &["row", "measured_bytes", "formula_bytes", "measured_over_formula"],
-    );
+    let mut out =
+        Output::new("table1", &["row", "measured_bytes", "formula_bytes", "measured_over_formula"]);
     out.print_header();
     for (name, tech, count_based, formula) in rows {
         let measured = measure(tech, count_based);

@@ -97,12 +97,10 @@ pub fn build<A: AggregateFunction>(
 ) -> Box<dyn WindowAggregator<A>> {
     match tech {
         Technique::LazySlicing | Technique::EagerSlicing => {
-            let policy = if tech == Technique::LazySlicing {
-                StorePolicy::Lazy
-            } else {
-                StorePolicy::Eager
-            };
-            let cfg = OperatorConfig { order, policy, allowed_lateness: lateness, ..Default::default() };
+            let policy =
+                if tech == Technique::LazySlicing { StorePolicy::Lazy } else { StorePolicy::Eager };
+            let cfg =
+                OperatorConfig { order, policy, allowed_lateness: lateness, ..Default::default() };
             let mut op = WindowOperator::new(f, cfg);
             for q in queries {
                 op.add_query(q.build()).expect("query mix supported");
@@ -132,11 +130,8 @@ pub fn build<A: AggregateFunction>(
             Box::new(c)
         }
         Technique::Buckets | Technique::TupleBuckets => {
-            let mode = if tech == Technique::Buckets {
-                BucketMode::Aggregate
-            } else {
-                BucketMode::Tuple
-            };
+            let mode =
+                if tech == Technique::Buckets { BucketMode::Aggregate } else { BucketMode::Tuple };
             let mut b = Buckets::new(f, mode, order, lateness);
             for q in queries {
                 b.add_query(q.build());
@@ -196,6 +191,55 @@ pub fn run<A: AggregateFunction>(
         results += out.len() as u64;
         out.clear();
     }
+    let seconds = start.elapsed().as_secs_f64();
+    RunReport { tuples, results, seconds, memory_bytes: agg.memory_bytes() }
+}
+
+/// Drives the aggregator through the element stream in chunks of
+/// `batch_size` records via [`WindowAggregator::process_batch`] — the
+/// batched ingestion fast path. Watermarks flush the pending chunk first,
+/// so results are identical to [`run`]; only the per-record overhead
+/// changes. `batch_size == 1` degenerates to the per-tuple path.
+pub fn run_batched<A: AggregateFunction>(
+    agg: &mut dyn WindowAggregator<A>,
+    elements: &[StreamElement<A::Input>],
+    batch_size: usize,
+) -> RunReport {
+    let batch_size = batch_size.max(1);
+    let mut out = Vec::new();
+    let mut buf: Vec<(Time, A::Input)> = Vec::with_capacity(batch_size);
+    let mut tuples = 0u64;
+    let mut results = 0u64;
+    let start = Instant::now();
+    let flush = |buf: &mut Vec<(Time, A::Input)>,
+                 agg: &mut dyn WindowAggregator<A>,
+                 out: &mut Vec<_>,
+                 tuples: &mut u64| {
+        if !buf.is_empty() {
+            *tuples += buf.len() as u64;
+            agg.process_batch(buf, out);
+            buf.clear();
+        }
+    };
+    for e in elements {
+        match e {
+            StreamElement::Record { ts, value } => {
+                buf.push((*ts, value.clone()));
+                if buf.len() >= batch_size {
+                    flush(&mut buf, agg, &mut out, &mut tuples);
+                }
+            }
+            StreamElement::Watermark(wm) => {
+                flush(&mut buf, agg, &mut out, &mut tuples);
+                agg.on_watermark(*wm, &mut out);
+            }
+            StreamElement::Punctuation(_) => {}
+        }
+        results += out.len() as u64;
+        out.clear();
+    }
+    flush(&mut buf, agg, &mut out, &mut tuples);
+    results += out.len() as u64;
     let seconds = start.elapsed().as_secs_f64();
     RunReport { tuples, results, seconds, memory_bytes: agg.memory_bytes() }
 }
@@ -300,6 +344,37 @@ mod tests {
             let report = run(agg.as_mut(), &elements);
             assert_eq!(report.tuples, 5_000, "{}", tech.name());
             assert!(report.results > 0, "{} produced no windows", tech.name());
+        }
+    }
+
+    #[test]
+    fn run_batched_matches_run_for_every_technique() {
+        let tuples: Vec<(Time, i64)> = (0..5_000).map(|i| (i, i % 7)).collect();
+        let elements = as_elements(&tuples);
+        let queries = concurrent_tumbling_queries(5);
+        for tech in [
+            Technique::LazySlicing,
+            Technique::EagerSlicing,
+            Technique::Pairs,
+            Technique::Cutty,
+            Technique::Buckets,
+            Technique::TupleBuckets,
+            Technique::TupleBuffer,
+            Technique::AggregateTree,
+        ] {
+            let mut base = build(tech, Sum, &queries, StreamOrder::InOrder, 0);
+            let baseline = run(base.as_mut(), &elements);
+            for batch_size in [1usize, 64, 512] {
+                let mut agg = build(tech, Sum, &queries, StreamOrder::InOrder, 0);
+                let report = run_batched(agg.as_mut(), &elements, batch_size);
+                assert_eq!(report.tuples, baseline.tuples, "{} tuples", tech.name());
+                assert_eq!(
+                    report.results,
+                    baseline.results,
+                    "{} results @ batch {batch_size}",
+                    tech.name()
+                );
+            }
         }
     }
 

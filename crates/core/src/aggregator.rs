@@ -20,6 +20,21 @@ pub trait WindowAggregator<A: AggregateFunction>: Send {
     /// in-order stream) are appended to `out`.
     fn process(&mut self, ts: Time, value: A::Input, out: &mut Vec<WindowResult<A::Output>>);
 
+    /// Processes a batch of stream tuples. Semantically identical to
+    /// calling [`process`](WindowAggregator::process) once per tuple in
+    /// order — same results, same emission points — but implementations
+    /// may amortize per-tuple overhead over runs of consecutive tuples
+    /// (the batched ingestion fast path). The default simply loops.
+    fn process_batch(
+        &mut self,
+        batch: &[(Time, A::Input)],
+        out: &mut Vec<WindowResult<A::Output>>,
+    ) {
+        for (ts, value) in batch {
+            self.process(*ts, value.clone(), out);
+        }
+    }
+
     /// Processes a watermark: emits every window that ended at or before
     /// `wm` and evicts expired state.
     fn on_watermark(&mut self, wm: Time, out: &mut Vec<WindowResult<A::Output>>);

@@ -168,8 +168,7 @@ impl<A: AggregateFunction> FlatFat<A> {
     }
 
     fn grow(&mut self, new_cap: usize) {
-        let leaves: Vec<Option<A::Partial>> =
-            self.nodes[self.cap..self.cap + self.len].to_vec();
+        let leaves: Vec<Option<A::Partial>> = self.nodes[self.cap..self.cap + self.len].to_vec();
         let len = self.len;
         self.cap = new_cap.next_power_of_two();
         self.nodes = vec![None; 2 * self.cap];

@@ -32,7 +32,23 @@ macro_rules! impl_heapsize_scalar {
 }
 
 impl_heapsize_scalar!(
-    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, ()
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    bool,
+    char,
+    ()
 );
 
 impl<T: HeapSize> HeapSize for Option<T> {

@@ -284,8 +284,11 @@ impl<A: AggregateFunction> WindowOperator<A> {
 
     /// Recomputes the cached positions at which the next window can end.
     fn refresh_trigger_caches(&mut self) {
-        let probe_t =
-            if self.last_trigger_time == TIME_MIN { self.max_ts.max(0) } else { self.last_trigger_time };
+        let probe_t = if self.last_trigger_time == TIME_MIN {
+            self.max_ts.max(0)
+        } else {
+            self.last_trigger_time
+        };
         let probe_c = self.last_trigger_count as Time;
         let mut sweep = self.chars.has_context_aware;
         let mut next_t: Option<Time> = None;
@@ -590,11 +593,9 @@ impl<A: AggregateFunction> WindowOperator<A> {
             self.store.evict_keeping_counts(keep_from);
             return;
         }
-        let has_time_queries =
-            self.queries.iter().any(|q| q.window.measure() == Measure::Time);
+        let has_time_queries = self.queries.iter().any(|q| q.window.measure() == Measure::Time);
         let k_time = if has_time_queries {
-            let mut boundary =
-                wm.saturating_sub(lateness).saturating_sub(self.max_time_extent);
+            let mut boundary = wm.saturating_sub(lateness).saturating_sub(self.max_time_extent);
             for q in &self.queries {
                 if let Some(pending) = q.window.earliest_pending_start() {
                     boundary = boundary.min(pending);
@@ -605,8 +606,7 @@ impl<A: AggregateFunction> WindowOperator<A> {
             self.store.len().saturating_sub(1)
         };
         let k_count = if self.chars.has_count_measure {
-            let keep_from =
-                self.store.total_count().saturating_sub(self.max_count_extent as u64);
+            let keep_from = self.store.total_count().saturating_sub(self.max_count_extent as u64);
             self.store.count_evictable(keep_from)
         } else {
             self.store.len()
@@ -758,6 +758,93 @@ impl<A: AggregateFunction> WindowOperator<A> {
         }
     }
 
+    /// Length of the longest prefix of `batch[start..]` that can be
+    /// ingested as one run into the open slice with exact per-tuple
+    /// semantics: consecutive in-order tuples that cross no slice edge,
+    /// complete no window, and need no context notification. Returns 0
+    /// when the tuple at `start` must take the per-tuple path.
+    fn run_len(&self, batch: &[(Time, A::Input)], start: usize) -> usize {
+        if self.store.is_empty() || self.chars.has_context_aware {
+            return 0;
+        }
+        let in_order_emit = self.cfg.order.is_in_order();
+        // The first tuple always sweeps; context-aware and unknown-end
+        // windows sweep on every tuple.
+        if in_order_emit && (self.sweep_always || !self.swept_once) {
+            return 0;
+        }
+        // Count caps: stop before the next count edge cuts the open slice
+        // and before any count window completes (the per-tuple path checks
+        // the trigger both before and after the insert, so the run must
+        // keep the post-insert count strictly below the trigger).
+        let total = self.store.total_count();
+        let mut cap = batch.len() - start;
+        if let Some(edge) = self.next_count_edge {
+            if total >= edge {
+                return 0;
+            }
+            cap = cap.min((edge - total) as usize);
+        }
+        if in_order_emit {
+            if let Some(c) = self.next_trigger_count {
+                if total + 1 >= c {
+                    return 0;
+                }
+                cap = cap.min((c - 1 - total) as usize);
+            }
+        }
+        // Time bound: strictly below the next slice edge and the next
+        // window completion.
+        let mut bound = self.next_time_edge.unwrap_or(TIME_MAX);
+        if in_order_emit {
+            if let Some(t) = self.next_trigger_time {
+                bound = bound.min(t);
+            }
+        }
+        // Tuples must be in order and inside the open slice (punctuations
+        // can cut slices ahead of the data).
+        let open_start = self.store.last_slice().map_or(TIME_MAX, |s| s.start());
+        let mut prev = self.max_ts.max(open_start);
+        let mut n = 0;
+        while n < cap {
+            let ts = batch[start + n].0;
+            if ts < prev || ts >= bound {
+                break;
+            }
+            prev = ts;
+            n += 1;
+        }
+        n
+    }
+
+    /// Processes a batch of tuples, ingesting maximal eligible runs with a
+    /// single store touch each (one fold + ⊕ into the open slice, one
+    /// tuple-storage append, one eager-leaf refresh). Tuples at slice
+    /// edges, window completions, or out of order fall back to
+    /// [`process_tuple`](WindowOperator::process_tuple), so emission
+    /// points and results are identical to per-tuple processing.
+    pub fn process_batch_tuples(
+        &mut self,
+        batch: &[(Time, A::Input)],
+        out: &mut Vec<WindowResult<A::Output>>,
+    ) {
+        let mut i = 0;
+        while i < batch.len() {
+            let n = self.run_len(batch, i);
+            if n <= 1 {
+                let (ts, value) = &batch[i];
+                self.process_tuple(*ts, value.clone(), out);
+                i += 1;
+                continue;
+            }
+            let run = &batch[i..i + n];
+            self.store.add_in_order_run(run);
+            self.max_ts = run[n - 1].0;
+            self.stats.tuples += n as u64;
+            i += n;
+        }
+    }
+
     /// Processes a stream punctuation (FCF windows, paper Section 4.4).
     pub fn process_punctuation(&mut self, ts: Time, out: &mut Vec<WindowResult<A::Output>>) {
         self.max_punct = self.max_punct.max(ts);
@@ -826,6 +913,14 @@ impl<A: AggregateFunction> Clone for WindowOperator<A> {
 impl<A: AggregateFunction> WindowAggregator<A> for WindowOperator<A> {
     fn process(&mut self, ts: Time, value: A::Input, out: &mut Vec<WindowResult<A::Output>>) {
         self.process_tuple(ts, value, out);
+    }
+
+    fn process_batch(
+        &mut self,
+        batch: &[(Time, A::Input)],
+        out: &mut Vec<WindowResult<A::Output>>,
+    ) {
+        self.process_batch_tuples(batch, out);
     }
 
     fn on_watermark(&mut self, wm: Time, out: &mut Vec<WindowResult<A::Output>>) {
@@ -1002,10 +1097,8 @@ mod tests {
         }
         assert!(op.memory_bytes() >= m0);
         assert_eq!(op.name(), "Lazy Slicing");
-        let eager: WindowOperator<SumI64> = WindowOperator::new(
-            SumI64,
-            OperatorConfig::in_order().with_policy(StorePolicy::Eager),
-        );
+        let eager: WindowOperator<SumI64> =
+            WindowOperator::new(SumI64, OperatorConfig::in_order().with_policy(StorePolicy::Eager));
         assert_eq!(eager.name(), "Eager Slicing");
     }
 

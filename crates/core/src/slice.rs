@@ -125,6 +125,42 @@ impl<A: AggregateFunction> Slice<A> {
         }
     }
 
+    /// Adds a run of in-order tuples in one step (the batched ingestion
+    /// fast path). The caller guarantees the run is non-decreasing in
+    /// timestamp, starts at or after `t_last`, and lies inside the slice
+    /// range. The run is folded left-to-right into one partial which is
+    /// combined into the slice aggregate with a single ⊕ — by
+    /// associativity this equals adding the tuples one by one, including
+    /// for non-commutative functions (event-time order is preserved).
+    pub fn add_run(&mut self, f: &A, run: &[(Time, A::Input)]) {
+        let (Some(&(first_ts, _)), Some(&(last_ts, _))) = (run.first(), run.last()) else {
+            return;
+        };
+        debug_assert!(first_ts >= self.t_last || self.is_empty(), "run {first_ts} not in order");
+        debug_assert!(
+            self.range.contains(first_ts) && self.range.contains(last_ts),
+            "run [{first_ts}, {last_ts}] outside slice {}",
+            self.range
+        );
+        debug_assert!(run.windows(2).all(|w| w[0].0 <= w[1].0), "run not sorted");
+        let mut it = run.iter();
+        let (_, v0) = it.next().expect("run is non-empty");
+        let mut p = f.lift(v0);
+        for (_, v) in it {
+            p = f.combine(p, &f.lift(v));
+        }
+        self.agg = Some(match self.agg.take() {
+            None => p,
+            Some(a) => f.combine(a, &p),
+        });
+        self.t_first = self.t_first.min(first_ts);
+        self.t_last = self.t_last.max(last_ts);
+        self.n_tuples += run.len();
+        if let Some(tuples) = &mut self.tuples {
+            tuples.extend_from_slice(run);
+        }
+    }
+
     /// Adds an out-of-order tuple. For commutative functions the aggregate
     /// is updated with one incremental ⊕ step; for non-commutative
     /// functions the aggregate is recomputed from the stored tuples to
@@ -219,10 +255,13 @@ impl<A: AggregateFunction> Slice<A> {
         }
         self.t_last = tuples.last().map_or(TIME_MIN, |(t, _)| *t);
         let removed = f.lift(&value);
-        let inverted = self
-            .agg
-            .take()
-            .and_then(|a| if f.properties().invertible { f.invert(a, &removed) } else { None });
+        let inverted = self.agg.take().and_then(|a| {
+            if f.properties().invertible {
+                f.invert(a, &removed)
+            } else {
+                None
+            }
+        });
         match inverted {
             Some(p) => self.agg = Some(p),
             None => self.recompute(f),
@@ -293,10 +332,8 @@ impl<A: AggregateFunction> Slice<A> {
             return right;
         }
         // Genuine split through stored tuples: recompute both sides.
-        let tuples = self
-            .tuples
-            .as_mut()
-            .expect("split through tuples requires stored tuples (Figure 4)");
+        let tuples =
+            self.tuples.as_mut().expect("split through tuples requires stored tuples (Figure 4)");
         let pos = tuples.partition_point(|(ts, _)| *ts < t);
         let right_tuples: Vec<(Time, A::Input)> = tuples.split_off(pos);
         let mut right = Slice {

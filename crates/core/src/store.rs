@@ -203,6 +203,22 @@ impl<A: AggregateFunction> SliceStore<A> {
         self.refresh_leaf(idx);
     }
 
+    /// Adds a run of in-order tuples to the **latest** slice with a single
+    /// store touch: one fold + ⊕ into the slice partial, one tuple-vector
+    /// append, and one eager-leaf refresh (the batched ingestion fast
+    /// path). Semantically equal to calling [`add_in_order`] per tuple.
+    ///
+    /// [`add_in_order`]: SliceStore::add_in_order
+    pub fn add_in_order_run(&mut self, run: &[(Time, A::Input)]) {
+        if run.is_empty() {
+            return;
+        }
+        let idx = self.slices.len() - 1;
+        let slice = self.slices.back_mut().expect("add_in_order_run on empty store");
+        slice.add_run(&self.f, run);
+        self.refresh_leaf(idx);
+    }
+
     /// Index of the slice whose time range contains `ts` (time-tiled
     /// stores).
     pub fn covering_index(&self, ts: Time) -> Option<usize> {
@@ -219,23 +235,36 @@ impl<A: AggregateFunction> SliceStore<A> {
     /// an equal timestamp — count ties break by arrival order). Falls back
     /// to the latest slice.
     pub fn covering_index_by_tuples(&self, ts: Time) -> Option<usize> {
-        if self.slices.is_empty() {
+        let n = self.slices.len();
+        if n == 0 {
             return None;
         }
-        // Scan from the back (small delays are the common case): the
-        // target is the lowest non-empty slice whose last tuple lies
-        // strictly after `ts`; empty slices never receive late ties.
-        let mut candidate = self.slices.len() - 1;
-        for (i, s) in self.slices.iter().enumerate().rev() {
-            if s.is_empty() {
-                continue;
+        // Binary search: count slices partition the event-time-sorted tuple
+        // sequence, so `t_last` is non-decreasing across *non-empty*
+        // slices. Empty slices (shifts can drain a slice) break strict
+        // monotonicity, so each probe advances to the first non-empty
+        // slice in its half; the search stays O(log s) plus the length of
+        // empty runs it skips.
+        let mut lo = 0;
+        let mut hi = n;
+        let mut found = n;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let mut probe = mid;
+            while probe < hi && self.slices[probe].is_empty() {
+                probe += 1;
             }
-            if s.t_last() <= ts {
-                break;
+            if probe == hi {
+                // Everything in [mid, hi) is empty: candidates are < mid.
+                hi = mid;
+            } else if self.slices[probe].t_last() > ts {
+                found = probe;
+                hi = mid;
+            } else {
+                lo = probe + 1;
             }
-            candidate = i;
         }
-        Some(candidate)
+        Some(if found == n { n - 1 } else { found })
     }
 
     /// Adds an out-of-order tuple to slice `idx`.
@@ -300,8 +329,7 @@ impl<A: AggregateFunction> SliceStore<A> {
                 .iter()
                 .skip(l)
                 .take(r - l)
-                .all(|s| s.is_empty()
-                    || (s.t_first() >= range.start && s.t_last() < range.end)),
+                .all(|s| s.is_empty() || (s.t_first() >= range.start && s.t_last() < range.end)),
             "window {range} does not align with slice contents"
         );
         self.query_slice_range(l, r)
@@ -370,8 +398,7 @@ impl<A: AggregateFunction> SliceStore<A> {
 
     /// Absolute count position of the start of slice `idx`.
     pub fn count_start_of(&self, idx: usize) -> u64 {
-        self.evicted_tuples
-            + self.slices.iter().take(idx).map(|s| s.len() as u64).sum::<u64>()
+        self.evicted_tuples + self.slices.iter().take(idx).map(|s| s.len() as u64).sum::<u64>()
     }
 
     /// Moves the last tuple of slice `idx` into slice `idx + 1` (the
@@ -653,6 +680,50 @@ mod tests {
         assert_eq!(st.covering_index_by_tuples(12), Some(2));
         assert_eq!(st.covering_index_by_tuples(13), Some(2));
         assert_eq!(st.covering_index_by_tuples(99), Some(2));
+    }
+
+    #[test]
+    fn covering_index_by_tuples_skips_empty_slices() {
+        let mut st = store(StorePolicy::Lazy, true);
+        st.append_slice(Range::new(0, 10));
+        st.add_in_order(5, 5);
+        st.append_slice(Range::new(10, 20)); // drained by shifts: empty
+        st.append_slice(Range::new(20, 30));
+        st.add_in_order(25, 25);
+        st.append_slice(Range::new(30, 40)); // open slice, still empty
+        assert_eq!(st.covering_index_by_tuples(0), Some(0));
+        // Tie with (5, ·): lands after it, in the next *non-empty* slice.
+        assert_eq!(st.covering_index_by_tuples(5), Some(2));
+        assert_eq!(st.covering_index_by_tuples(24), Some(2));
+        // Nothing stored after ts: falls back to the latest slice.
+        assert_eq!(st.covering_index_by_tuples(25), Some(3));
+        assert_eq!(st.covering_index_by_tuples(99), Some(3));
+    }
+
+    #[test]
+    fn add_in_order_run_matches_per_tuple_adds() {
+        for policy in [StorePolicy::Lazy, StorePolicy::Eager] {
+            for keep in [false, true] {
+                let mut per_tuple = store(policy, keep);
+                let mut batched = store(policy, keep);
+                for st in [&mut per_tuple, &mut batched] {
+                    st.append_slice(Range::new(0, 100));
+                }
+                let run = [(1, 1), (4, 4), (4, 40), (9, 9)];
+                for (ts, v) in run {
+                    per_tuple.add_in_order(ts, v);
+                }
+                batched.add_in_order_run(&run);
+                assert_eq!(
+                    per_tuple.query_time(Range::new(0, 100)),
+                    batched.query_time(Range::new(0, 100))
+                );
+                assert_eq!(per_tuple.total_count(), batched.total_count());
+                assert_eq!(per_tuple.slice(0).t_first(), batched.slice(0).t_first());
+                assert_eq!(per_tuple.slice(0).t_last(), batched.slice(0).t_last());
+                assert_eq!(per_tuple.slice(0).tuples(), batched.slice(0).tuples());
+            }
+        }
     }
 
     #[test]

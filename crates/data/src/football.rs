@@ -114,12 +114,8 @@ mod tests {
 
     #[test]
     fn gaps_separate_sessions() {
-        let cfg = FootballConfig {
-            rate_hz: 100,
-            gaps_per_minute: 5,
-            gap_ms: 1500,
-            ..Default::default()
-        };
+        let cfg =
+            FootballConfig { rate_hz: 100, gaps_per_minute: 5, gap_ms: 1500, ..Default::default() };
         let mut g = FootballGenerator::new(cfg);
         // Two minutes of data -> ~10 gaps.
         let tuples = g.take(12_000);

@@ -34,10 +34,7 @@ impl Default for OooConfig {
 /// Reorders an in-order stream into an arrival sequence with the requested
 /// disorder. Returns tuples in *arrival order*, still carrying their
 /// original event timestamps.
-pub fn make_out_of_order<V: Clone>(
-    tuples: &[(Time, V)],
-    cfg: OooConfig,
-) -> Vec<(Time, V)> {
+pub fn make_out_of_order<V: Clone>(tuples: &[(Time, V)], cfg: OooConfig) -> Vec<(Time, V)> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut keyed: Vec<(Time, usize)> = tuples
         .iter()
@@ -110,10 +107,8 @@ mod tests {
 
     #[test]
     fn zero_fraction_keeps_order() {
-        let arrivals = make_out_of_order(
-            &base(),
-            OooConfig { fraction_percent: 0, ..Default::default() },
-        );
+        let arrivals =
+            make_out_of_order(&base(), OooConfig { fraction_percent: 0, ..Default::default() });
         assert_eq!(arrivals, base());
         assert_eq!(measured_disorder(&arrivals), 0.0);
     }

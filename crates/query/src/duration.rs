@@ -19,8 +19,7 @@ pub fn parse_duration(input: &str) -> Result<Time, String> {
     if digits.is_empty() {
         return Err(format!("duration '{input}' has no numeric part"));
     }
-    let value: Time =
-        digits.parse().map_err(|e| format!("duration '{input}': bad number: {e}"))?;
+    let value: Time = digits.parse().map_err(|e| format!("duration '{input}': bad number: {e}"))?;
     let factor: Time = match unit {
         "ms" => 1,
         "s" => 1_000,

@@ -41,16 +41,13 @@ impl WindowDsl {
         let mut parts = input.split_whitespace();
         let keyword = parts.next().ok_or("empty window spec")?.to_ascii_uppercase();
         let mut next_dur = |what: &str| -> Result<i64, String> {
-            let token = parts
-                .next()
-                .ok_or_else(|| format!("window spec '{input}': missing {what}"))?;
+            let token =
+                parts.next().ok_or_else(|| format!("window spec '{input}': missing {what}"))?;
             parse_duration(token)
         };
         let spec = match keyword.as_str() {
             "TUMBLE" => WindowDsl::Tumble { length: next_dur("length")? },
-            "SLIDE" => {
-                WindowDsl::Slide { length: next_dur("length")?, slide: next_dur("slide")? }
-            }
+            "SLIDE" => WindowDsl::Slide { length: next_dur("length")?, slide: next_dur("slide")? },
             "SESSION" => WindowDsl::Session { gap: next_dur("gap")? },
             "COUNT_TUMBLE" => {
                 let n = parts
@@ -138,8 +135,7 @@ pub fn parse_agg(input: &str) -> Result<AggKind, String> {
         "MEDIAN" => AggKind::Median,
         _ => {
             if let Some(pct) = s.strip_prefix('P') {
-                let p: u32 =
-                    pct.parse().map_err(|e| format!("aggregation '{input}': {e}"))?;
+                let p: u32 = pct.parse().map_err(|e| format!("aggregation '{input}': {e}"))?;
                 if !(1..=100).contains(&p) {
                     return Err(format!("aggregation '{input}': percentile out of range"));
                 }

@@ -75,10 +75,7 @@ fn tokenize(input: &str) -> Result<Vec<Token>, String> {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let mut ident = String::new();
-                while chars
-                    .peek()
-                    .is_some_and(|c| c.is_ascii_alphanumeric() || *c == '_')
-                {
+                while chars.peek().is_some_and(|c| c.is_ascii_alphanumeric() || *c == '_') {
                     ident.push(chars.next().expect("peeked"));
                 }
                 tokens.push(Token::Ident(ident));
@@ -234,10 +231,7 @@ mod tests {
 
     #[test]
     fn parses_multiple_aggregations_sharing_the_window() {
-        let s = parse_sql(
-            "select sum(v), max(v), p95(v) from s group by slide(10s, 2s)",
-        )
-        .unwrap();
+        let s = parse_sql("select sum(v), max(v), p95(v) from s group by slide(10s, 2s)").unwrap();
         assert_eq!(s.queries.len(), 3);
         assert!(s
             .queries

@@ -61,7 +61,11 @@ pub fn translate(
             Some(entry) => entry,
             None => {
                 let cfg = OperatorConfig { order, policy, allowed_lateness, ..Default::default() };
-                operators.push((q.agg, WindowOperator::new(AnyAggregate::new(q.agg), cfg), Vec::new()));
+                operators.push((
+                    q.agg,
+                    WindowOperator::new(AnyAggregate::new(q.agg), cfg),
+                    Vec::new(),
+                ));
                 operators.last_mut().expect("just pushed")
             }
         };
@@ -78,9 +82,7 @@ impl Translated {
     }
 
     /// Iterates over the operators for processing.
-    pub fn operators_mut(
-        &mut self,
-    ) -> impl Iterator<Item = &mut WindowOperator<AnyAggregate>> {
+    pub fn operators_mut(&mut self) -> impl Iterator<Item = &mut WindowOperator<AnyAggregate>> {
         self.operators.iter_mut().map(|(_, op, _)| op)
     }
 

@@ -107,11 +107,11 @@ mod tests {
     use crate::watermark::AscendingTimestamps;
     use gss_core::operator::{OperatorConfig, WindowOperator};
     use gss_core::testsupport::SumI64;
-    use gss_core::StreamOrder;
     use gss_core::window::WindowFunction;
     use gss_core::ContextClass;
     use gss_core::Measure;
     use gss_core::Range;
+    use gss_core::StreamOrder;
 
     #[derive(Clone, Copy)]
     struct Tumble100;
@@ -176,8 +176,7 @@ mod tests {
     #[test]
     fn collect_preserves_structure() {
         let records = vec![(0i64, 1i64), (10, 2)];
-        let elements =
-            Pipeline::from_records(records, AscendingTimestamps::default()).collect();
+        let elements = Pipeline::from_records(records, AscendingTimestamps::default()).collect();
         assert_eq!(elements.iter().filter(|e| e.is_record()).count(), 2);
         assert!(matches!(elements.last(), Some(StreamElement::Watermark(_))));
         let keyed = Pipeline::from_elements(elements).key_by(|_, v| *v as u64).collect();

@@ -12,7 +12,7 @@
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Sender};
-use gss_core::{AggregateFunction, StreamElement, WindowAggregator, WindowResult};
+use gss_core::{AggregateFunction, StreamElement, Time, WindowAggregator, WindowResult};
 
 /// Runtime configuration.
 #[derive(Debug, Clone, Copy)]
@@ -25,6 +25,12 @@ pub struct PipelineConfig {
     /// buffers in distributed engines). Watermarks flush pending batches
     /// to preserve ordering.
     pub batch_size: usize,
+    /// Feed whole record chunks to the operator's
+    /// [`WindowAggregator::process_batch`] (the batched ingestion fast
+    /// path) instead of one `process` call per record. Results are
+    /// identical; only the per-record overhead changes. On by default;
+    /// disable to measure the per-tuple path.
+    pub batched: bool,
     /// Collect emitted window results (disable for pure throughput runs —
     /// results are counted either way).
     pub collect_results: bool,
@@ -32,7 +38,13 @@ pub struct PipelineConfig {
 
 impl Default for PipelineConfig {
     fn default() -> Self {
-        PipelineConfig { parallelism: 1, channel_capacity: 256, batch_size: 512, collect_results: true }
+        PipelineConfig {
+            parallelism: 1,
+            channel_capacity: 256,
+            batch_size: 512,
+            batched: true,
+            collect_results: true,
+        }
     }
 }
 
@@ -46,10 +58,29 @@ impl PipelineConfig {
         self
     }
 
+    /// Process records one `process` call at a time (the pre-batching
+    /// behavior; chunks still ride the channels).
+    pub fn per_tuple(mut self) -> Self {
+        self.batched = false;
+        self
+    }
+
     pub fn throughput_only(mut self) -> Self {
         self.collect_results = false;
         self
     }
+}
+
+/// A unit of work sent to a partition worker: a chunk of in-partition
+/// records, or a broadcast watermark/punctuation. Records travel as bare
+/// `(time, value)` pairs so workers can hand the whole chunk to
+/// [`WindowAggregator::process_batch`] without repacking.
+enum Chunk<V> {
+    Records(Vec<(Time, V)>),
+    Watermark(Time),
+    // The timestamp rides along for future punctuation-aware operators
+    // even though no current worker consumes it.
+    Punctuation(#[allow(dead_code)] Time),
 }
 
 /// Outcome of a pipeline run.
@@ -104,8 +135,7 @@ pub fn process_cpu_time() -> Duration {
         if fields.len() > 12 {
             let utime: u64 = fields[11].parse().unwrap_or(0);
             let stime: u64 = fields[12].parse().unwrap_or(0);
-            let hz = 100u64; // USER_HZ is 100 on practically all Linux builds
-            return Duration::from_millis((utime + stime) * 1000 / hz);
+            return Duration::from_millis((utime + stime) * 1000 / clock_ticks_per_sec());
         }
         Duration::ZERO
     }
@@ -113,6 +143,29 @@ pub fn process_cpu_time() -> Duration {
     {
         Duration::ZERO
     }
+}
+
+/// Kernel clock ticks per second (`USER_HZ`), the unit of `/proc` CPU-time
+/// fields. Queried once via `sysconf(_SC_CLK_TCK)` — 100 on most Linux
+/// builds but a kernel configuration choice, not a constant.
+#[cfg(target_os = "linux")]
+fn clock_ticks_per_sec() -> u64 {
+    use std::sync::OnceLock;
+    static TICKS: OnceLock<u64> = OnceLock::new();
+    *TICKS.get_or_init(|| {
+        const SC_CLK_TCK: std::ffi::c_int = 2;
+        extern "C" {
+            fn sysconf(name: std::ffi::c_int) -> std::ffi::c_long;
+        }
+        // SAFETY: sysconf is async-signal-safe, takes no pointers, and
+        // _SC_CLK_TCK is a valid name on every Linux libc.
+        let hz = unsafe { sysconf(SC_CLK_TCK) };
+        if hz > 0 {
+            hz as u64
+        } else {
+            100
+        }
+    })
 }
 
 /// Runs a keyed, parallel window aggregation over a finite stream.
@@ -147,77 +200,81 @@ where
     };
     let batch = cfg.batch_size.max(1);
     std::thread::scope(|scope| {
-        let mut senders: Vec<Sender<Vec<StreamElement<A::Input>>>> = Vec::with_capacity(p);
+        let mut senders: Vec<Sender<Chunk<A::Input>>> = Vec::with_capacity(p);
         let mut handles = Vec::with_capacity(p);
         for i in 0..p {
-            let (tx, rx) = bounded::<Vec<StreamElement<A::Input>>>(cfg.channel_capacity);
+            let (tx, rx) = bounded::<Chunk<A::Input>>(cfg.channel_capacity);
             senders.push(tx);
             let mut op = make_operator(i);
             let collect = cfg.collect_results;
+            let batched = cfg.batched;
             handles.push(scope.spawn(move || {
                 let mut results = Vec::new();
                 let mut scratch: Vec<WindowResult<A::Output>> = Vec::new();
                 let mut records = 0u64;
                 let mut count = 0u64;
                 for chunk in rx.iter() {
-                    for element in chunk {
-                        match element {
-                            StreamElement::Record { ts, value } => {
-                                records += 1;
-                                op.process(ts, value, &mut scratch);
-                            }
-                            StreamElement::Watermark(wm) => op.on_watermark(wm, &mut scratch),
-                            StreamElement::Punctuation(_) => {
-                                // The facade trait has no punctuation entry
-                                // point; FCF workloads drive the operator
-                                // API directly instead of via a pipeline.
+                    match chunk {
+                        Chunk::Records(tuples) => {
+                            records += tuples.len() as u64;
+                            if batched {
+                                op.process_batch(&tuples, &mut scratch);
+                            } else {
+                                for (ts, value) in tuples {
+                                    op.process(ts, value, &mut scratch);
+                                }
                             }
                         }
-                        count += scratch.len() as u64;
-                        if collect {
-                            results.append(&mut scratch);
-                        } else {
-                            scratch.clear();
+                        Chunk::Watermark(wm) => op.on_watermark(wm, &mut scratch),
+                        Chunk::Punctuation(_) => {
+                            // The facade trait has no punctuation entry
+                            // point; FCF workloads drive the operator
+                            // API directly instead of via a pipeline.
                         }
+                    }
+                    count += scratch.len() as u64;
+                    if collect {
+                        results.append(&mut scratch);
+                    } else {
+                        scratch.clear();
                     }
                 }
                 (results, count, records)
             }));
         }
-        // Source: partition records into per-partition batches; broadcast
-        // watermarks, flushing batches first to preserve ordering.
-        let mut buffers: Vec<Vec<StreamElement<A::Input>>> =
+        // Source: partition records into per-partition chunks; broadcast
+        // watermarks, flushing chunks first to preserve ordering.
+        let mut buffers: Vec<Vec<(Time, A::Input)>> =
             (0..p).map(|_| Vec::with_capacity(batch)).collect();
-        let flush_all =
-            |buffers: &mut Vec<Vec<StreamElement<A::Input>>>,
-             senders: &[Sender<Vec<StreamElement<A::Input>>>]| {
-                for (buf, tx) in buffers.iter_mut().zip(senders) {
-                    if !buf.is_empty() {
-                        tx.send(std::mem::replace(buf, Vec::with_capacity(batch)))
-                            .expect("worker hung up");
-                    }
+        let flush_all = |buffers: &mut Vec<Vec<(Time, A::Input)>>,
+                         senders: &[Sender<Chunk<A::Input>>]| {
+            for (buf, tx) in buffers.iter_mut().zip(senders) {
+                if !buf.is_empty() {
+                    tx.send(Chunk::Records(std::mem::replace(buf, Vec::with_capacity(batch))))
+                        .expect("worker hung up");
                 }
-            };
+            }
+        };
         for element in elements {
             match element {
                 StreamElement::Record { ts, value: (key, v) } => {
                     let dst = partition_of(key, p);
-                    buffers[dst].push(StreamElement::Record { ts, value: v });
+                    buffers[dst].push((ts, v));
                     if buffers[dst].len() >= batch {
                         let full = std::mem::replace(&mut buffers[dst], Vec::with_capacity(batch));
-                        senders[dst].send(full).expect("worker hung up");
+                        senders[dst].send(Chunk::Records(full)).expect("worker hung up");
                     }
                 }
                 StreamElement::Watermark(wm) => {
                     flush_all(&mut buffers, &senders);
                     for tx in &senders {
-                        tx.send(vec![StreamElement::Watermark(wm)]).expect("worker hung up");
+                        tx.send(Chunk::Watermark(wm)).expect("worker hung up");
                     }
                 }
                 StreamElement::Punctuation(ts) => {
                     flush_all(&mut buffers, &senders);
                     for tx in &senders {
-                        tx.send(vec![StreamElement::Punctuation(ts)]).expect("worker hung up");
+                        tx.send(Chunk::Punctuation(ts)).expect("worker hung up");
                     }
                 }
             }
@@ -259,7 +316,11 @@ mod tests {
     fn slicing_factory(_: usize) -> Box<dyn WindowAggregator<SumI64>> {
         let mut op = WindowOperator::new(
             SumI64,
-            OperatorConfig { order: StreamOrder::OutOfOrder, allowed_lateness: 100, ..Default::default() },
+            OperatorConfig {
+                order: StreamOrder::OutOfOrder,
+                allowed_lateness: 100,
+                ..Default::default()
+            },
         );
         op.add_query(Box::new(TumblingWindow::new(100))).unwrap();
         Box::new(op)
@@ -277,13 +338,11 @@ mod tests {
     fn partition_results_sum_to_global_counts() {
         // Values are all 1, so summing all window results of all partitions
         // for a window range equals the tuples in that range.
-        let report = run_keyed(
-            make_elements(1000, 8),
-            PipelineConfig::with_parallelism(4),
-            slicing_factory,
-        );
+        let report =
+            run_keyed(make_elements(1000, 8), PipelineConfig::with_parallelism(4), slicing_factory);
         assert_eq!(report.records, 1000);
-        let mut per_window: std::collections::BTreeMap<i64, i64> = std::collections::BTreeMap::new();
+        let mut per_window: std::collections::BTreeMap<i64, i64> =
+            std::collections::BTreeMap::new();
         for (_, r) in &report.results {
             *per_window.entry(r.range.start).or_default() += r.value;
         }
@@ -319,6 +378,29 @@ mod tests {
             m
         };
         assert_eq!(norm(&seq), norm(&par));
+    }
+
+    #[test]
+    fn batched_mode_matches_per_tuple_results() {
+        let batched = run_keyed(
+            make_elements(2000, 8),
+            PipelineConfig::default().with_batch_size(128),
+            slicing_factory,
+        );
+        let per_tuple = run_keyed(
+            make_elements(2000, 8),
+            PipelineConfig::default().with_batch_size(128).per_tuple(),
+            slicing_factory,
+        );
+        assert_eq!(batched.records, per_tuple.records);
+        assert_eq!(batched.result_count, per_tuple.result_count);
+        let norm = |r: &PipelineReport<i64>| {
+            let mut m: Vec<(usize, i64, i64, i64)> =
+                r.results.iter().map(|(p, w)| (*p, w.range.start, w.range.end, w.value)).collect();
+            m.sort_unstable();
+            m
+        };
+        assert_eq!(norm(&batched), norm(&per_tuple));
     }
 
     #[test]

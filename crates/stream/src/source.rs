@@ -103,8 +103,7 @@ mod tests {
     fn source_interleaves_watermarks_and_flushes() {
         let records = vec![(0i64, 1i64), (60, 2), (120, 3)];
         let elements: Vec<_> =
-            IteratorSource::new(records.into_iter(), BoundedOutOfOrderness::new(10, 50))
-                .collect();
+            IteratorSource::new(records.into_iter(), BoundedOutOfOrderness::new(10, 50)).collect();
         // record, record, wm(50), record, wm(110), flush-wm
         assert!(matches!(elements[0], StreamElement::Record { ts: 0, .. }));
         assert!(matches!(elements[1], StreamElement::Record { ts: 60, .. }));

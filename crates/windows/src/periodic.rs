@@ -320,12 +320,7 @@ mod tests {
         // Ends at 5k + 12 for all k: 2, 7, 12, 17 within (0, 20].
         assert_eq!(
             ends,
-            vec![
-                Range::new(-8, 2),
-                Range::new(-3, 7),
-                Range::new(2, 12),
-                Range::new(7, 17)
-            ]
+            vec![Range::new(-8, 2), Range::new(-3, 7), Range::new(2, 12), Range::new(7, 17)]
         );
     }
 
@@ -363,10 +358,7 @@ mod tests {
     fn next_end_matches_brute_force() {
         let e = PeriodicEdges::new(10, 4);
         for ts in -30..30 {
-            let brute = (-20..60)
-                .map(|k| k * 4 + 10)
-                .find(|&end| end > ts)
-                .unwrap();
+            let brute = (-20..60).map(|k| k * 4 + 10).find(|&end| end > ts).unwrap();
             assert_eq!(e.next_end(ts), brute, "ts={ts}");
         }
     }

@@ -30,10 +30,8 @@ impl PunctuationWindow {
     /// Drops boundaries whose windows have been fully reported, keeping the
     /// last one (it starts the next window).
     fn trim(&mut self) {
-        let keep_from = self
-            .boundaries
-            .partition_point(|&b| b < self.triggered_up_to)
-            .saturating_sub(1);
+        let keep_from =
+            self.boundaries.partition_point(|&b| b < self.triggered_up_to).saturating_sub(1);
         self.boundaries.drain(..keep_from);
     }
 }

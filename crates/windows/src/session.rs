@@ -105,8 +105,7 @@ impl WindowFunction for SessionWindow {
         // First session with start > ts.
         let idx = self.sessions.partition_point(|s| s.start <= ts);
         let joins_left = idx > 0 && ts < self.sessions[idx - 1].last + self.gap;
-        let joins_right =
-            idx < self.sessions.len() && self.sessions[idx].start < ts + self.gap;
+        let joins_right = idx < self.sessions.len() && self.sessions[idx].start < ts + self.gap;
         match (joins_left, joins_right) {
             (true, true) => {
                 // Bridges the two sessions: the right session's start edge

@@ -13,8 +13,7 @@ type Res = WindowResult<i64>;
 
 /// Brute-force sum of tuples with `start <= ts < end`.
 fn oracle_sum(tuples: &[(i64, i64)], range: Range) -> Option<i64> {
-    let vs: Vec<i64> =
-        tuples.iter().filter(|(t, _)| range.contains(*t)).map(|(_, v)| *v).collect();
+    let vs: Vec<i64> = tuples.iter().filter(|(t, _)| range.contains(*t)).map(|(_, v)| *v).collect();
     if vs.is_empty() {
         None
     } else {
@@ -22,10 +21,7 @@ fn oracle_sum(tuples: &[(i64, i64)], range: Range) -> Option<i64> {
     }
 }
 
-fn run_in_order(
-    op: &mut WindowOperator<SumI64>,
-    tuples: &[(i64, i64)],
-) -> Vec<Res> {
+fn run_in_order(op: &mut WindowOperator<SumI64>, tuples: &[(i64, i64)]) -> Vec<Res> {
     let mut out = Vec::new();
     for &(ts, v) in tuples {
         op.process_tuple(ts, v, &mut out);
@@ -388,10 +384,8 @@ fn eager_and_lazy_agree() {
     }
     let mut results = Vec::new();
     for policy in [StorePolicy::Lazy, StorePolicy::Eager] {
-        let mut op = WindowOperator::new(
-            SumI64,
-            OperatorConfig::out_of_order(10_000).with_policy(policy),
-        );
+        let mut op =
+            WindowOperator::new(SumI64, OperatorConfig::out_of_order(10_000).with_policy(policy));
         op.add_query(Box::new(SlidingWindow::new(20, 5))).unwrap();
         op.add_query(Box::new(SessionWindow::new(3))).unwrap();
         let mut out = Vec::new();

@@ -2,7 +2,7 @@
 //! edge/trigger/containment consistency for periodic windows (with and
 //! without offsets) and session-state invariants under random tuples.
 
-use gss_core::{ContextEdges, Range, Time, WindowFunction};
+use gss_core::{ContextEdges, Range, WindowFunction};
 use gss_windows::{PeriodicEdges, SessionWindow, SlidingWindow, TumblingWindow};
 use proptest::prelude::*;
 

@@ -48,8 +48,5 @@ fn main() {
         );
     }
 
-    println!(
-        "\nslices live in store: {} (shared across all 20 queries)",
-        op.slice_count()
-    );
+    println!("\nslices live in store: {} (shared across all 20 queries)", op.slice_count());
 }

@@ -1,0 +1,148 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of proptest it uses: the `proptest!` macro over
+//! `arg in strategy` bindings, integer-range and tuple strategies,
+//! `prop::collection::vec`, `prop_map`, `prop_oneof!`, `Just`, and the
+//! `prop_assert*` macros. Test cases are generated deterministically from
+//! a seed derived from the test name; there is **no shrinking** — a
+//! failure reports the case index and seed so it can be replayed.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    pub use crate::strategy::vec;
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Runs the body of one `proptest!`-generated test function.
+///
+/// Not part of the public proptest API — the expansion target of the
+/// vendored `proptest!` macro.
+pub fn run_cases(
+    test_name: &str,
+    cases: u32,
+    mut one_case: impl FnMut(&mut test_runner::TestRng) -> Result<(), test_runner::TestCaseError>,
+) {
+    // Deterministic per-test base seed (FNV-1a over the test name), plus an
+    // optional override for replaying a single failing case.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let replay: Option<u64> =
+        std::env::var("PROPTEST_REPLAY_SEED").ok().and_then(|s| s.parse().ok());
+    for case in 0..cases as u64 {
+        let case_seed = replay.unwrap_or(seed.wrapping_add(case));
+        let mut rng = test_runner::TestRng::new(case_seed);
+        if let Err(e) = one_case(&mut rng) {
+            panic!(
+                "proptest case {case}/{cases} of `{test_name}` failed: {}\n\
+                 (replay with PROPTEST_REPLAY_SEED={case_seed})",
+                e.message
+            );
+        }
+        if replay.is_some() {
+            return;
+        }
+    }
+}
+
+/// The `proptest!` macro: generates one `#[test]` function per entry,
+/// running `ProptestConfig::cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            $crate::run_cases(stringify!($name), config.cases, |__proptest_rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&{ $strat }, __proptest_rng);)+
+                $body
+                Ok(())
+            });
+        }
+    )*};
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args...)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` / `prop_assert_eq!(a, b, "fmt", args...)`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: {:?} != {:?}: {}", a, b, format!($($fmt)+)
+        );
+    }};
+}
+
+/// `prop_assert_ne!(a, b)` / `prop_assert_ne!(a, b, "fmt", args...)`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a != b,
+            "assertion failed: {:?} == {:?}: {}", a, b, format!($($fmt)+)
+        );
+    }};
+}
+
+/// `prop_oneof![s1, s2, ...]`: uniform choice among strategies producing
+/// the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -36,8 +36,12 @@ fn drive<T: WindowAggregator<Sum>>(
 }
 
 fn in_order_workload() -> Vec<(Time, i64)> {
-    (0..3_000).map(|i| (i * 7 % 9 + i * 3, (i * 13) % 101 - 50)).collect::<Vec<_>>()
-        .windows(1).map(|w| w[0]).collect()
+    (0..3_000)
+        .map(|i| (i * 7 % 9 + i * 3, (i * 13) % 101 - 50))
+        .collect::<Vec<_>>()
+        .windows(1)
+        .map(|w| w[0])
+        .collect()
 }
 
 fn sorted_workload() -> Vec<(Time, i64)> {
@@ -125,10 +129,8 @@ fn ooo_capable_techniques_agree_with_sessions() {
     }
     let slicing = drive(&mut op, &arrivals, true);
 
-    let mut op = SlicingOp::new(
-        Sum,
-        OperatorConfig::out_of_order(lateness).with_policy(StorePolicy::Eager),
-    );
+    let mut op =
+        SlicingOp::new(Sum, OperatorConfig::out_of_order(lateness).with_policy(StorePolicy::Eager));
     for q in build_queries() {
         op.add_query(q).unwrap();
     }

@@ -94,8 +94,7 @@ fn dsl_to_pipeline_round_trip() {
         QueryDsl::parse("SUM OVER TUMBLE 1s").unwrap(),
         QueryDsl::parse("MAX OVER TUMBLE 1s").unwrap(),
     ];
-    let mut t =
-        gss_query::translate(&queries, StreamOrder::InOrder, 0, StorePolicy::Lazy).unwrap();
+    let mut t = gss_query::translate(&queries, StreamOrder::InOrder, 0, StorePolicy::Lazy).unwrap();
     let tuples = FootballGenerator::new(FootballConfig {
         rate_hz: 500,
         gaps_per_minute: 0,

@@ -1,0 +1,244 @@
+//! Property tests for the batched ingestion fast path: for every
+//! technique, [`WindowAggregator::process_batch`] must produce the
+//! *identical* result stream to per-tuple [`WindowAggregator::process`]
+//! — same windows, same values, same order — across random batch sizes,
+//! in-order and out-of-order inputs, lazy and eager stores, and
+//! context-free, context-aware, and count-based queries.
+
+use general_stream_slicing::prelude::*;
+use proptest::prelude::*;
+
+type Emitted = Vec<(QueryId, Time, Time, i64)>;
+/// `(name, per-tuple instance, batched instance)` for one technique.
+type TechniquePair = (&'static str, Box<dyn WindowAggregator<Sum>>, Box<dyn WindowAggregator<Sum>>);
+
+fn sorted(tuples: &[(Time, i64)]) -> Vec<(Time, i64)> {
+    let mut s: Vec<(usize, (Time, i64))> = tuples.iter().copied().enumerate().collect();
+    s.sort_by_key(|(i, (t, _))| (*t, *i));
+    s.into_iter().map(|(_, t)| t).collect()
+}
+
+fn drive_per_tuple(
+    agg: &mut dyn WindowAggregator<Sum>,
+    elements: &[StreamElement<i64>],
+) -> Emitted {
+    let mut out = Vec::new();
+    let mut emitted = Emitted::new();
+    for e in elements {
+        match e {
+            StreamElement::Record { ts, value } => agg.process(*ts, *value, &mut out),
+            StreamElement::Watermark(wm) => agg.on_watermark(*wm, &mut out),
+            _ => {}
+        }
+        emitted.extend(out.drain(..).map(|r| (r.query, r.range.start, r.range.end, r.value)));
+    }
+    emitted
+}
+
+/// Feeds records in chunks of `batch_size` through `process_batch`,
+/// flushing the pending chunk before each watermark (like the pipeline
+/// source does) so watermark placement relative to records is preserved.
+fn drive_batched(
+    agg: &mut dyn WindowAggregator<Sum>,
+    elements: &[StreamElement<i64>],
+    batch_size: usize,
+) -> Emitted {
+    let batch_size = batch_size.max(1);
+    let mut out = Vec::new();
+    let mut emitted = Emitted::new();
+    let mut buf: Vec<(Time, i64)> = Vec::new();
+    let flush = |buf: &mut Vec<(Time, i64)>,
+                 agg: &mut dyn WindowAggregator<Sum>,
+                 out: &mut Vec<WindowResult<i64>>| {
+        if !buf.is_empty() {
+            agg.process_batch(buf, out);
+            buf.clear();
+        }
+    };
+    for e in elements {
+        match e {
+            StreamElement::Record { ts, value } => {
+                buf.push((*ts, *value));
+                if buf.len() >= batch_size {
+                    flush(&mut buf, agg, &mut out);
+                }
+            }
+            StreamElement::Watermark(wm) => {
+                flush(&mut buf, agg, &mut out);
+                agg.on_watermark(*wm, &mut out);
+            }
+            _ => {}
+        }
+        emitted.extend(out.drain(..).map(|r| (r.query, r.range.start, r.range.end, r.value)));
+    }
+    flush(&mut buf, agg, &mut out);
+    emitted.extend(out.drain(..).map(|r| (r.query, r.range.start, r.range.end, r.value)));
+    emitted
+}
+
+/// One factory per technique, so per-tuple and batched drivers each get a
+/// fresh, identically configured aggregator.
+fn techniques(
+    queries: &[Box<dyn Fn() -> Box<dyn WindowFunction>>],
+    order: StreamOrder,
+    lateness: Time,
+) -> Vec<TechniquePair> {
+    let slicing = |policy: StorePolicy| {
+        let mut op = WindowOperator::new(
+            Sum,
+            OperatorConfig {
+                order,
+                policy,
+                allowed_lateness: lateness,
+                ..OperatorConfig::default()
+            },
+        );
+        for q in queries {
+            op.add_query(q()).unwrap();
+        }
+        Box::new(op) as Box<dyn WindowAggregator<Sum>>
+    };
+    let buckets = |mode: BucketMode| {
+        let mut b = Buckets::new(Sum, mode, order, lateness);
+        for q in queries {
+            b.add_query(q());
+        }
+        Box::new(b) as Box<dyn WindowAggregator<Sum>>
+    };
+    let tuple_buffer = || {
+        let mut t = TupleBuffer::new(Sum, order, lateness);
+        for q in queries {
+            t.add_query(q());
+        }
+        Box::new(t) as Box<dyn WindowAggregator<Sum>>
+    };
+    let tree = || {
+        let mut t = AggregateTree::new(Sum, order, lateness);
+        for q in queries {
+            t.add_query(q());
+        }
+        Box::new(t) as Box<dyn WindowAggregator<Sum>>
+    };
+    vec![
+        ("lazy", slicing(StorePolicy::Lazy), slicing(StorePolicy::Lazy)),
+        ("eager", slicing(StorePolicy::Eager), slicing(StorePolicy::Eager)),
+        ("buckets", buckets(BucketMode::Aggregate), buckets(BucketMode::Aggregate)),
+        ("tuple-buckets", buckets(BucketMode::Tuple), buckets(BucketMode::Tuple)),
+        ("tuple-buffer", tuple_buffer(), tuple_buffer()),
+        ("aggregate-tree", tree(), tree()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// In-order, context-free time windows (the fast path's home turf):
+    /// the batched result stream is byte-identical to per-tuple.
+    #[test]
+    fn batch_matches_per_tuple_in_order(
+        raw in prop::collection::vec((0i64..2_000, -50i64..50), 1..200),
+        length in 1i64..50,
+        slide in 1i64..50,
+        batch_size in 1usize..70,
+    ) {
+        let tuples = sorted(&raw);
+        let elements: Vec<StreamElement<i64>> =
+            tuples.iter().map(|&(ts, value)| StreamElement::Record { ts, value }).collect();
+        let queries: Vec<Box<dyn Fn() -> Box<dyn WindowFunction>>> = vec![
+            Box::new(move || Box::new(TumblingWindow::new(length))),
+            Box::new(move || Box::new(SlidingWindow::new(length.max(slide), slide))),
+        ];
+        for (name, mut per_tuple, mut batched) in
+            techniques(&queries, StreamOrder::InOrder, 0)
+        {
+            let a = drive_per_tuple(per_tuple.as_mut(), &elements);
+            let b = drive_batched(batched.as_mut(), &elements, batch_size);
+            prop_assert_eq!(a, b, "{} diverged at batch size {}", name, batch_size);
+        }
+    }
+
+    /// Context-aware (session) and count-based queries in the mix: the
+    /// fast paths must detect ineligibility and fall back without
+    /// changing a single emission.
+    #[test]
+    fn batch_matches_per_tuple_with_session_and_count(
+        raw in prop::collection::vec((0i64..2_000, -50i64..50), 1..150),
+        gap in 1i64..60,
+        count_len in 1u64..20,
+        batch_size in 1usize..70,
+    ) {
+        let tuples = sorted(&raw);
+        let elements: Vec<StreamElement<i64>> =
+            tuples.iter().map(|&(ts, value)| StreamElement::Record { ts, value }).collect();
+        let queries: Vec<Box<dyn Fn() -> Box<dyn WindowFunction>>> = vec![
+            Box::new(move || Box::new(SessionWindow::new(gap))),
+            Box::new(move || Box::new(CountTumblingWindow::new(count_len))),
+        ];
+        for (name, mut per_tuple, mut batched) in
+            techniques(&queries, StreamOrder::InOrder, 0)
+        {
+            let a = drive_per_tuple(per_tuple.as_mut(), &elements);
+            let b = drive_batched(batched.as_mut(), &elements, batch_size);
+            prop_assert_eq!(a, b, "{} diverged at batch size {}", name, batch_size);
+        }
+    }
+
+    /// Out-of-order arrivals with watermarks: batches contain unsorted
+    /// records, so runs break at every inversion; results must still be
+    /// identical, including late-tuple window updates.
+    #[test]
+    fn batch_matches_per_tuple_out_of_order(
+        raw in prop::collection::vec((0i64..2_000, -50i64..50), 1..150),
+        length in 2i64..50,
+        fraction in 0u8..60,
+        batch_size in 1usize..70,
+    ) {
+        let tuples = sorted(&raw);
+        let arrivals = make_out_of_order(
+            &tuples,
+            OooConfig { fraction_percent: fraction, max_delay: 100, ..Default::default() },
+        );
+        let elements = with_watermarks(&arrivals, 50, 100);
+        let queries: Vec<Box<dyn Fn() -> Box<dyn WindowFunction>>> = vec![
+            Box::new(move || Box::new(TumblingWindow::new(length))),
+        ];
+        for (name, mut per_tuple, mut batched) in
+            techniques(&queries, StreamOrder::OutOfOrder, 10_000)
+        {
+            let a = drive_per_tuple(per_tuple.as_mut(), &elements);
+            let b = drive_batched(batched.as_mut(), &elements, batch_size);
+            prop_assert_eq!(a, b, "{} diverged at batch size {}", name, batch_size);
+        }
+    }
+
+    /// Pairs and Cutty use the default `process_batch` (a per-tuple
+    /// loop); pin that the default impl preserves the stream too.
+    #[test]
+    fn batch_default_impl_matches_for_pairs_and_cutty(
+        raw in prop::collection::vec((0i64..2_000, -50i64..50), 1..150),
+        length in 1i64..50,
+        slide in 1i64..50,
+        batch_size in 1usize..70,
+    ) {
+        let tuples = sorted(&raw);
+        let elements: Vec<StreamElement<i64>> =
+            tuples.iter().map(|&(ts, value)| StreamElement::Record { ts, value }).collect();
+        let (length, slide) = (length.max(slide), slide);
+
+        let mut p1 = Pairs::new(Sum);
+        p1.add_query(length, slide);
+        let mut p2 = Pairs::new(Sum);
+        p2.add_query(length, slide);
+        let a = drive_per_tuple(&mut p1, &elements);
+        let b = drive_batched(&mut p2, &elements, batch_size);
+        prop_assert_eq!(a, b, "pairs diverged at batch size {}", batch_size);
+
+        let mut c1 = Cutty::new(Sum);
+        c1.add_query(Box::new(SlidingWindow::new(length, slide)));
+        let mut c2 = Cutty::new(Sum);
+        c2.add_query(Box::new(SlidingWindow::new(length, slide)));
+        let a = drive_per_tuple(&mut c1, &elements);
+        let b = drive_batched(&mut c2, &elements, batch_size);
+        prop_assert_eq!(a, b, "cutty diverged at batch size {}", batch_size);
+    }
+}

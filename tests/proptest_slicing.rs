@@ -14,8 +14,7 @@ fn sorted(tuples: &[(Time, i64)]) -> Vec<(Time, i64)> {
 }
 
 fn oracle_sum(tuples: &[(Time, i64)], range: Range) -> Option<i64> {
-    let vs: Vec<i64> =
-        tuples.iter().filter(|(t, _)| range.contains(*t)).map(|(_, v)| *v).collect();
+    let vs: Vec<i64> = tuples.iter().filter(|(t, _)| range.contains(*t)).map(|(_, v)| *v).collect();
     if vs.is_empty() {
         None
     } else {

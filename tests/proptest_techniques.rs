@@ -14,11 +14,8 @@ fn sorted(tuples: &[(Time, i64)]) -> Vec<(Time, i64)> {
 }
 
 fn oracle(tuples: &[(Time, i64)], start: Time, end: Time) -> Option<i64> {
-    let vs: Vec<i64> = tuples
-        .iter()
-        .filter(|(t, _)| *t >= start && *t < end)
-        .map(|(_, v)| *v)
-        .collect();
+    let vs: Vec<i64> =
+        tuples.iter().filter(|(t, _)| *t >= start && *t < end).map(|(_, v)| *v).collect();
     if vs.is_empty() {
         None
     } else {
