@@ -18,7 +18,8 @@ use std::io::Write as _;
 
 use gss_aggregates::Sum;
 use gss_bench::{
-    as_elements, build, concurrent_tumbling_queries, fmt_tput, run, run_batched, Output, Technique,
+    as_elements, build, concurrent_tumbling_queries, fmt_tput, run, run_batched, run_best, Output,
+    Technique,
 };
 use gss_core::StreamOrder;
 use gss_data::{FootballConfig, FootballGenerator};
@@ -69,8 +70,11 @@ fn main() {
             let elems = gss_bench::truncate_elements(&elements, cap);
             let queries = concurrent_tumbling_queries(n);
 
-            let mut agg = build(tech, Sum, &queries, StreamOrder::InOrder, 0);
-            let per_tuple = run(agg.as_mut(), &elems);
+            let per_tuple = run_best(
+                3,
+                || build(tech, Sum, &queries, StreamOrder::InOrder, 0),
+                |agg| run(agg, &elems),
+            );
             let base_tput = per_tuple.throughput();
             out.row(&[
                 tech.name().to_string(),
@@ -90,8 +94,11 @@ fn main() {
             });
 
             for &b in &batch_sizes {
-                let mut agg = build(tech, Sum, &queries, StreamOrder::InOrder, 0);
-                let report = run_batched(agg.as_mut(), &elems, b);
+                let report = run_best(
+                    3,
+                    || build(tech, Sum, &queries, StreamOrder::InOrder, 0),
+                    |agg| run_batched(agg, &elems, b),
+                );
                 assert_eq!(
                     report.results,
                     per_tuple.results,

@@ -1,0 +1,170 @@
+//! Out-of-order ingestion: throughput of the batched late-run grouping
+//! path against the per-tuple fallback (a Figure 11-style sweep over
+//! disorder).
+//!
+//! Sweep: OOO fraction {0, 5, 20, 50} % (delays 0–2 s) × batch size
+//! {64, 512} × {lazy, eager} stores, 20 concurrent tumbling windows over
+//! the football stream with periodic watermarks. Three modes per cell:
+//!
+//! * `per_tuple` — one `process` call per record (no batching at all);
+//! * `batch_b` — `process_batch`, late runs grouped per covering slice,
+//!   eager repairs deferred per batch;
+//! * `fallback_b` — `process_batch` with `disable_ooo_batching`, i.e. the
+//!   run-breaking path: in-order runs fold fast, but every late tuple is
+//!   handled individually.
+//!
+//! Expected shape: at 0 % all three batched modes coincide; as disorder
+//! grows, `fallback` decays toward per-tuple while `batch` amortizes the
+//! slice lookup, the combine, and (eager) the FlatFAT repair over whole
+//! late runs, widening the gap with the batch size.
+//!
+//! Writes `target/experiments/ooo.csv` and a machine-readable summary to
+//! `BENCH_ooo.json` at the repo root.
+//!
+//! Run: `cargo run --release -p gss-bench --bin ooo`
+
+use std::io::Write as _;
+
+use gss_aggregates::Sum;
+use gss_bench::{
+    build_slicing, concurrent_tumbling_queries, fmt_tput, run, run_batched, run_best, Output,
+    RunReport,
+};
+use gss_core::{StorePolicy, StreamOrder};
+use gss_data::{make_out_of_order, with_watermarks, FootballConfig, FootballGenerator, OooConfig};
+
+fn scale() -> f64 {
+    std::env::var("GSS_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+}
+
+struct Row {
+    policy: &'static str,
+    ooo_percent: u8,
+    mode: String,
+    batch_size: usize,
+    tuples: u64,
+    tuples_per_sec: f64,
+    speedup_vs_fallback: f64,
+}
+
+fn main() {
+    let base = (1_000_000.0 * scale()) as usize;
+    let tuples = FootballGenerator::new(FootballConfig::default()).take(base);
+    let queries = concurrent_tumbling_queries(20);
+    let fractions = [0u8, 5, 20, 50];
+    let batch_sizes = [64usize, 512];
+    let lateness = 2_000;
+
+    let mut out = Output::new(
+        "ooo",
+        &["store", "ooo_percent", "mode", "tuples_per_sec", "speedup_vs_fallback"],
+    );
+    out.print_header();
+    let mut rows: Vec<Row> = Vec::new();
+    for (policy, policy_name) in [(StorePolicy::Lazy, "lazy"), (StorePolicy::Eager, "eager")] {
+        for &fraction in &fractions {
+            let cfg =
+                OooConfig { fraction_percent: fraction, max_delay: 2_000, ..Default::default() };
+            let arrivals = make_out_of_order(&tuples, cfg);
+            let elements = with_watermarks(&arrivals, 500, 2_000);
+
+            let build = |disable: bool| {
+                build_slicing(Sum, policy, &queries, StreamOrder::OutOfOrder, lateness, disable)
+            };
+            let record = |out: &mut Output,
+                          rows: &mut Vec<Row>,
+                          mode: String,
+                          batch_size: usize,
+                          report: &RunReport,
+                          fallback_tput: f64| {
+                let tput = report.throughput();
+                let speedup = tput / fallback_tput.max(1e-9);
+                out.row(&[
+                    policy_name.to_string(),
+                    fraction.to_string(),
+                    mode.clone(),
+                    format!("{tput:.0}"),
+                    format!("{speedup:.2}"),
+                ]);
+                eprintln!(
+                    "  {policy_name} {fraction}% {mode}: {} tuples/s ({speedup:.2}x fallback)",
+                    fmt_tput(tput)
+                );
+                rows.push(Row {
+                    policy: policy_name,
+                    ooo_percent: fraction,
+                    mode,
+                    batch_size,
+                    tuples: report.tuples,
+                    tuples_per_sec: tput,
+                    speedup_vs_fallback: speedup,
+                });
+            };
+
+            let per_tuple = run_best(5, || build(false), |agg| run(agg, &elements));
+            for &b in &batch_sizes {
+                let fallback = run_best(5, || build(true), |agg| run_batched(agg, &elements, b));
+                assert_eq!(
+                    fallback.results, per_tuple.results,
+                    "{policy_name} {fraction}% fallback batch {b}: result count diverged"
+                );
+                let batched = run_best(5, || build(false), |agg| run_batched(agg, &elements, b));
+                assert_eq!(
+                    batched.results, per_tuple.results,
+                    "{policy_name} {fraction}% batch {b}: result count diverged"
+                );
+                let fallback_tput = fallback.throughput();
+                record(&mut out, &mut rows, format!("fallback_{b}"), b, &fallback, fallback_tput);
+                record(&mut out, &mut rows, format!("batch_{b}"), b, &batched, fallback_tput);
+            }
+            let fallback_512 = rows
+                .iter()
+                .rev()
+                .find(|r| {
+                    r.policy == policy_name && r.ooo_percent == fraction && r.mode == "fallback_512"
+                })
+                .map(|r| r.tuples_per_sec)
+                .unwrap_or(0.0);
+            record(&mut out, &mut rows, "per_tuple".to_string(), 0, &per_tuple, fallback_512);
+        }
+    }
+    out.finish();
+    write_json(&rows);
+}
+
+/// Writes `BENCH_ooo.json` at the repo root (no serde in the tree; the
+/// schema is flat, so hand-rolled JSON is fine).
+fn write_json(rows: &[Row]) {
+    let mut f = std::fs::File::create("BENCH_ooo.json").expect("create BENCH_ooo.json");
+    writeln!(f, "{{").unwrap();
+    writeln!(
+        f,
+        "  \"workload\": \"fig11-style 20 tumbling windows over football stream, \
+         disorder sweep (delays 0-2s, watermarks every 500ms lagging 2s)\","
+    )
+    .unwrap();
+    writeln!(f, "  \"ooo_percents\": [0, 5, 20, 50],").unwrap();
+    writeln!(f, "  \"batch_sizes\": [64, 512],").unwrap();
+    writeln!(f, "  \"results\": [").unwrap();
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        writeln!(
+            f,
+            "    {{\"store\": \"{}\", \"ooo_percent\": {}, \"mode\": \"{}\", \
+             \"batch_size\": {}, \"tuples\": {}, \"tuples_per_sec\": {:.0}, \
+             \"speedup_vs_fallback\": {:.3}}}{}",
+            r.policy,
+            r.ooo_percent,
+            r.mode,
+            r.batch_size,
+            r.tuples,
+            r.tuples_per_sec,
+            r.speedup_vs_fallback,
+            comma
+        )
+        .unwrap();
+    }
+    writeln!(f, "  ]").unwrap();
+    writeln!(f, "}}").unwrap();
+    eprintln!("wrote BENCH_ooo.json");
+}

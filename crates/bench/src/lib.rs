@@ -155,6 +155,32 @@ pub fn build<A: AggregateFunction>(
     }
 }
 
+/// Builds the general slicing operator with explicit control over the
+/// out-of-order batching ablation switch. `disable_ooo_batching: true`
+/// reproduces the PR 1 behavior (every late tuple handled individually)
+/// so BENCH_ooo can measure the late-run grouping path against it.
+pub fn build_slicing<A: AggregateFunction>(
+    f: A,
+    policy: StorePolicy,
+    queries: &[QuerySpec],
+    order: StreamOrder,
+    lateness: Time,
+    disable_ooo_batching: bool,
+) -> Box<dyn WindowAggregator<A>> {
+    let cfg = OperatorConfig {
+        order,
+        policy,
+        allowed_lateness: lateness,
+        disable_ooo_batching,
+        ..Default::default()
+    };
+    let mut op = WindowOperator::new(f, cfg);
+    for q in queries {
+        op.add_query(q.build()).expect("query mix supported");
+    }
+    Box::new(op)
+}
+
 /// Result of driving one aggregator over a prepared element stream.
 pub struct RunReport {
     pub tuples: u64,
@@ -167,6 +193,28 @@ impl RunReport {
     pub fn throughput(&self) -> f64 {
         self.tuples as f64 / self.seconds.max(1e-9)
     }
+}
+
+/// Best-of-`reps` wall-clock run (the first run warms the allocator and
+/// caches; individual cells finish in milliseconds, so a single timing is
+/// noise-dominated). Result counts are asserted identical across reps.
+pub fn run_best<A: AggregateFunction>(
+    reps: usize,
+    build: impl Fn() -> Box<dyn WindowAggregator<A>>,
+    drive: impl Fn(&mut dyn WindowAggregator<A>) -> RunReport,
+) -> RunReport {
+    let mut best: Option<RunReport> = None;
+    for _ in 0..reps {
+        let mut agg = build();
+        let r = drive(agg.as_mut());
+        if let Some(b) = &best {
+            assert_eq!(r.results, b.results, "result count diverged across repetitions");
+        }
+        if best.as_ref().is_none_or(|b| r.seconds < b.seconds) {
+            best = Some(r);
+        }
+    }
+    best.expect("at least one repetition")
 }
 
 /// Drives the aggregator through the whole element stream, measuring wall

@@ -39,6 +39,14 @@ pub trait WindowAggregator<A: AggregateFunction>: Send {
     /// `wm` and evicts expired state.
     fn on_watermark(&mut self, wm: Time, out: &mut Vec<WindowResult<A::Output>>);
 
+    /// Processes a stream punctuation marking a window boundary at `ts`
+    /// (forward-context-free windows, paper Section 4.4). Only techniques
+    /// that support punctuation windows react; the default ignores it, so
+    /// punctuations are harmless to every other technique.
+    fn on_punctuation(&mut self, ts: Time, out: &mut Vec<WindowResult<A::Output>>) {
+        let _ = (ts, out);
+    }
+
     /// Total bytes of operator state (deterministic deep size, the
     /// substitution for the paper's `ObjectSizeCalculator` measurements).
     fn memory_bytes(&self) -> usize;
@@ -59,4 +67,32 @@ pub trait WindowAggregator<A: AggregateFunction>: Send {
         self.on_watermark(wm, &mut out);
         out
     }
+}
+
+/// Length of the longest prefix of `batch[start..]` that forms an
+/// in-order run: timestamps non-decreasing, starting at or above `floor`,
+/// and strictly below `bound`, capped at `cap` tuples. The shared
+/// run-detection core of every technique's batched fast path — callers
+/// derive `floor` from their high-water mark and `bound` from the nearest
+/// state change (slice edge, pane end, window completion) so that a whole
+/// run can be folded with one state touch and exact per-tuple semantics.
+pub fn in_order_run_len<V>(
+    batch: &[(Time, V)],
+    start: usize,
+    floor: Time,
+    bound: Time,
+    cap: usize,
+) -> usize {
+    let cap = cap.min(batch.len() - start);
+    let mut prev = floor;
+    let mut n = 0;
+    while n < cap {
+        let ts = batch[start + n].0;
+        if ts < prev || ts >= bound {
+            break;
+        }
+        prev = ts;
+        n += 1;
+    }
+    n
 }

@@ -76,7 +76,7 @@ pub mod testsupport;
 pub mod time;
 pub mod window;
 
-pub use aggregator::WindowAggregator;
+pub use aggregator::{in_order_run_len, WindowAggregator};
 pub use characteristics::{RemovalStrategy, WorkloadCharacteristics};
 pub use element::StreamElement;
 pub use flatfat::FlatFat;

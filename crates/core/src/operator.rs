@@ -38,6 +38,11 @@ pub struct OperatorConfig {
     /// (the paper's out-of-order edge set). Measures the value of
     /// start-only slicing; never needed in production.
     pub force_end_edges: bool,
+    /// Ablation switch: disable the out-of-order batch path (slice-grouped
+    /// late runs + deferred FlatFAT repair), so every late tuple takes the
+    /// per-tuple path as in the original batched fast path. Used to
+    /// measure the value of late-run grouping; never needed in production.
+    pub disable_ooo_batching: bool,
 }
 
 impl Default for OperatorConfig {
@@ -48,6 +53,7 @@ impl Default for OperatorConfig {
             allowed_lateness: 0,
             force_tuple_storage: false,
             force_end_edges: false,
+            disable_ooo_batching: false,
         }
     }
 }
@@ -111,6 +117,33 @@ pub struct OperatorStats {
     pub updates_emitted: u64,
 }
 
+/// One covering slice's worth of late tuples deferred during a batch:
+/// their pre-folded partial, extreme timestamps, and count, plus the
+/// slice's bounds so membership tests need no store lookup.
+struct LateGroup<P> {
+    idx: usize,
+    start: Time,
+    end: Time,
+    partial: Option<P>,
+    t_first: Time,
+    t_last: Time,
+    n: usize,
+}
+
+impl<P: Clone> Clone for LateGroup<P> {
+    fn clone(&self) -> Self {
+        LateGroup {
+            idx: self.idx,
+            start: self.start,
+            end: self.end,
+            partial: self.partial.clone(),
+            t_first: self.t_first,
+            t_last: self.t_last,
+            n: self.n,
+        }
+    }
+}
+
 /// The general stream slicing operator.
 pub struct WindowOperator<A: AggregateFunction> {
     f: A,
@@ -148,6 +181,25 @@ pub struct WindowOperator<A: AggregateFunction> {
     /// At least one trigger sweep has run (the first tuple always sweeps).
     swept_once: bool,
     stats: OperatorStats,
+    /// Late tuples deferred within one `process_batch_tuples` call; sorted
+    /// and applied slice-grouped by `flush_late_runs`. Only used when
+    /// tuple storage or a non-commutative fold makes insertion order
+    /// observable; otherwise late tuples fold straight into
+    /// `late_groups`. Always empty between calls (the allocation is
+    /// reused).
+    late_buf: Vec<(Time, A::Input)>,
+    /// Per-covering-slice partials of late tuples deferred within one
+    /// `process_batch_tuples` call (commutative functions without tuple
+    /// storage: fold order is unobservable, so no sort is needed). The
+    /// few entries double as the slice-lookup cache — late tuples cluster
+    /// in the slices just behind the stream head. Always empty between
+    /// calls.
+    late_groups: Vec<LateGroup<A::Partial>>,
+    /// In-order tuples accumulated within one `process_batch_tuples` call
+    /// but not yet applied: deferring the store touch lets a run span
+    /// deferred late singles (the batch's in-order partition), so disorder
+    /// does not shorten runs. Always empty between calls.
+    run_buf: Vec<(Time, A::Input)>,
     /// Indices into `queries` of context-aware windows (precomputed so the
     /// per-tuple notify loop touches only those).
     context_aware: Vec<usize>,
@@ -183,6 +235,9 @@ impl<A: AggregateFunction> WindowOperator<A> {
             sweep_always: false,
             swept_once: false,
             stats: OperatorStats::default(),
+            late_buf: Vec::new(),
+            late_groups: Vec::new(),
+            run_buf: Vec::new(),
             context_aware: Vec::new(),
             edges: ContextEdges::new(),
         }
@@ -728,27 +783,7 @@ impl<A: AggregateFunction> WindowOperator<A> {
             // just reached a count edge.
             self.advance_count_edge_after_insert();
         } else {
-            let idx = match self.store.covering_index(ts) {
-                Some(i) => i,
-                None => {
-                    // The tuple falls into a coverage gap (before the first
-                    // slice, or between slices after a bounded insert).
-                    // Bound the new slice by the next window edge so it
-                    // never spans one.
-                    let next_slice_start = self
-                        .store
-                        .slices()
-                        .map(|s| s.start())
-                        .find(|&s| s > ts)
-                        .unwrap_or(TIME_MAX);
-                    let next_edge = self.compute_next_time_edge(ts).unwrap_or(TIME_MAX);
-                    let end = next_edge.min(next_slice_start);
-                    debug_assert!(end > ts, "gap slice must cover its tuple");
-                    let idx = self.store.insert_gap_slice(Range::new(ts, end));
-                    self.stats.slices_created += 1;
-                    idx
-                }
-            };
+            let idx = self.late_slice_index(ts);
             self.store.add_out_of_order(idx, ts, value);
         }
         // Window Manager: late tuples below the watermark revise emitted
@@ -758,12 +793,33 @@ impl<A: AggregateFunction> WindowOperator<A> {
         }
     }
 
-    /// Length of the longest prefix of `batch[start..]` that can be
+    /// Slice index for a late tuple at `ts` in a time-tiled store. When
+    /// `ts` falls into a coverage gap (before the first slice, or between
+    /// slices after a bounded insert), a fresh slice is created, bounded
+    /// by the next window edge so it never spans one.
+    fn late_slice_index(&mut self, ts: Time) -> usize {
+        match self.store.covering_index(ts) {
+            Some(i) => i,
+            None => {
+                let next_slice_start =
+                    self.store.slices().map(|s| s.start()).find(|&s| s > ts).unwrap_or(TIME_MAX);
+                let next_edge = self.compute_next_time_edge(ts).unwrap_or(TIME_MAX);
+                let end = next_edge.min(next_slice_start);
+                debug_assert!(end > ts, "gap slice must cover its tuple");
+                let idx = self.store.insert_gap_slice(Range::new(ts, end));
+                self.stats.slices_created += 1;
+                idx
+            }
+        }
+    }
+
+    /// Buffers the longest prefix of `batch[start..]` that can be
     /// ingested as one run into the open slice with exact per-tuple
-    /// semantics: consecutive in-order tuples that cross no slice edge,
-    /// complete no window, and need no context notification. Returns 0
+    /// semantics — consecutive in-order tuples that cross no slice edge,
+    /// complete no window, and need no context notification — into
+    /// `run_buf` and returns its length. Returns 0 (buffering nothing)
     /// when the tuple at `start` must take the per-tuple path.
-    fn run_len(&self, batch: &[(Time, A::Input)], start: usize) -> usize {
+    fn take_run(&mut self, batch: &[(Time, A::Input)], start: usize) -> usize {
         if self.store.is_empty() || self.chars.has_context_aware {
             return 0;
         }
@@ -773,24 +829,39 @@ impl<A: AggregateFunction> WindowOperator<A> {
         if in_order_emit && (self.sweep_always || !self.swept_once) {
             return 0;
         }
+        // Tuples must be in order and inside the open slice (punctuations
+        // can cut slices ahead of the data); a late tuple at `start` exits
+        // before paying for any cap computation.
+        let open_start = self.store.last_slice().map_or(TIME_MAX, |s| s.start());
+        let mut prev = self.max_ts.max(open_start);
+        if batch[start].0 < prev {
+            return 0;
+        }
         // Count caps: stop before the next count edge cuts the open slice
         // and before any count window completes (the per-tuple path checks
         // the trigger both before and after the insert, so the run must
-        // keep the post-insert count strictly below the trigger).
-        let total = self.store.total_count();
+        // keep the post-insert count strictly below the trigger). Pending
+        // buffered run tuples count: the store hasn't seen them yet.
+        // `total_count` walks every live slice, so only pay for it when a
+        // count edge or count trigger actually exists.
         let mut cap = batch.len() - start;
-        if let Some(edge) = self.next_count_edge {
-            if total >= edge {
-                return 0;
-            }
-            cap = cap.min((edge - total) as usize);
-        }
-        if in_order_emit {
-            if let Some(c) = self.next_trigger_count {
-                if total + 1 >= c {
+        let needs_count =
+            self.next_count_edge.is_some() || (in_order_emit && self.next_trigger_count.is_some());
+        if needs_count {
+            let total = self.store.total_count() + self.run_buf.len() as Count;
+            if let Some(edge) = self.next_count_edge {
+                if total >= edge {
                     return 0;
                 }
-                cap = cap.min((c - 1 - total) as usize);
+                cap = cap.min((edge - total) as usize);
+            }
+            if in_order_emit {
+                if let Some(c) = self.next_trigger_count {
+                    if total + 1 >= c {
+                        return 0;
+                    }
+                    cap = cap.min((c - 1 - total) as usize);
+                }
             }
         }
         // Time bound: strictly below the next slice edge and the next
@@ -801,48 +872,279 @@ impl<A: AggregateFunction> WindowOperator<A> {
                 bound = bound.min(t);
             }
         }
-        // Tuples must be in order and inside the open slice (punctuations
-        // can cut slices ahead of the data).
-        let open_start = self.store.last_slice().map_or(TIME_MAX, |s| s.start());
-        let mut prev = self.max_ts.max(open_start);
+        // Buffer the run (committed with one store touch by
+        // `commit_in_order_run`). Disordered streams produce short runs
+        // where a separate scan-then-copy pass costs more than pushing
+        // as we scan, while near-in-order streams produce long runs
+        // where the bulk `extend_from_slice` beats per-element pushes —
+        // so push the first `FUSED` elements inline and switch to
+        // scan + bulk copy for the rest of the run.
+        const FUSED: usize = 32;
         let mut n = 0;
-        while n < cap {
-            let ts = batch[start + n].0;
-            if ts < prev || ts >= bound {
+        let fused_cap = cap.min(FUSED);
+        while n < fused_cap {
+            let (ts, value) = &batch[start + n];
+            if *ts < prev || *ts >= bound {
                 break;
             }
-            prev = ts;
+            prev = *ts;
+            self.run_buf.push((*ts, value.clone()));
             n += 1;
+        }
+        if n == FUSED && n < cap {
+            let tail = start + n;
+            let mut m = 0;
+            while n + m < cap {
+                let ts = batch[tail + m].0;
+                if ts < prev || ts >= bound {
+                    break;
+                }
+                prev = ts;
+                m += 1;
+            }
+            self.run_buf.extend_from_slice(&batch[tail..tail + m]);
+            n += m;
+        }
+        if n > 0 {
+            // `max_ts` advances eagerly so the late/in-order
+            // classification of later batch positions matches per-tuple
+            // processing.
+            self.max_ts = prev;
+            self.stats.tuples += n as u64;
         }
         n
     }
 
-    /// Processes a batch of tuples, ingesting maximal eligible runs with a
-    /// single store touch each (one fold + ⊕ into the open slice, one
-    /// tuple-storage append, one eager-leaf refresh). Tuples at slice
-    /// edges, window completions, or out of order fall back to
-    /// [`process_tuple`](WindowOperator::process_tuple), so emission
-    /// points and results are identical to per-tuple processing.
+    /// Whether a late tuple at `ts` can be deferred into the late buffer
+    /// and applied slice-grouped at the end of the batch. Requires that
+    /// per-tuple processing would have touched exactly one covering slice
+    /// and emitted nothing: a declared out-of-order stream (late tuples
+    /// only emit on watermarks), time-tiled slices (the count-measure
+    /// Figure-6 shift cascades across slices), no context-aware windows
+    /// (their per-tuple notifications can split/merge), and a timestamp
+    /// strictly above the watermark (at or below it, the tuple revises
+    /// already-emitted windows *immediately* via `emit_updates`).
+    fn can_defer_late(&self, ts: Time) -> bool {
+        self.defer_config_ok()
+            && !self.store.is_empty()
+            && ts < self.max_ts
+            && (self.watermark == TIME_MIN || ts > self.watermark)
+    }
+
+    /// The batch-invariant half of [`can_defer_late`]: nothing here can
+    /// change while a batch of tuples is being processed, so
+    /// [`process_batch_tuples`] evaluates it once per batch and leaves
+    /// only the per-tuple timestamp/store checks in the loop.
+    ///
+    /// [`can_defer_late`]: WindowOperator::can_defer_late
+    /// [`process_batch_tuples`]: WindowOperator::process_batch_tuples
+    fn defer_config_ok(&self) -> bool {
+        !self.cfg.disable_ooo_batching
+            && self.cfg.order == StreamOrder::OutOfOrder
+            && !self.count_mode()
+            && !self.chars.has_context_aware
+    }
+
+    /// Applies the pending in-order run buffer with a single store touch.
+    /// Must run before anything reads or restructures the store (late-run
+    /// flushes, per-tuple fallbacks): slices keep their tuples sorted by
+    /// timestamp, so buffered appends have to land before a late tuple is
+    /// merged below them.
+    fn commit_in_order_run(&mut self) {
+        if self.run_buf.is_empty() {
+            return;
+        }
+        let mut buf = std::mem::take(&mut self.run_buf);
+        self.store.add_in_order_run(&buf);
+        buf.clear();
+        self.run_buf = buf; // keep the allocation for the next batch
+    }
+
+    /// Whether deferred late tuples can fold straight into per-slice
+    /// partials ([`late_groups`](WindowOperator::late_groups)): with
+    /// tuples dropped and a commutative ⊕, nothing observes the order
+    /// late tuples were folded in, so no sort is needed. Otherwise they
+    /// collect in `late_buf` for the sorted-run path.
+    fn defer_unsorted(&self) -> bool {
+        self.f.properties().commutative && !self.store.keeps_tuples()
+    }
+
+    /// Folds one deferred late tuple into its covering slice's pending
+    /// group. The group list doubles as the slice-lookup cache: late
+    /// tuples cluster in the few slices just behind the stream head, so
+    /// scanning these entries (all in cache) almost always beats a fresh
+    /// binary search over the store.
+    fn defer_into_group(&mut self, ts: Time, v: &A::Input) {
+        let lifted = self.f.lift(v);
+        // `ts - start < end - start` as unsigned is the usual
+        // single-compare interval test (a too-small ts wraps to a huge
+        // unsigned value).
+        if let Some(g) = self
+            .late_groups
+            .iter_mut()
+            .find(|g| (ts.wrapping_sub(g.start) as u64) < (g.end - g.start) as u64)
+        {
+            g.partial = Some(self.f.combine(g.partial.take().expect("partial present"), &lifted));
+            g.t_first = g.t_first.min(ts);
+            g.t_last = g.t_last.max(ts);
+            g.n += 1;
+            return;
+        }
+        let created = self.stats.slices_created;
+        let idx = self.late_slice_index(ts);
+        if self.stats.slices_created != created {
+            // A gap slice was inserted at `idx`: group entries at or past
+            // it shifted right.
+            for g in &mut self.late_groups {
+                if g.idx >= idx {
+                    g.idx += 1;
+                }
+            }
+        }
+        let s = self.store.slice(idx);
+        self.late_groups.push(LateGroup {
+            idx,
+            start: s.start(),
+            end: s.end(),
+            partial: Some(lifted),
+            t_first: ts,
+            t_last: ts,
+            n: 1,
+        });
+    }
+
+    /// Applies the deferred late tuples: one store touch per covering
+    /// slice, then a single eager-tree repair of the whole dirty
+    /// frontier. Pre-folded groups ([`defer_unsorted`]) become one
+    /// [`SliceStore::add_out_of_order_partial`] each; buffered tuples
+    /// (tuple storage or a non-commutative fold, where insertion order is
+    /// observable) are stable-sorted by timestamp and applied as one
+    /// [`SliceStore::add_out_of_order_run`] per covering slice, group
+    /// boundaries found with one binary search each. k late tuples
+    /// hitting m slices cost m slice touches + one bottom-up repair
+    /// (+ `O(k log k)` sort on the buffered path), instead of k
+    /// covering-slice searches, k tuple inserts, and k `O(log s)`
+    /// ancestor walks.
+    ///
+    /// Deferral preserves per-tuple semantics: deferred tuples emit
+    /// nothing (they sit above the watermark), their covering slices are
+    /// unaffected by interleaved in-order appends (slices are only created
+    /// *after* all existing ones mid-batch), and arrival order among
+    /// equal timestamps is kept — the stable sort preserves it, and the
+    /// pre-folded path is only taken when fold order cannot be observed —
+    /// so each slice receives the same tuples in the same tie order as
+    /// the per-tuple path.
+    ///
+    /// [`defer_unsorted`]: WindowOperator::defer_unsorted
+    fn flush_late_runs(&mut self) {
+        self.commit_in_order_run();
+        if self.late_groups.is_empty() && self.late_buf.is_empty() {
+            return;
+        }
+        if !self.late_groups.is_empty() {
+            let mut groups = std::mem::take(&mut self.late_groups);
+            for g in groups.drain(..) {
+                let p = g.partial.expect("partial present");
+                self.store.add_out_of_order_partial(g.idx, p, g.t_first, g.t_last, g.n);
+            }
+            self.late_groups = groups; // keep the allocation
+        }
+        if !self.late_buf.is_empty() {
+            let mut buf = std::mem::take(&mut self.late_buf);
+            buf.sort_by_key(|&(t, _)| t);
+            let mut i = 0;
+            while i < buf.len() {
+                let idx = self.late_slice_index(buf[i].0);
+                let slice_end = self.store.slice(idx).end();
+                let j = i + buf[i..].partition_point(|&(t, _)| t < slice_end);
+                debug_assert!(j > i, "late group must contain its first tuple");
+                self.store.add_out_of_order_run(idx, &buf[i..j]);
+                i = j;
+            }
+            buf.clear();
+            self.late_buf = buf; // keep the allocation for the next batch
+        }
+        self.store.flush_eager_repairs();
+    }
+
+    /// Processes a batch of tuples, ingesting maximal eligible in-order
+    /// runs with a single store touch each (one fold + ⊕ into the open
+    /// slice, one tuple-storage append, one eager-leaf refresh) and
+    /// deferring eligible late tuples into slice-grouped runs applied once
+    /// per batch (see [`flush_late_runs`]). Everything else — tuples at
+    /// slice edges, window completions, below-watermark stragglers,
+    /// count-measure shifts — falls back to
+    /// [`process_tuple`](WindowOperator::process_tuple) after the pending
+    /// late buffer is flushed, so emission points and results are
+    /// identical to per-tuple processing.
+    ///
+    /// [`flush_late_runs`]: WindowOperator::flush_late_runs
     pub fn process_batch_tuples(
         &mut self,
         batch: &[(Time, A::Input)],
         out: &mut Vec<WindowResult<A::Output>>,
     ) {
+        let unsorted = self.defer_unsorted();
+        let defer_ok = self.defer_config_ok();
+        // Deferred-tuple stats accumulate in a local and land once per
+        // batch; nothing observes `stats` mid-batch.
+        let mut late_n = 0u64;
         let mut i = 0;
         while i < batch.len() {
-            let n = self.run_len(batch, i);
-            if n <= 1 {
-                let (ts, value) = &batch[i];
-                self.process_tuple(*ts, value.clone(), out);
+            let (ts, value) = &batch[i];
+            if *ts < self.max_ts {
+                // Late tuple: defer it, or flush and fall back. Testing
+                // lateness first (one comparison) keeps the data-dependent
+                // late singles off the run-detection path entirely. The
+                // watermark comparison under-approximates `can_defer_late`
+                // only for `ts == watermark == TIME_MIN`, where the
+                // fallback is equally correct (nothing has been emitted
+                // yet, so there is nothing to revise).
+                if defer_ok && *ts > self.watermark && !self.store.is_empty() {
+                    debug_assert!(self.can_defer_late(*ts));
+                    late_n += 1;
+                    if unsorted {
+                        self.defer_into_group(*ts, value);
+                    } else {
+                        self.late_buf.push((*ts, value.clone()));
+                    }
+                } else {
+                    // A below-watermark straggler, count-measure query, or
+                    // context-aware query: apply the pending run and the
+                    // pending late runs so per-tuple processing sees final
+                    // state.
+                    self.commit_in_order_run();
+                    if !self.store.is_empty() {
+                        self.flush_late_runs();
+                    }
+                    self.process_tuple(*ts, value.clone(), out);
+                }
                 i += 1;
                 continue;
             }
-            let run = &batch[i..i + n];
-            self.store.add_in_order_run(run);
-            self.max_ts = run[n - 1].0;
-            self.stats.tuples += n as u64;
-            i += n;
+            // Accumulate rather than apply: the buffered run commutes
+            // with deferred late tuples (it only feeds the open slice and
+            // emits nothing a late tuple could affect), so one run can
+            // span any number of deferred late singles — disorder does
+            // not shorten runs.
+            let n = self.take_run(batch, i);
+            if n >= 1 {
+                i += n;
+                continue;
+            }
+            // An in-order run breaker (slice edge, window completion,
+            // count cap, first tuple): apply the pending run, then take
+            // the per-tuple path. No late flush is needed — on an
+            // out-of-order stream an in-order tuple only cuts or appends
+            // slices and triggers nothing a deferred late tuple could
+            // affect.
+            self.commit_in_order_run();
+            self.process_tuple(*ts, value.clone(), out);
+            i += 1;
         }
+        self.stats.tuples += late_n;
+        self.stats.ooo_tuples += late_n;
+        self.flush_late_runs();
     }
 
     /// Processes a stream punctuation (FCF windows, paper Section 4.4).
@@ -904,6 +1206,9 @@ impl<A: AggregateFunction> Clone for WindowOperator<A> {
             sweep_always: self.sweep_always,
             swept_once: self.swept_once,
             stats: self.stats,
+            late_buf: self.late_buf.clone(),
+            late_groups: self.late_groups.clone(),
+            run_buf: self.run_buf.clone(),
             context_aware: self.context_aware.clone(),
             edges: self.edges.clone(),
         }
@@ -925,6 +1230,10 @@ impl<A: AggregateFunction> WindowAggregator<A> for WindowOperator<A> {
 
     fn on_watermark(&mut self, wm: Time, out: &mut Vec<WindowResult<A::Output>>) {
         self.process_watermark(wm, out);
+    }
+
+    fn on_punctuation(&mut self, ts: Time, out: &mut Vec<WindowResult<A::Output>>) {
+        self.process_punctuation(ts, out);
     }
 
     fn memory_bytes(&self) -> usize {
@@ -1100,6 +1409,70 @@ mod tests {
         let eager: WindowOperator<SumI64> =
             WindowOperator::new(SumI64, OperatorConfig::in_order().with_policy(StorePolicy::Eager));
         assert_eq!(eager.name(), "Eager Slicing");
+    }
+
+    #[test]
+    fn batched_ooo_grouping_matches_per_tuple() {
+        for policy in [StorePolicy::Lazy, StorePolicy::Eager] {
+            let cfg = OperatorConfig::out_of_order(1_000).with_policy(policy);
+            let mut a = WindowOperator::new(SumI64, cfg);
+            let mut b = WindowOperator::new(SumI64, cfg);
+            a.add_query(Box::new(TumblingStub { length: 10 })).unwrap();
+            b.add_query(Box::new(TumblingStub { length: 10 })).unwrap();
+            // In-order spine with interleaved late tuples, including ties,
+            // a coverage gap (nothing in [40,50) until the late 44), and a
+            // below-watermark straggler after the first watermark.
+            let batch1: Vec<(Time, i64)> =
+                vec![(5, 5), (50, 1), (12, 12), (44, 44), (12, 120), (55, 2), (3, 30)];
+            let batch2: Vec<(Time, i64)> = vec![(60, 6), (14, 140), (58, 3)];
+            let mut out_a = Vec::new();
+            let mut out_b = Vec::new();
+            for (ts, v) in &batch1 {
+                a.process_tuple(*ts, *v, &mut out_a);
+            }
+            b.process_batch_tuples(&batch1, &mut out_b);
+            a.process_watermark(20, &mut out_a);
+            b.process_watermark(20, &mut out_b);
+            for (ts, v) in &batch2 {
+                a.process_tuple(*ts, *v, &mut out_a);
+            }
+            b.process_batch_tuples(&batch2, &mut out_b);
+            a.process_watermark(100, &mut out_a);
+            b.process_watermark(100, &mut out_b);
+            let key = |r: &WindowResult<i64>| (r.query, r.range.start, r.range.end, r.value);
+            assert_eq!(
+                out_a.iter().map(key).collect::<Vec<_>>(),
+                out_b.iter().map(key).collect::<Vec<_>>(),
+                "policy {policy:?}"
+            );
+            assert_eq!(a.stats().tuples, b.stats().tuples);
+            assert_eq!(a.stats().ooo_tuples, b.stats().ooo_tuples);
+            assert_eq!(a.stats().dropped_late, b.stats().dropped_late);
+        }
+    }
+
+    #[test]
+    fn disable_ooo_batching_matches_enabled() {
+        let base = OperatorConfig::out_of_order(1_000).with_policy(StorePolicy::Eager);
+        let mut enabled = WindowOperator::new(SumI64, base);
+        let mut disabled =
+            WindowOperator::new(SumI64, OperatorConfig { disable_ooo_batching: true, ..base });
+        enabled.add_query(Box::new(TumblingStub { length: 10 })).unwrap();
+        disabled.add_query(Box::new(TumblingStub { length: 10 })).unwrap();
+        let batch: Vec<(Time, i64)> = (0..200)
+            .map(|i| if i % 5 == 0 { (i as Time * 2 - 7, i) } else { (i as Time * 2, i) })
+            .collect();
+        let mut out_e = Vec::new();
+        let mut out_d = Vec::new();
+        enabled.process_batch_tuples(&batch, &mut out_e);
+        disabled.process_batch_tuples(&batch, &mut out_d);
+        enabled.process_watermark(500, &mut out_e);
+        disabled.process_watermark(500, &mut out_d);
+        let key = |r: &WindowResult<i64>| (r.query, r.range.start, r.range.end, r.value);
+        assert_eq!(
+            out_e.iter().map(key).collect::<Vec<_>>(),
+            out_d.iter().map(key).collect::<Vec<_>>()
+        );
     }
 
     #[test]

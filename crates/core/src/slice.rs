@@ -193,6 +193,102 @@ impl<A: AggregateFunction> Slice<A> {
         }
     }
 
+    /// Adds a sorted run of out-of-order tuples in one step (the batched
+    /// out-of-order fast path). The caller guarantees the run is
+    /// non-decreasing in timestamp; nothing else is assumed — tuples may
+    /// fall anywhere relative to the stored ones. Equivalent to calling
+    /// [`Slice::add_out_of_order`] once per tuple in run order: stored
+    /// tuples are merged in one `O(n + k)` pass (each run tuple lands
+    /// *after* existing equal-timestamp tuples, preserving arrival-order
+    /// ties), and for commutative functions the run folds into one lifted
+    /// partial combined with a single ⊕ instead of k separate ⊕ steps.
+    /// Non-commutative functions recompute once instead of k times.
+    pub fn add_out_of_order_run(&mut self, f: &A, run: &[(Time, A::Input)]) {
+        let (Some(&(first_ts, _)), Some(&(last_ts, _))) = (run.first(), run.last()) else {
+            return;
+        };
+        debug_assert!(run.windows(2).all(|w| w[0].0 <= w[1].0), "run not sorted");
+        let commutative = f.properties().commutative;
+        if let Some(tuples) = &mut self.tuples {
+            if first_ts >= self.t_last {
+                // The whole run follows every stored tuple (ties included:
+                // equal timestamps append after, matching the per-tuple
+                // stable insert).
+                tuples.extend_from_slice(run);
+            } else {
+                // One merge pass; run tuples go after stored equal-ts ones.
+                let mut merged = Vec::with_capacity(tuples.len() + run.len());
+                let mut it = run.iter();
+                let mut next = it.next();
+                for old in tuples.drain(..) {
+                    while let Some(&(ts, ref v)) = next {
+                        if ts < old.0 {
+                            merged.push((ts, v.clone()));
+                            next = it.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    merged.push(old);
+                }
+                while let Some(&(ts, ref v)) = next {
+                    merged.push((ts, v.clone()));
+                    next = it.next();
+                }
+                *tuples = merged;
+            }
+        } else {
+            debug_assert!(
+                commutative,
+                "non-commutative out-of-order insert requires stored tuples (Figure 4)"
+            );
+        }
+        self.t_first = self.t_first.min(first_ts);
+        self.t_last = self.t_last.max(last_ts);
+        self.n_tuples += run.len();
+        if commutative {
+            let mut it = run.iter();
+            let (_, v0) = it.next().expect("run is non-empty");
+            let mut p = f.lift(v0);
+            for (_, v) in it {
+                p = f.combine(p, &f.lift(v));
+            }
+            self.agg = Some(match self.agg.take() {
+                None => p,
+                Some(a) => f.combine(a, &p),
+            });
+        } else {
+            self.recompute(f);
+        }
+    }
+
+    /// Merges a pre-folded partial of out-of-order tuples (minimum
+    /// timestamp `t_first`, maximum `t_last`, `n` tuples) with a single ⊕.
+    /// Only valid without tuple storage and for commutative functions:
+    /// nothing then observes the order late tuples were folded in, so the
+    /// caller may group them by covering slice without sorting.
+    pub fn add_out_of_order_partial(
+        &mut self,
+        f: &A,
+        partial: A::Partial,
+        t_first: Time,
+        t_last: Time,
+        n: usize,
+    ) {
+        debug_assert!(self.tuples.is_none(), "partial-only insert requires dropped tuples");
+        debug_assert!(
+            f.properties().commutative,
+            "partial-only insert requires a commutative function"
+        );
+        self.t_first = self.t_first.min(t_first);
+        self.t_last = self.t_last.max(t_last);
+        self.n_tuples += n;
+        self.agg = Some(match self.agg.take() {
+            None => partial,
+            Some(a) => f.combine(a, &partial),
+        });
+    }
+
     /// Adds a tuple moved here by the count shift (Figure 6). Unlike
     /// [`Slice::add_out_of_order`], the tuple is inserted *before* any
     /// stored tuple with an equal timestamp: it comes from the predecessor
@@ -448,6 +544,59 @@ mod tests {
         s.add_in_order(&f, 7, 3);
         s.add_out_of_order(&f, 5, 2); // same ts as first tuple, arrived later
         assert_eq!(s.aggregate(), Some(&vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn ooo_run_matches_per_tuple_adds() {
+        let f = SumI64;
+        for keep in [false, true] {
+            let mut a = slice_with(&f, Range::new(0, 100), keep, &[(10, 1), (50, 5), (90, 9)]);
+            let mut b = a.clone();
+            let run = [(5, 50), (10, 100), (10, 101), (55, 2), (95, 3)];
+            for (ts, v) in run {
+                a.add_out_of_order(&f, ts, v);
+            }
+            b.add_out_of_order_run(&f, &run);
+            assert_eq!(a.aggregate(), b.aggregate());
+            assert_eq!(a.len(), b.len());
+            assert_eq!(a.t_first(), b.t_first());
+            assert_eq!(a.t_last(), b.t_last());
+            assert_eq!(a.tuples(), b.tuples());
+        }
+    }
+
+    #[test]
+    fn ooo_run_appends_when_past_t_last() {
+        let f = SumI64;
+        let mut s = slice_with(&f, Range::new(0, 100), true, &[(10, 1), (20, 2)]);
+        s.add_out_of_order_run(&f, &[(20, 200), (30, 3)]);
+        // The tied (20, 200) lands after the stored (20, 2).
+        assert_eq!(s.tuples(), Some(&[(10, 1), (20, 2), (20, 200), (30, 3)][..]));
+        assert_eq!(s.aggregate(), Some(&206));
+    }
+
+    #[test]
+    fn ooo_run_non_commutative_recomputes_in_event_time_order() {
+        let f = Concat;
+        let mut s: Slice<Concat> = Slice::new(Range::new(0, 100), true);
+        s.add_in_order(&f, 20, 20);
+        s.add_in_order(&f, 80, 80);
+        s.add_out_of_order_run(&f, &[(10, 10), (20, 21), (50, 50)]);
+        // Event-time order with arrival-order ties: 21 follows the stored 20.
+        assert_eq!(s.aggregate(), Some(&vec![10, 20, 21, 50, 80]));
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn ooo_run_into_empty_slice() {
+        let f = SumI64;
+        let mut s: Slice<SumI64> = Slice::new(Range::new(0, 100), true);
+        s.add_out_of_order_run(&f, &[(3, 3), (7, 7)]);
+        assert_eq!(s.aggregate(), Some(&10));
+        assert_eq!(s.t_first(), 3);
+        assert_eq!(s.t_last(), 7);
+        s.add_out_of_order_run(&f, &[]);
+        assert_eq!(s.len(), 2);
     }
 
     #[test]

@@ -273,6 +273,58 @@ impl<A: AggregateFunction> SliceStore<A> {
         self.refresh_leaf(idx);
     }
 
+    /// Adds a sorted run of out-of-order tuples to slice `idx` with **one**
+    /// slice touch (one tuple merge, one combined partial — see
+    /// [`Slice::add_out_of_order_run`]) and a *deferred* eager-leaf write:
+    /// the leaf value is refreshed immediately but its ancestor repair is
+    /// postponed until [`SliceStore::flush_eager_repairs`], so k late runs
+    /// into m slices cost m leaf writes plus one bottom-up repair of the
+    /// dirty frontier instead of m full `O(log s)` walks.
+    pub fn add_out_of_order_run(&mut self, idx: usize, run: &[(Time, A::Input)]) {
+        if run.is_empty() {
+            return;
+        }
+        self.slices[idx].add_out_of_order_run(&self.f, run);
+        if let Some(t) = &mut self.eager {
+            t.update_deferred(idx, self.slices[idx].aggregate().cloned());
+        }
+    }
+
+    /// Applies a pre-folded partial of late tuples to slice `idx` — the
+    /// unsorted out-of-order fast path for commutative functions without
+    /// tuple storage. `t_first`/`t_last` are the group's extreme
+    /// timestamps and `n` its tuple count; eager leaf refresh is deferred
+    /// like [`SliceStore::add_out_of_order_run`].
+    pub fn add_out_of_order_partial(
+        &mut self,
+        idx: usize,
+        partial: A::Partial,
+        t_first: Time,
+        t_last: Time,
+        n: usize,
+    ) {
+        self.slices[idx].add_out_of_order_partial(&self.f, partial, t_first, t_last, n);
+        if let Some(t) = &mut self.eager {
+            t.update_deferred(idx, self.slices[idx].aggregate().cloned());
+        }
+    }
+
+    /// Repairs the eager tree's dirty frontier after deferred leaf writes.
+    /// Must run before any window query; no-op for lazy stores and clean
+    /// trees. (Structural slice operations — gap inserts, splits, merges,
+    /// evictions — rebuild the tree wholesale and clear pending repairs on
+    /// their own.)
+    pub fn flush_eager_repairs(&mut self) {
+        if let Some(t) = &mut self.eager {
+            t.repair_dirty();
+        }
+    }
+
+    /// Whether deferred eager-leaf writes are pending repair.
+    pub fn has_pending_repairs(&self) -> bool {
+        self.eager.as_ref().is_some_and(|t| t.has_dirty())
+    }
+
     /// Splits the slice covering `ts` at `ts`. Returns `false` if `ts`
     /// already is a slice edge (nothing to do) or lies outside all slices.
     pub fn split_at(&mut self, ts: Time) -> bool {
@@ -724,6 +776,94 @@ mod tests {
                 assert_eq!(per_tuple.slice(0).tuples(), batched.slice(0).tuples());
             }
         }
+    }
+
+    #[test]
+    fn add_out_of_order_run_matches_per_tuple_adds() {
+        for policy in [StorePolicy::Lazy, StorePolicy::Eager] {
+            for keep in [false, true] {
+                let mut per_tuple = filled(policy, keep);
+                let mut batched = filled(policy, keep);
+                // One sorted run per touched slice, as the operator groups.
+                let groups: [&[(Time, i64)]; 3] =
+                    [&[(2, 2), (5, 50), (5, 51)], &[(11, 11)], &[(25, 100), (29, 290)]];
+                for run in groups {
+                    let idx = per_tuple.covering_index(run[0].0).unwrap();
+                    for &(ts, v) in run {
+                        per_tuple.add_out_of_order(idx, ts, v);
+                    }
+                    batched.add_out_of_order_run(idx, run);
+                }
+                assert_eq!(batched.has_pending_repairs(), policy == StorePolicy::Eager);
+                batched.flush_eager_repairs();
+                assert!(!batched.has_pending_repairs());
+                for (a, b) in [(0, 10), (10, 20), (20, 30), (0, 30)] {
+                    assert_eq!(
+                        per_tuple.query_time(Range::new(a, b)),
+                        batched.query_time(Range::new(a, b)),
+                        "policy {policy:?} keep {keep} range [{a},{b})"
+                    );
+                }
+                if keep {
+                    for i in 0..3 {
+                        assert_eq!(per_tuple.slice(i).tuples(), batched.slice(i).tuples());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_out_of_order_partial_matches_per_tuple_adds() {
+        // Pre-folded group inserts (the operator's unsorted late path)
+        // must land like the equivalent per-tuple adds. Tuples are
+        // dropped (`keep = false`): the API is only legal there.
+        for policy in [StorePolicy::Lazy, StorePolicy::Eager] {
+            let mut per_tuple = filled(policy, false);
+            let mut grouped = filled(policy, false);
+            let groups: [&[(Time, i64)]; 3] =
+                [&[(5, 50), (2, 2), (5, 51)], &[(11, 11)], &[(29, 290), (25, 100)]];
+            for run in groups {
+                let idx = per_tuple.covering_index(run[0].0).unwrap();
+                for &(ts, v) in run {
+                    per_tuple.add_out_of_order(idx, ts, v);
+                }
+                let partial = run.iter().skip(1).fold(run[0].1, |a, &(_, v)| a + v);
+                let t_first = run.iter().map(|&(t, _)| t).min().unwrap();
+                let t_last = run.iter().map(|&(t, _)| t).max().unwrap();
+                grouped.add_out_of_order_partial(idx, partial, t_first, t_last, run.len());
+            }
+            assert_eq!(grouped.has_pending_repairs(), policy == StorePolicy::Eager);
+            grouped.flush_eager_repairs();
+            assert!(!grouped.has_pending_repairs());
+            for (a, b) in [(0, 10), (10, 20), (20, 30), (0, 30)] {
+                assert_eq!(
+                    per_tuple.query_time(Range::new(a, b)),
+                    grouped.query_time(Range::new(a, b)),
+                    "policy {policy:?} range [{a},{b})"
+                );
+            }
+            assert_eq!(per_tuple.total_count(), grouped.total_count());
+            for i in 0..3 {
+                assert_eq!(per_tuple.slice(i).t_first(), grouped.slice(i).t_first());
+                assert_eq!(per_tuple.slice(i).t_last(), grouped.slice(i).t_last());
+            }
+        }
+    }
+
+    #[test]
+    fn structural_ops_between_deferred_writes_stay_consistent() {
+        let mut st = filled(StorePolicy::Eager, true);
+        st.add_out_of_order_run(0, &[(3, 3)]);
+        // A gap insert rebuilds the whole eager tree and clears the dirty
+        // set; the deferred leaf write must survive the rebuild.
+        st.insert_gap_slice(Range::new(40, 50));
+        assert!(!st.has_pending_repairs());
+        assert_eq!(st.query_time(Range::new(0, 10)), Some(9));
+        st.add_out_of_order_run(1, &[(13, 13)]);
+        st.flush_eager_repairs();
+        assert_eq!(st.query_time(Range::new(10, 20)), Some(25));
+        assert_eq!(st.query_time(Range::new(0, 30)), Some(84));
     }
 
     #[test]

@@ -78,9 +78,7 @@ impl PipelineConfig {
 enum Chunk<V> {
     Records(Vec<(Time, V)>),
     Watermark(Time),
-    // The timestamp rides along for future punctuation-aware operators
-    // even though no current worker consumes it.
-    Punctuation(#[allow(dead_code)] Time),
+    Punctuation(Time),
 }
 
 /// Outcome of a pipeline run.
@@ -226,11 +224,7 @@ where
                             }
                         }
                         Chunk::Watermark(wm) => op.on_watermark(wm, &mut scratch),
-                        Chunk::Punctuation(_) => {
-                            // The facade trait has no punctuation entry
-                            // point; FCF workloads drive the operator
-                            // API directly instead of via a pipeline.
-                        }
+                        Chunk::Punctuation(ts) => op.on_punctuation(ts, &mut scratch),
                     }
                     count += scratch.len() as u64;
                     if collect {
@@ -401,6 +395,64 @@ mod tests {
             m
         };
         assert_eq!(norm(&batched), norm(&per_tuple));
+    }
+
+    #[test]
+    fn punctuation_windows_flow_through_pipeline() {
+        // FCF punctuation workload end-to-end: punctuations are broadcast
+        // to every partition and forwarded to the operator's punctuation
+        // entry point, mirroring the direct-API test in gss-windows.
+        let factory = |_: usize| {
+            let mut op = WindowOperator::new(SumI64, OperatorConfig::in_order());
+            op.add_query(Box::new(gss_windows::PunctuationWindow::new())).unwrap();
+            Box::new(op) as Box<dyn WindowAggregator<SumI64>>
+        };
+        let elements: Vec<StreamElement<(u64, i64)>> = vec![
+            StreamElement::Punctuation(0),
+            StreamElement::Record { ts: 1, value: (0, 1) },
+            StreamElement::Record { ts: 5, value: (0, 5) },
+            StreamElement::Punctuation(10),
+            StreamElement::Record { ts: 12, value: (0, 12) },
+            StreamElement::Punctuation(20),
+        ];
+        let report = run_keyed(elements, PipelineConfig::default(), factory);
+        assert_eq!(report.records, 3);
+        let mut results: Vec<(i64, i64, i64)> =
+            report.results.iter().map(|(_, r)| (r.range.start, r.range.end, r.value)).collect();
+        results.sort_unstable();
+        assert_eq!(results, vec![(0, 10, 6), (10, 20, 12)]);
+    }
+
+    #[test]
+    fn punctuations_broadcast_to_all_partitions() {
+        // Two keys on two partitions, values all 1: each partition sees
+        // the same punctuation boundaries, so summing a window's results
+        // across partitions counts the tuples in its range.
+        let factory = |_: usize| {
+            let mut op = WindowOperator::new(SumI64, OperatorConfig::in_order());
+            op.add_query(Box::new(gss_windows::PunctuationWindow::new())).unwrap();
+            Box::new(op) as Box<dyn WindowAggregator<SumI64>>
+        };
+        let mut elements: Vec<StreamElement<(u64, i64)>> = Vec::new();
+        for i in 0..200i64 {
+            if i % 50 == 0 {
+                elements.push(StreamElement::Punctuation(i));
+            }
+            elements.push(StreamElement::Record { ts: i, value: (i as u64 % 2, 1) });
+        }
+        elements.push(StreamElement::Punctuation(200));
+        let report = run_keyed(elements, PipelineConfig::with_parallelism(2), factory);
+        assert_eq!(report.records, 200);
+        let mut per_window: std::collections::BTreeMap<(i64, i64), i64> =
+            std::collections::BTreeMap::new();
+        for (_, r) in &report.results {
+            *per_window.entry((r.range.start, r.range.end)).or_default() += r.value;
+        }
+        let windows: Vec<((i64, i64), i64)> = per_window.into_iter().collect();
+        assert_eq!(
+            windows,
+            vec![((0, 50), 50), ((50, 100), 50), ((100, 150), 50), ((150, 200), 50)]
+        );
     }
 
     #[test]

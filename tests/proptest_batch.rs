@@ -211,10 +211,10 @@ proptest! {
         }
     }
 
-    /// Pairs and Cutty use the default `process_batch` (a per-tuple
-    /// loop); pin that the default impl preserves the stream too.
+    /// Pairs, Cutty, and Panes fold in-order runs into their open partial
+    /// with one combine; pin the fast path against per-tuple processing.
     #[test]
-    fn batch_default_impl_matches_for_pairs_and_cutty(
+    fn batch_fast_path_matches_for_pairs_cutty_panes(
         raw in prop::collection::vec((0i64..2_000, -50i64..50), 1..150),
         length in 1i64..50,
         slide in 1i64..50,
@@ -240,5 +240,137 @@ proptest! {
         let a = drive_per_tuple(&mut c1, &elements);
         let b = drive_batched(&mut c2, &elements, batch_size);
         prop_assert_eq!(a, b, "cutty diverged at batch size {}", batch_size);
+
+        let mut n1 = Panes::new(Sum);
+        n1.add_query(length, slide);
+        let mut n2 = Panes::new(Sum);
+        n2.add_query(length, slide);
+        let a = drive_per_tuple(&mut n1, &elements);
+        let b = drive_batched(&mut n2, &elements, batch_size);
+        prop_assert_eq!(a, b, "panes diverged at batch size {}", batch_size);
+    }
+
+    /// The PR 2 out-of-order grid (paper Figure 11 setup): allowed
+    /// lateness {0, 50, 500} × disorder {5%, 20%, 50%} × batch sizes
+    /// {1, 64, 512}, lazy and eager stores. The batched late-run grouping
+    /// path (sort + one combined partial per touched slice, deferred
+    /// FlatFAT repair) must emit a bit-identical result stream to the
+    /// per-tuple path, including allowed-lateness drops.
+    #[test]
+    fn ooo_grid_batched_matches_per_tuple(
+        raw in prop::collection::vec((0i64..3_000, -50i64..50), 1..250),
+        lateness_i in 0usize..3,
+        disorder_i in 0usize..3,
+        batch_i in 0usize..3,
+        length in 2i64..60,
+        slide in 1i64..30,
+        seed in 0u64..1_000,
+    ) {
+        let lateness = [0i64, 50, 500][lateness_i];
+        let fraction = [5u8, 20, 50][disorder_i];
+        let batch_size = [1usize, 64, 512][batch_i];
+        let tuples = sorted(&raw);
+        let arrivals = make_out_of_order(
+            &tuples,
+            OooConfig { fraction_percent: fraction, max_delay: 200, seed, ..Default::default() },
+        );
+        let elements = with_watermarks(&arrivals, 40, 80);
+        let queries: Vec<Box<dyn Fn() -> Box<dyn WindowFunction>>> = vec![
+            Box::new(move || Box::new(TumblingWindow::new(length))),
+            Box::new(move || Box::new(SlidingWindow::new(length.max(slide), slide))),
+        ];
+        for (name, mut per_tuple, mut batched) in
+            techniques(&queries, StreamOrder::OutOfOrder, lateness)
+        {
+            let a = drive_per_tuple(per_tuple.as_mut(), &elements);
+            let b = drive_batched(batched.as_mut(), &elements, batch_size);
+            prop_assert_eq!(
+                a, b,
+                "{} diverged: lateness {} disorder {}% batch {}",
+                name, lateness, fraction, batch_size
+            );
+        }
+    }
+
+    /// Out-of-order sessions: late tuples split gap slices, so batched
+    /// late runs straddle slice splits and the grouping path must fall
+    /// back per-tuple for context-aware workloads without changing any
+    /// emission or merge/split decision.
+    #[test]
+    fn ooo_sessions_batched_matches_per_tuple(
+        raw in prop::collection::vec((0i64..2_000, -50i64..50), 1..150),
+        gap in 5i64..80,
+        lateness_i in 0usize..3,
+        batch_i in 0usize..3,
+        fraction in 5u8..50,
+        seed in 0u64..1_000,
+    ) {
+        let lateness = [0i64, 50, 500][lateness_i];
+        let batch_size = [1usize, 64, 512][batch_i];
+        let tuples = sorted(&raw);
+        let arrivals = make_out_of_order(
+            &tuples,
+            OooConfig { fraction_percent: fraction, max_delay: 150, seed, ..Default::default() },
+        );
+        let elements = with_watermarks(&arrivals, 40, 80);
+        let queries: Vec<Box<dyn Fn() -> Box<dyn WindowFunction>>> = vec![
+            Box::new(move || Box::new(SessionWindow::new(gap))),
+        ];
+        for (name, mut per_tuple, mut batched) in
+            techniques(&queries, StreamOrder::OutOfOrder, lateness)
+        {
+            let a = drive_per_tuple(per_tuple.as_mut(), &elements);
+            let b = drive_batched(batched.as_mut(), &elements, batch_size);
+            prop_assert_eq!(
+                a, b,
+                "{} diverged: gap {} lateness {} batch {}",
+                name, gap, lateness, batch_size
+            );
+        }
+    }
+
+    /// FlatFAT deferred repair: a random interleaving of
+    /// `update_deferred`/`push_deferred` plus `repair_dirty` must leave
+    /// the tree indistinguishable from eager `update`/`push` — same
+    /// total, same range queries.
+    #[test]
+    fn flatfat_deferred_repair_matches_eager_update(
+        init in prop::collection::vec(-100i64..100, 1..64),
+        ops in prop::collection::vec((0u8..4, 0usize..256, -100i64..100), 1..200),
+    ) {
+        use general_stream_slicing::core::FlatFat;
+        let mut eager = FlatFat::new(Sum);
+        let mut deferred = FlatFat::new(Sum);
+        for &v in &init {
+            eager.push(Some(v));
+            deferred.push(Some(v));
+        }
+        for (step, &(sel, idx, v)) in ops.iter().enumerate() {
+            match sel {
+                0 | 1 => {
+                    let i = idx % eager.len();
+                    eager.update(i, Some(v));
+                    deferred.update_deferred(i, Some(v));
+                }
+                2 => {
+                    eager.push(Some(v));
+                    deferred.push_deferred(Some(v));
+                }
+                _ => deferred.repair_dirty(),
+            }
+            if step % 7 == 0 {
+                deferred.repair_dirty();
+                prop_assert_eq!(eager.total(), deferred.total(), "total diverged at {}", step);
+            }
+        }
+        deferred.repair_dirty();
+        prop_assert!(!deferred.has_dirty());
+        let n = eager.len();
+        prop_assert_eq!(n, deferred.len());
+        for l in 0..n {
+            for r in (l + 1..=n).step_by(3) {
+                prop_assert_eq!(eager.query(l, r), deferred.query(l, r), "query {}..{}", l, r);
+            }
+        }
     }
 }
