@@ -1,0 +1,79 @@
+//! Criterion microbenchmark: keyed sliding-window sum through the
+//! shared-timeline `KeyedWindowOperator` vs the naive map of per-key
+//! `WindowOperator`s, at a small and a large key count.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use gss_aggregates::Sum;
+use gss_core::{
+    KeyedConfig, KeyedWindowOperator, NaiveKeyedOperator, PerKey, Time, WindowAggregator,
+    WindowFunction, WindowResult,
+};
+use gss_windows::SlidingWindow;
+
+const TUPLES: usize = 200_000;
+const BATCH: usize = 512;
+const LATENESS: i64 = 500;
+
+fn windows() -> Vec<Box<dyn WindowFunction>> {
+    vec![Box::new(SlidingWindow::new(1_000, 250))]
+}
+
+fn cfg() -> KeyedConfig {
+    KeyedConfig::default().with_allowed_lateness(LATENESS)
+}
+
+fn make_batches(keys: u64) -> Vec<Vec<(Time, (u64, i64))>> {
+    (0..TUPLES)
+        .map(|i| (i as Time, (i as u64 % keys, 1i64)))
+        .collect::<Vec<_>>()
+        .chunks(BATCH)
+        .map(|c| c.to_vec())
+        .collect()
+}
+
+fn drive(
+    agg: &mut dyn WindowAggregator<PerKey<Sum>>,
+    batches: &[Vec<(Time, (u64, i64))>],
+) -> usize {
+    let mut out: Vec<WindowResult<(u64, i64)>> = Vec::new();
+    let mut emitted = 0;
+    for (i, b) in batches.iter().enumerate() {
+        agg.process_batch(b, &mut out);
+        if i % 8 == 7 {
+            let high = b.last().expect("non-empty batch").0;
+            agg.on_watermark(high - LATENESS, &mut out);
+        }
+        emitted += out.len();
+        out.clear();
+    }
+    agg.on_watermark(i64::MAX - 1, &mut out);
+    emitted + out.len()
+}
+
+fn bench_keyed(c: &mut Criterion) {
+    for keys in [1_000u64, 100_000] {
+        let batches = make_batches(keys);
+        let mut group = c.benchmark_group(format!("keyed/{keys}-keys"));
+        group.throughput(Throughput::Elements(TUPLES as u64));
+        group.sample_size(10);
+        group.bench_function("shared", |b| {
+            b.iter_batched(
+                || KeyedWindowOperator::new(Sum, windows(), cfg()),
+                |mut agg| drive(&mut agg, &batches),
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_function("naive", |b| {
+            b.iter_batched(
+                || NaiveKeyedOperator::new(Sum, windows(), cfg()),
+                |mut agg| drive(&mut agg, &batches),
+                BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_keyed);
+criterion_main!(benches);

@@ -1,0 +1,1343 @@
+//! Keyed window aggregation: many keys, one operator (beyond the paper).
+//!
+//! The paper's operator ([`crate::operator::WindowOperator`]) handles one
+//! logical stream. Real deployments window *keyed* streams — millions of
+//! user/device/session keys, each with the same window definitions. The
+//! naive lifting (one full `WindowOperator` per key in a map) duplicates
+//! per-key everything: slice metadata, stream-slicer edge caches, trigger
+//! bookkeeping, and — worst — makes every watermark an O(total keys) sweep.
+//!
+//! [`KeyedWindowOperator`] exploits the observation that for *time-measure,
+//! context-free* windows (tumbling, sliding) the slice edges are a pure
+//! function of the window parameters — identical for every key. So:
+//!
+//! * **Shared slice timeline.** One global list of slice boundaries
+//!   ([`Timeline`]); each key stores only a dense ring of per-slice
+//!   aggregate partials aligned to it ([`KeyState`]). Boundary decisions
+//!   (which slice does `ts` fall in, when does the next window end) are
+//!   computed once per batch run, not once per key.
+//! * **Key-grouped batches.** `process_batch` groups the chunk by key with
+//!   a fast [`crate::hash::FxHashMap`], then commits one store touch per
+//!   `(key, in-order run)` using [`crate::aggregator::in_order_run_len`].
+//! * **Amortized watermarks.** A min-heap of `(earliest pending window
+//!   end, key)` makes `on_watermark` scale with the number of keys that
+//!   actually have a due window, not with the total key population. Idle
+//!   keys are dropped after a configurable TTL.
+//!
+//! Windows whose edges depend on the data (sessions, punctuation windows,
+//! count measures) fall back to [`NaiveKeyedOperator`] — the map-of-
+//! operators baseline, which is also what the keyed benchmark compares
+//! against.
+
+use std::cmp::Reverse;
+use std::collections::hash_map::Entry;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::aggregator::{in_order_run_len, WindowAggregator};
+use crate::function::{AggregateFunction, FunctionProperties};
+use crate::hash::FxHashMap;
+use crate::mem::HeapSize;
+use crate::operator::{OperatorConfig, WindowOperator};
+use crate::result::WindowResult;
+use crate::time::{Measure, Range, Time, TIME_MAX, TIME_MIN};
+use crate::window::{ContextClass, Query, WindowFunction};
+
+/// Lifts an [`AggregateFunction`] over `V` to one over `(key, V)` pairs.
+///
+/// The key rides along in the partial so that one `WindowAggregator`
+/// object type covers both the keyed operator and the existing pipeline
+/// plumbing; `combine` asserts (in debug builds) that partials from
+/// different keys are never mixed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerKey<A>(pub A);
+
+impl<A: AggregateFunction> AggregateFunction for PerKey<A> {
+    type Input = (u64, A::Input);
+    type Partial = (u64, A::Partial);
+    type Output = (u64, A::Output);
+
+    fn lift(&self, v: &(u64, A::Input)) -> (u64, A::Partial) {
+        (v.0, self.0.lift(&v.1))
+    }
+
+    fn combine(&self, a: (u64, A::Partial), b: &(u64, A::Partial)) -> (u64, A::Partial) {
+        debug_assert_eq!(a.0, b.0, "combined partials from different keys");
+        (a.0, self.0.combine(a.1, &b.1))
+    }
+
+    fn lower(&self, p: &(u64, A::Partial)) -> (u64, A::Output) {
+        (p.0, self.0.lower(&p.1))
+    }
+
+    fn invert(&self, a: (u64, A::Partial), b: &(u64, A::Partial)) -> Option<(u64, A::Partial)> {
+        debug_assert_eq!(a.0, b.0, "inverted partials from different keys");
+        let key = a.0;
+        self.0.invert(a.1, &b.1).map(|p| (key, p))
+    }
+
+    fn properties(&self) -> FunctionProperties {
+        self.0.properties()
+    }
+}
+
+/// Configuration of a keyed window operator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KeyedConfig {
+    /// How far behind the watermark a tuple may arrive before being
+    /// dropped (same meaning as [`OperatorConfig::allowed_lateness`]).
+    pub allowed_lateness: Time,
+    /// Evict a key's state once no tuple has arrived for it for this long
+    /// (in event time, judged against the watermark) *and* it has no
+    /// pending window. `None` keeps idle keys forever.
+    ///
+    /// Eviction is approximate in the spirit of Flink's state TTL: a
+    /// tuple for an evicted key re-creates the key from scratch, so
+    /// results are exactly those of an infinite-retention run only when
+    /// `idle_ttl >= allowed_lateness + max window extent`.
+    pub idle_ttl: Option<Time>,
+}
+
+impl KeyedConfig {
+    pub fn with_allowed_lateness(mut self, lateness: Time) -> Self {
+        self.allowed_lateness = lateness;
+        self
+    }
+
+    pub fn with_idle_ttl(mut self, ttl: Time) -> Self {
+        self.idle_ttl = Some(ttl);
+        self
+    }
+}
+
+/// Counters exposed by [`KeyedWindowOperator::stats`] for tests and
+/// benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KeyedStats {
+    /// Tuples accepted (in-order or late-but-allowed).
+    pub tuples: u64,
+    /// Tuples that arrived behind their key's max timestamp.
+    pub ooo_tuples: u64,
+    /// Tuples dropped for exceeding allowed lateness.
+    pub dropped_late: u64,
+    /// Final window results emitted.
+    pub windows_emitted: u64,
+    /// Update (early re-fire) results emitted for late tuples.
+    pub updates_emitted: u64,
+    /// Distinct keys ever created.
+    pub keys_created: u64,
+    /// Keys evicted by the idle TTL.
+    pub keys_evicted: u64,
+    /// Shared slices created on the timeline.
+    pub slices_created: u64,
+    /// Keys actually swept by `on_watermark` (heap hits).
+    pub heap_wakeups: u64,
+    /// Heap entries discarded as stale (key evicted or due time superseded).
+    pub stale_wakeups: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Shared slice timeline
+// ---------------------------------------------------------------------------
+
+/// One shared slice: a half-open `[start, end)` span bounded by window
+/// edges. Unlike [`crate::slice::Slice`] it holds **no aggregate** — those
+/// live per key in [`KeyState`].
+#[derive(Debug, Clone, Copy)]
+struct SliceMeta {
+    start: Time,
+    end: Time,
+}
+
+/// The shared, contiguous slice timeline. Slices are addressed by a
+/// *global index* (`base + position`) that stays stable across front
+/// eviction, so per-key rings can align to it without per-key fixups.
+#[derive(Debug, Default)]
+struct Timeline {
+    slices: VecDeque<SliceMeta>,
+    /// Global index of `slices[0]`. Increases on eviction, decreases when
+    /// a late tuple forces a prepend.
+    base: i64,
+}
+
+impl Timeline {
+    fn len(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Earliest next edge strictly after `ts` across all queries.
+    fn union_next_edge(queries: &[Query], ts: Time) -> Time {
+        let mut e = TIME_MAX;
+        for q in queries {
+            if let Some(n) = q.window.next_edge(ts) {
+                e = e.min(n);
+            }
+        }
+        debug_assert!(e > ts, "next edge must be strictly after ts");
+        e
+    }
+
+    /// Latest edge at or before `ts` across all queries.
+    fn union_prev_edge(queries: &[Query], ts: Time) -> Time {
+        let mut e = TIME_MIN;
+        for q in queries {
+            if let Some(p) = q.window.prev_edge(ts) {
+                e = e.max(p);
+            }
+        }
+        debug_assert!(e <= ts, "prev edge must be at or before ts");
+        e
+    }
+
+    /// Extends the timeline (in either direction) so some slice covers
+    /// `ts`, and returns that slice's **position** (index into `slices`).
+    fn ensure_covering(&mut self, ts: Time, queries: &[Query], stats: &mut KeyedStats) -> usize {
+        if self.slices.is_empty() {
+            let start = Self::union_prev_edge(queries, ts);
+            let end = Self::union_next_edge(queries, ts);
+            self.slices.push_back(SliceMeta { start, end });
+            stats.slices_created += 1;
+            return 0;
+        }
+        while ts >= self.slices.back().expect("non-empty").end {
+            let start = self.slices.back().expect("non-empty").end;
+            let end = Self::union_next_edge(queries, start);
+            self.slices.push_back(SliceMeta { start, end });
+            stats.slices_created += 1;
+        }
+        while ts < self.slices.front().expect("non-empty").start {
+            let end = self.slices.front().expect("non-empty").start;
+            let start = Self::union_prev_edge(queries, end - 1);
+            debug_assert!(start < end);
+            self.slices.push_front(SliceMeta { start, end });
+            self.base -= 1;
+            stats.slices_created += 1;
+        }
+        self.pos_covering(ts).expect("timeline extended to cover ts")
+    }
+
+    /// Position of the slice covering `ts`, if any.
+    fn pos_covering(&self, ts: Time) -> Option<usize> {
+        if self.slices.is_empty()
+            || ts < self.slices.front().expect("non-empty").start
+            || ts >= self.slices.back().expect("non-empty").end
+        {
+            return None;
+        }
+        // Largest position whose start <= ts; slices are contiguous.
+        let pos = self.slices.partition_point(|s| s.start <= ts);
+        debug_assert!(pos > 0);
+        Some(pos - 1)
+    }
+
+    /// Maps a window `[range.start, range.end)` to the inclusive-exclusive
+    /// global slice index span it covers, clamped to current coverage.
+    /// `None` if the window doesn't overlap the timeline at all.
+    fn global_range(&self, range: Range) -> Option<(i64, i64)> {
+        let first = self.slices.front()?;
+        let last = self.slices.back().expect("non-empty");
+        if range.end <= first.start || range.start >= last.end {
+            return None;
+        }
+        let lo_pos = if range.start <= first.start {
+            0
+        } else {
+            self.pos_covering(range.start).expect("start within coverage")
+        };
+        // Exclusive upper bound: first slice whose start >= range.end.
+        let hi_pos = self.slices.partition_point(|s| s.start < range.end);
+        debug_assert!(hi_pos > lo_pos);
+        Some((self.base + lo_pos as i64, self.base + hi_pos as i64))
+    }
+
+    /// Drops slices that end at or before `boundary`; keeps global
+    /// numbering monotone by advancing `base`.
+    fn evict_to(&mut self, boundary: Time) {
+        while let Some(front) = self.slices.front() {
+            if front.end <= boundary {
+                self.slices.pop_front();
+                self.base += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.slices.capacity() * std::mem::size_of::<SliceMeta>()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-key state
+// ---------------------------------------------------------------------------
+
+/// One key's windowing state: a dense ring of per-slice partials aligned
+/// to the shared [`Timeline`], plus the scalar trigger bookkeeping the
+/// reference operator keeps per stream.
+struct KeyState<A: AggregateFunction> {
+    /// Global slice index of `partials[0]`.
+    first: i64,
+    /// `partials[i]` aggregates this key's tuples in global slice
+    /// `first + i`; `None` = no tuples there.
+    partials: VecDeque<Option<A::Partial>>,
+    /// Timestamp of this key's earliest tuple (for the first sweep).
+    t_first: Time,
+    /// Timestamp of this key's latest tuple (the key's `max_ts`).
+    t_last: Time,
+    /// Watermark position up to which windows were already emitted
+    /// (`TIME_MIN` until the first sweep), mirroring the reference
+    /// operator's `last_trigger`.
+    emitted: Time,
+    /// Global watermark as of this key's last touch (ingest or sweep).
+    /// The reference operator advances `last_trigger` to the clamped
+    /// watermark on *every* watermark, fired or not; heap-gated keys
+    /// catch up lazily via [`catch_up_emitted`] — sound because `t_last`
+    /// cannot change between touches.
+    wm_seen: Time,
+    /// Earliest pending window end, if one is reachable; mirrors the
+    /// live heap entry so stale entries can be recognized on pop.
+    due: Option<Time>,
+}
+
+impl<A: AggregateFunction> KeyState<A> {
+    fn new() -> Self {
+        KeyState {
+            first: 0,
+            partials: VecDeque::new(),
+            t_first: TIME_MAX,
+            t_last: TIME_MIN,
+            emitted: TIME_MIN,
+            wm_seen: TIME_MIN,
+            due: None,
+        }
+    }
+
+    /// Drops ring slots whose global index fell below the timeline base
+    /// (their slices were evicted).
+    fn trim_to(&mut self, base: i64) {
+        while self.first < base && !self.partials.is_empty() {
+            self.partials.pop_front();
+            self.first += 1;
+        }
+        if self.partials.is_empty() {
+            self.first = self.first.max(base);
+        }
+    }
+
+    /// Combines `p` into the slot for global slice `g`, growing the ring
+    /// in either direction as needed. Existing-before-new preserves
+    /// arrival order within a slice (only observable for non-commutative
+    /// functions, which the shared path doesn't host — but cheap to keep
+    /// right).
+    fn add_at(&mut self, g: i64, p: A::Partial, f: &A) {
+        if self.partials.is_empty() {
+            self.first = g;
+            self.partials.push_back(Some(p));
+            return;
+        }
+        if g < self.first {
+            for _ in 0..(self.first - g) {
+                self.partials.push_front(None);
+            }
+            self.first = g;
+            self.partials[0] = Some(p);
+            return;
+        }
+        let idx = (g - self.first) as usize;
+        if idx >= self.partials.len() {
+            for _ in self.partials.len()..=idx {
+                self.partials.push_back(None);
+            }
+        }
+        self.partials[idx] = match self.partials[idx].take() {
+            Some(existing) => Some(f.combine(existing, &p)),
+            None => Some(p),
+        };
+    }
+
+    /// Aggregate of this key's partials across global slices `[gl, gr)`,
+    /// or `None` if the key has no tuples there.
+    fn query(&self, gl: i64, gr: i64, f: &A) -> Option<A::Partial> {
+        let lo = gl.max(self.first);
+        let hi = gr.min(self.first + self.partials.len() as i64);
+        if lo >= hi {
+            return None;
+        }
+        let mut acc: Option<A::Partial> = None;
+        for i in lo..hi {
+            if let Some(p) = &self.partials[(i - self.first) as usize] {
+                acc = Some(match acc {
+                    Some(a) => f.combine(a, p),
+                    None => p.clone(),
+                });
+            }
+        }
+        acc
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.partials.capacity() * std::mem::size_of::<Option<A::Partial>>()
+            + self.partials.iter().flatten().map(HeapSize::heap_bytes).sum::<usize>()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared-timeline keyed operator
+// ---------------------------------------------------------------------------
+
+/// Earliest window end strictly after `probe` across all queries, or
+/// `TIME_MAX` if none is known.
+fn union_next_end(queries: &[Query], probe: Time) -> Time {
+    let mut e = TIME_MAX;
+    for q in queries {
+        if let Some(n) = q.window.next_window_end(probe) {
+            e = e.min(n);
+        }
+    }
+    e
+}
+
+/// Advances a key's `emitted` floor over watermarks that passed while the
+/// key was heap-gated (not due, so nothing could have fired). The
+/// reference operator advances `last_trigger` to the clamped watermark on
+/// *every* watermark delivery; without this catch-up, a late tuple
+/// landing below the reference's floor would be re-fired as a regular
+/// window at the key's next sweep instead of staying update-only.
+/// Sound to do lazily because a key's `t_last` cannot change between
+/// touches: any tuple arrival is itself a touch.
+fn catch_up_emitted<A: AggregateFunction>(st: &mut KeyState<A>, wm: Time, max_extent: i64) {
+    if wm > st.wm_seen {
+        if st.t_last != TIME_MIN && wm != TIME_MIN {
+            let clamped = wm.min(st.t_last.saturating_add(max_extent).saturating_add(1));
+            st.emitted = st.emitted.max(clamped);
+        }
+        st.wm_seen = wm;
+    }
+}
+
+/// Recomputes a key's earliest *reachable* pending window end. A window
+/// end past `t_last + max_extent` can never contain any of this key's
+/// tuples, so the key is drained and needs no heap entry.
+fn due_of<A: AggregateFunction>(
+    st: &KeyState<A>,
+    queries: &[Query],
+    max_extent: i64,
+) -> Option<Time> {
+    if st.t_last == TIME_MIN {
+        return None;
+    }
+    let probe = if st.emitted == TIME_MIN { st.t_first } else { st.emitted };
+    let cand = union_next_end(queries, probe);
+    let reach = st.t_last.saturating_add(max_extent);
+    (cand <= reach).then_some(cand)
+}
+
+/// Sweeps one key's completed windows up to watermark `wm`, mirroring the
+/// reference operator's `trigger_up_to` (clamp, first-sweep floor, one
+/// `trigger_windows` pass per query).
+#[allow(clippy::too_many_arguments)]
+fn sweep_key<A: AggregateFunction>(
+    key: u64,
+    st: &mut KeyState<A>,
+    f: &A,
+    queries: &mut [Query],
+    timeline: &Timeline,
+    max_extent: i64,
+    wm: Time,
+    stats: &mut KeyedStats,
+    out: &mut Vec<WindowResult<(u64, A::Output)>>,
+) {
+    if st.t_last == TIME_MIN {
+        return;
+    }
+    // Don't emit windows that could still receive in-order tuples for
+    // this key — same clamp as the reference operator.
+    let wm_eff = wm.min(st.t_last.saturating_add(max_extent).saturating_add(1));
+    let prev = if st.emitted == TIME_MIN { st.t_first.min(wm_eff) } else { st.emitted };
+    if wm_eff > prev {
+        for q in queries.iter_mut() {
+            let id = q.id;
+            let st = &*st;
+            q.window.trigger_windows(prev, wm_eff, &mut |range| {
+                let Some((gl, gr)) = timeline.global_range(range) else { return };
+                if let Some(p) = st.query(gl, gr, f) {
+                    stats.windows_emitted += 1;
+                    out.push(WindowResult::new(id, Measure::Time, range, (key, f.lower(&p))));
+                }
+            });
+        }
+        st.emitted = st.emitted.max(wm_eff);
+    }
+}
+
+/// Re-emits the windows containing a late tuple at `ts` that already
+/// fired (window end at or before `wm`), flagged as updates — the keyed
+/// analogue of the reference operator's `emit_updates`.
+#[allow(clippy::too_many_arguments)]
+fn emit_updates_key<A: AggregateFunction>(
+    key: u64,
+    st: &KeyState<A>,
+    f: &A,
+    queries: &[Query],
+    timeline: &Timeline,
+    ts: Time,
+    wm: Time,
+    stats: &mut KeyedStats,
+    out: &mut Vec<WindowResult<(u64, A::Output)>>,
+) {
+    for q in queries {
+        let id = q.id;
+        q.window.windows_containing(ts, &mut |range| {
+            if range.end > wm {
+                return;
+            }
+            let Some((gl, gr)) = timeline.global_range(range) else { return };
+            if let Some(p) = st.query(gl, gr, f) {
+                stats.updates_emitted += 1;
+                out.push(WindowResult::update(id, Measure::Time, range, (key, f.lower(&p))));
+            }
+        });
+    }
+}
+
+/// Per-key tuple groups built by batch grouping; storage recycled across
+/// batches.
+type KeyGroups<A> = Vec<(u64, Vec<(Time, <A as AggregateFunction>::Input)>)>;
+
+/// The shared-timeline engine behind [`KeyedWindowOperator`]. Hosts only
+/// time-measure, context-free windows with static edges and commutative
+/// aggregate functions (checked by [`KeyedWindowOperator::new`]).
+struct SharedKeyed<A: AggregateFunction> {
+    f: A,
+    cfg: KeyedConfig,
+    queries: Vec<Query>,
+    max_extent: i64,
+    timeline: Timeline,
+    keys: FxHashMap<u64, KeyState<A>>,
+    /// Min-heap of `(due window end, key)`. Entries are lazy: a key's
+    /// live entry is the one matching `KeyState::due`; all others are
+    /// discarded as stale on pop.
+    trigger_heap: BinaryHeap<Reverse<(Time, u64)>>,
+    /// Min-heap of `(expiry, key)` for TTL eviction, also lazy.
+    ttl_heap: BinaryHeap<Reverse<(Time, u64)>>,
+    watermark: Time,
+    stats: KeyedStats,
+    // Reusable batch-grouping scratch.
+    group_of: FxHashMap<u64, u32>,
+    groups: KeyGroups<A>,
+}
+
+impl<A: AggregateFunction> SharedKeyed<A> {
+    fn new(f: A, windows: Vec<Box<dyn WindowFunction>>, cfg: KeyedConfig) -> Self {
+        let queries: Vec<Query> =
+            windows.into_iter().enumerate().map(|(i, w)| Query::new(i as u32, w)).collect();
+        let max_extent = queries.iter().map(|q| q.window.max_extent()).max().unwrap_or(0);
+        SharedKeyed {
+            f,
+            cfg,
+            queries,
+            max_extent,
+            timeline: Timeline::default(),
+            keys: FxHashMap::default(),
+            trigger_heap: BinaryHeap::new(),
+            ttl_heap: BinaryHeap::new(),
+            watermark: TIME_MIN,
+            stats: KeyedStats::default(),
+            group_of: FxHashMap::default(),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Splits `batch` into per-key groups, preserving arrival order
+    /// within each key. Group storage is recycled across batches.
+    fn group_batch(&mut self, batch: &[(Time, (u64, A::Input))]) {
+        self.group_of.clear();
+        let mut live = 0usize;
+        for (ts, (key, v)) in batch {
+            let gi = match self.group_of.get(key) {
+                Some(&gi) => gi as usize,
+                None => {
+                    let gi = live;
+                    if gi == self.groups.len() {
+                        self.groups.push((*key, Vec::new()));
+                    } else {
+                        self.groups[gi].0 = *key;
+                        self.groups[gi].1.clear();
+                    }
+                    live += 1;
+                    self.group_of.insert(*key, gi as u32);
+                    gi
+                }
+            };
+            self.groups[gi].1.push((*ts, v.clone()));
+        }
+        // Clear any leftover groups from a previous, larger batch.
+        for g in &mut self.groups[live..] {
+            g.1.clear();
+        }
+        self.groups.truncate(live);
+    }
+
+    /// Ingests one key's ordered tuple group and refreshes its heap entry.
+    fn ingest_group(
+        &mut self,
+        key: u64,
+        tuples: &[(Time, A::Input)],
+        out: &mut Vec<WindowResult<(u64, A::Output)>>,
+    ) {
+        if tuples.is_empty() {
+            return;
+        }
+        let st = match self.keys.entry(key) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => {
+                self.stats.keys_created += 1;
+                if let Some(ttl) = self.cfg.idle_ttl {
+                    let expiry = tuples[0].0.saturating_add(ttl);
+                    self.ttl_heap.push(Reverse((expiry, key)));
+                }
+                e.insert(KeyState::new())
+            }
+        };
+        st.trim_to(self.timeline.base);
+        catch_up_emitted(st, self.watermark, self.max_extent);
+        let old_due = st.due;
+
+        let mut i = 0;
+        while i < tuples.len() {
+            let (ts, _) = tuples[i];
+            if st.t_last == TIME_MIN || ts >= st.t_last {
+                // Key-in-order: fold the longest run inside one slice.
+                let pos = self.timeline.ensure_covering(ts, &self.queries, &mut self.stats);
+                let slice = self.timeline.slices[pos];
+                let n = in_order_run_len(tuples, i, ts, slice.end, usize::MAX);
+                debug_assert!(n >= 1);
+                let mut p = self.f.lift(&tuples[i].1);
+                for (_, v) in &tuples[i + 1..i + n] {
+                    p = self.f.combine(p, &self.f.lift(v));
+                }
+                st.add_at(self.timeline.base + pos as i64, p, &self.f);
+                st.t_first = st.t_first.min(ts);
+                st.t_last = tuples[i + n - 1].0;
+                self.stats.tuples += n as u64;
+                i += n;
+            } else {
+                // Key-late tuple: same drop / update rules as the
+                // reference operator's out-of-order path.
+                self.stats.ooo_tuples += 1;
+                let wm = self.watermark;
+                if wm != TIME_MIN && ts < wm.saturating_sub(self.cfg.allowed_lateness) {
+                    self.stats.dropped_late += 1;
+                    i += 1;
+                    continue;
+                }
+                let pos = self.timeline.ensure_covering(ts, &self.queries, &mut self.stats);
+                let g = self.timeline.base + pos as i64;
+                st.add_at(g, self.f.lift(&tuples[i].1), &self.f);
+                st.t_first = st.t_first.min(ts);
+                self.stats.tuples += 1;
+                if wm != TIME_MIN && ts <= wm {
+                    emit_updates_key(
+                        key,
+                        st,
+                        &self.f,
+                        &self.queries,
+                        &self.timeline,
+                        ts,
+                        wm,
+                        &mut self.stats,
+                        out,
+                    );
+                }
+                i += 1;
+            }
+        }
+
+        st.due = due_of(st, &self.queries, self.max_extent);
+        let due = st.due;
+        if let Some(d) = due {
+            if old_due != Some(d) {
+                self.trigger_heap.push(Reverse((d, key)));
+            }
+        }
+    }
+
+    fn process_batch(
+        &mut self,
+        batch: &[(Time, (u64, A::Input))],
+        out: &mut Vec<WindowResult<(u64, A::Output)>>,
+    ) {
+        self.group_batch(batch);
+        let mut groups = std::mem::take(&mut self.groups);
+        for (key, tuples) in &groups {
+            self.ingest_group(*key, tuples, out);
+        }
+        for g in &mut groups {
+            g.1.clear();
+        }
+        self.groups = groups;
+    }
+
+    fn on_watermark(&mut self, wm: Time, out: &mut Vec<WindowResult<(u64, A::Output)>>) {
+        if wm <= self.watermark {
+            return;
+        }
+        // Sweep only keys whose earliest pending window end is due.
+        while let Some(&Reverse((due, key))) = self.trigger_heap.peek() {
+            if due > wm {
+                break;
+            }
+            self.trigger_heap.pop();
+            let Some(st) = self.keys.get_mut(&key) else {
+                self.stats.stale_wakeups += 1;
+                continue;
+            };
+            if st.due != Some(due) {
+                self.stats.stale_wakeups += 1;
+                continue;
+            }
+            st.due = None;
+            self.stats.heap_wakeups += 1;
+            st.trim_to(self.timeline.base);
+            // Catch the floor up over watermarks skipped while heap-gated
+            // (`self.watermark` is still the previous watermark here).
+            catch_up_emitted(st, self.watermark, self.max_extent);
+            sweep_key(
+                key,
+                st,
+                &self.f,
+                &mut self.queries,
+                &self.timeline,
+                self.max_extent,
+                wm,
+                &mut self.stats,
+                out,
+            );
+            st.wm_seen = wm;
+            st.due = due_of(st, &self.queries, self.max_extent);
+            let due = st.due;
+            if let Some(d) = due {
+                self.trigger_heap.push(Reverse((d, key)));
+            }
+        }
+        self.watermark = wm;
+
+        // Evict shared slices no late tuple can reach any more.
+        let boundary = wm.saturating_sub(self.cfg.allowed_lateness).saturating_sub(self.max_extent);
+        self.timeline.evict_to(boundary);
+
+        // TTL: drop keys idle past the deadline with nothing pending.
+        if let Some(ttl) = self.cfg.idle_ttl {
+            while let Some(&Reverse((expiry, key))) = self.ttl_heap.peek() {
+                if expiry > wm {
+                    break;
+                }
+                self.ttl_heap.pop();
+                let Some(st) = self.keys.get(&key) else { continue };
+                let fresh = st.t_last.saturating_add(ttl);
+                if fresh <= wm && st.due.is_none() {
+                    self.keys.remove(&key);
+                    self.stats.keys_evicted += 1;
+                } else {
+                    self.ttl_heap.push(Reverse((fresh.max(wm.saturating_add(1)), key)));
+                }
+            }
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.timeline.heap_bytes()
+            + self
+                .keys
+                .values()
+                .map(|st| std::mem::size_of::<(u64, KeyState<A>)>() + st.heap_bytes())
+                .sum::<usize>()
+            + (self.trigger_heap.len() + self.ttl_heap.len())
+                * std::mem::size_of::<Reverse<(Time, u64)>>()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Naive map-of-operators baseline / fallback
+// ---------------------------------------------------------------------------
+
+/// One full [`WindowOperator`] per key — the straightforward lifting of
+/// the paper's operator to keyed streams. Used as the benchmark baseline
+/// and as the fallback for window types the shared timeline can't host
+/// (sessions, punctuation windows, count measures, non-commutative
+/// functions). Correct for everything, but every watermark costs
+/// O(total keys) and slice metadata is duplicated per key.
+pub struct NaiveKeyedOperator<A: AggregateFunction> {
+    f: A,
+    cfg: KeyedConfig,
+    /// Window prototypes, cloned for each new key so per-key context
+    /// state (e.g. session edges) starts fresh.
+    windows: Vec<Box<dyn WindowFunction>>,
+    max_extent: i64,
+    keys: FxHashMap<u64, (Time, WindowOperator<A>)>,
+    watermark: Time,
+    keys_evicted: u64,
+    // Reusable scratch: batch grouping and per-key result staging.
+    group_of: FxHashMap<u64, u32>,
+    groups: KeyGroups<A>,
+    scratch: Vec<WindowResult<A::Output>>,
+}
+
+impl<A: AggregateFunction> NaiveKeyedOperator<A> {
+    pub fn new(f: A, windows: Vec<Box<dyn WindowFunction>>, cfg: KeyedConfig) -> Self {
+        let max_extent = windows.iter().map(|w| w.max_extent()).max().unwrap_or(0);
+        NaiveKeyedOperator {
+            f,
+            cfg,
+            windows,
+            max_extent,
+            keys: FxHashMap::default(),
+            watermark: TIME_MIN,
+            keys_evicted: 0,
+            group_of: FxHashMap::default(),
+            groups: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of keys currently holding state.
+    pub fn live_keys(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn operator_for(&mut self, key: u64) -> &mut (Time, WindowOperator<A>) {
+        if !self.keys.contains_key(&key) {
+            let mut op = WindowOperator::new(
+                self.f.clone(),
+                OperatorConfig::out_of_order(self.cfg.allowed_lateness),
+            );
+            for w in &self.windows {
+                op.add_query(w.clone_box()).expect("keyed windows share one measure");
+            }
+            // Watermarks are broadcast: a key that first appears after the
+            // stream has progressed must still apply the global late-drop
+            // rule, exactly as the shared timeline does. Replaying into an
+            // empty operator emits nothing.
+            if self.watermark != TIME_MIN {
+                let mut sink = Vec::new();
+                op.process_watermark(self.watermark, &mut sink);
+                debug_assert!(sink.is_empty(), "fresh operator emitted on watermark replay");
+            }
+            self.keys.insert(key, (TIME_MIN, op));
+        }
+        self.keys.get_mut(&key).expect("just inserted")
+    }
+
+    fn group_batch(&mut self, batch: &[(Time, (u64, A::Input))]) {
+        self.group_of.clear();
+        let mut live = 0usize;
+        for (ts, (key, v)) in batch {
+            let gi = match self.group_of.get(key) {
+                Some(&gi) => gi as usize,
+                None => {
+                    let gi = live;
+                    if gi == self.groups.len() {
+                        self.groups.push((*key, Vec::new()));
+                    } else {
+                        self.groups[gi].0 = *key;
+                        self.groups[gi].1.clear();
+                    }
+                    live += 1;
+                    self.group_of.insert(*key, gi as u32);
+                    gi
+                }
+            };
+            self.groups[gi].1.push((*ts, v.clone()));
+        }
+        for g in &mut self.groups[live..] {
+            g.1.clear();
+        }
+        self.groups.truncate(live);
+    }
+
+    fn tag_and_drain(
+        key: u64,
+        scratch: &mut Vec<WindowResult<A::Output>>,
+        out: &mut Vec<WindowResult<(u64, A::Output)>>,
+    ) {
+        for r in scratch.drain(..) {
+            out.push(WindowResult {
+                query: r.query,
+                measure: r.measure,
+                range: r.range,
+                value: (key, r.value),
+                is_update: r.is_update,
+            });
+        }
+    }
+}
+
+impl<A: AggregateFunction> WindowAggregator<PerKey<A>> for NaiveKeyedOperator<A> {
+    fn process(
+        &mut self,
+        ts: Time,
+        value: (u64, A::Input),
+        out: &mut Vec<WindowResult<(u64, A::Output)>>,
+    ) {
+        let (key, v) = value;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let (t_last, op) = self.operator_for(key);
+        *t_last = ts.max(*t_last);
+        op.process(ts, v, &mut scratch);
+        Self::tag_and_drain(key, &mut scratch, out);
+        self.scratch = scratch;
+    }
+
+    fn process_batch(
+        &mut self,
+        batch: &[(Time, (u64, A::Input))],
+        out: &mut Vec<WindowResult<(u64, A::Output)>>,
+    ) {
+        self.group_batch(batch);
+        let mut groups = std::mem::take(&mut self.groups);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for (key, tuples) in &groups {
+            if tuples.is_empty() {
+                continue;
+            }
+            let (t_last, op) = self.operator_for(*key);
+            for (ts, _) in tuples {
+                *t_last = (*ts).max(*t_last);
+            }
+            op.process_batch(tuples, &mut scratch);
+            Self::tag_and_drain(*key, &mut scratch, out);
+        }
+        for g in &mut groups {
+            g.1.clear();
+        }
+        self.groups = groups;
+        self.scratch = scratch;
+    }
+
+    fn on_watermark(&mut self, wm: Time, out: &mut Vec<WindowResult<(u64, A::Output)>>) {
+        if wm <= self.watermark {
+            return;
+        }
+        self.watermark = wm;
+        let mut scratch = std::mem::take(&mut self.scratch);
+        // The O(total keys) sweep the shared operator exists to avoid.
+        for (key, (_, op)) in self.keys.iter_mut() {
+            op.process_watermark(wm, &mut scratch);
+            Self::tag_and_drain(*key, &mut scratch, out);
+        }
+        if let Some(ttl) = self.cfg.idle_ttl {
+            let max_extent = self.max_extent;
+            let before = self.keys.len();
+            self.keys.retain(|_, (t_last, _)| {
+                let idle = t_last.saturating_add(ttl) <= wm;
+                let drained = t_last.saturating_add(max_extent).saturating_add(1) <= wm;
+                !(idle && drained)
+            });
+            self.keys_evicted += (before - self.keys.len()) as u64;
+        }
+        self.scratch = scratch;
+    }
+
+    fn on_punctuation(&mut self, ts: Time, out: &mut Vec<WindowResult<(u64, A::Output)>>) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for (key, (_, op)) in self.keys.iter_mut() {
+            op.on_punctuation(ts, &mut scratch);
+            Self::tag_and_drain(*key, &mut scratch, out);
+        }
+        self.scratch = scratch;
+    }
+
+    fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .keys
+                .iter()
+                .map(|(_, (_, op))| std::mem::size_of::<(u64, Time)>() + op.memory_bytes())
+                .sum::<usize>()
+    }
+
+    fn name(&self) -> &'static str {
+        "Naive keyed (map of operators)"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public operator: shared timeline with automatic fallback
+// ---------------------------------------------------------------------------
+
+enum KeyedInner<A: AggregateFunction> {
+    Shared(SharedKeyed<A>),
+    Fallback(NaiveKeyedOperator<A>),
+}
+
+/// A window aggregator over `(key, value)` tuples hosting many keys in
+/// one operator (see the module docs for the design).
+///
+/// For tumbling/sliding (time-measure, context-free, static-edge) windows
+/// over commutative aggregate functions, all keys share one slice
+/// timeline and watermark work is heap-gated; anything else transparently
+/// falls back to the per-key-operator baseline.
+pub struct KeyedWindowOperator<A: AggregateFunction> {
+    inner: KeyedInner<A>,
+}
+
+impl<A: AggregateFunction> KeyedWindowOperator<A> {
+    /// Builds a keyed operator over `windows`, choosing the shared
+    /// timeline when every window has static edges and `f` commutes.
+    pub fn new(f: A, windows: Vec<Box<dyn WindowFunction>>, cfg: KeyedConfig) -> Self {
+        let eligible = !windows.is_empty()
+            && f.properties().commutative
+            && windows.iter().all(|w| {
+                w.measure() == Measure::Time
+                    && w.context() == ContextClass::ContextFree
+                    && w.has_static_edges()
+            });
+        let inner = if eligible {
+            KeyedInner::Shared(SharedKeyed::new(f, windows, cfg))
+        } else {
+            KeyedInner::Fallback(NaiveKeyedOperator::new(f, windows, cfg))
+        };
+        KeyedWindowOperator { inner }
+    }
+
+    /// True iff this operator runs on the shared slice timeline.
+    pub fn is_shared(&self) -> bool {
+        matches!(self.inner, KeyedInner::Shared(_))
+    }
+
+    /// Number of keys currently holding state.
+    pub fn live_keys(&self) -> usize {
+        match &self.inner {
+            KeyedInner::Shared(s) => s.keys.len(),
+            KeyedInner::Fallback(n) => n.keys.len(),
+        }
+    }
+
+    /// Number of shared slices currently on the timeline (0 in fallback
+    /// mode, where slices are per key).
+    pub fn live_slices(&self) -> usize {
+        match &self.inner {
+            KeyedInner::Shared(s) => s.timeline.len(),
+            KeyedInner::Fallback(_) => 0,
+        }
+    }
+
+    /// Operator counters (all zero in fallback mode except via results).
+    pub fn stats(&self) -> KeyedStats {
+        match &self.inner {
+            KeyedInner::Shared(s) => s.stats,
+            KeyedInner::Fallback(n) => {
+                KeyedStats { keys_evicted: n.keys_evicted, ..KeyedStats::default() }
+            }
+        }
+    }
+}
+
+impl<A: AggregateFunction> WindowAggregator<PerKey<A>> for KeyedWindowOperator<A> {
+    fn process(
+        &mut self,
+        ts: Time,
+        value: (u64, A::Input),
+        out: &mut Vec<WindowResult<(u64, A::Output)>>,
+    ) {
+        match &mut self.inner {
+            KeyedInner::Shared(s) => s.process_batch(&[(ts, value)], out),
+            KeyedInner::Fallback(n) => n.process(ts, value, out),
+        }
+    }
+
+    fn process_batch(
+        &mut self,
+        batch: &[(Time, (u64, A::Input))],
+        out: &mut Vec<WindowResult<(u64, A::Output)>>,
+    ) {
+        match &mut self.inner {
+            KeyedInner::Shared(s) => s.process_batch(batch, out),
+            KeyedInner::Fallback(n) => n.process_batch(batch, out),
+        }
+    }
+
+    fn on_watermark(&mut self, wm: Time, out: &mut Vec<WindowResult<(u64, A::Output)>>) {
+        match &mut self.inner {
+            KeyedInner::Shared(s) => s.on_watermark(wm, out),
+            KeyedInner::Fallback(n) => n.on_watermark(wm, out),
+        }
+    }
+
+    fn on_punctuation(&mut self, ts: Time, out: &mut Vec<WindowResult<(u64, A::Output)>>) {
+        match &mut self.inner {
+            // Static-edge windows ignore punctuation (it only closes
+            // data-dependent windows), so the shared path is a no-op.
+            KeyedInner::Shared(_) => {}
+            KeyedInner::Fallback(n) => n.on_punctuation(ts, out),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        match &self.inner {
+            KeyedInner::Shared(s) => s.memory_bytes(),
+            KeyedInner::Fallback(n) => n.memory_bytes(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match &self.inner {
+            KeyedInner::Shared(_) => "Keyed shared slicing",
+            KeyedInner::Fallback(_) => "Keyed fallback (map of operators)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testsupport::{Concat, SumI64, TumblingStub};
+
+    fn tumbling(len: Time) -> Box<dyn WindowFunction> {
+        Box::new(TumblingStub { length: len })
+    }
+
+    fn shared_op(len: Time, cfg: KeyedConfig) -> KeyedWindowOperator<SumI64> {
+        let op = KeyedWindowOperator::new(SumI64, vec![tumbling(len)], cfg);
+        assert!(op.is_shared());
+        op
+    }
+
+    /// Sorted copy of `out` for order-insensitive comparison across keys.
+    fn sorted(mut out: Vec<WindowResult<(u64, i64)>>) -> Vec<(u32, Time, Time, u64, i64, bool)> {
+        let mut v: Vec<_> = out
+            .drain(..)
+            .map(|r| (r.query, r.range.start, r.range.end, r.value.0, r.value.1, r.is_update))
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn single_key_matches_reference_operator() {
+        let mut keyed = shared_op(10, KeyedConfig::default());
+        let mut reference = WindowOperator::new(SumI64, OperatorConfig::out_of_order(0));
+        reference.add_query(tumbling(10)).unwrap();
+
+        let tuples = [(1, 5), (3, 2), (12, 7), (25, 1)];
+        let mut got = Vec::new();
+        let mut want = Vec::new();
+        for (ts, v) in tuples {
+            keyed.process(ts, (7, v), &mut got);
+            reference.process(ts, v, &mut want);
+        }
+        keyed.on_watermark(30, &mut got);
+        reference.process_watermark(30, &mut want);
+
+        let want_tagged: Vec<_> = want
+            .into_iter()
+            .map(|r| (r.query, r.range.start, r.range.end, 7u64, r.value, r.is_update))
+            .collect();
+        assert_eq!(sorted(got), want_tagged);
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let mut op = shared_op(10, KeyedConfig::default());
+        let mut out = Vec::new();
+        op.process_batch(&[(1, (1, 10)), (2, (2, 20)), (5, (1, 1)), (7, (2, 2))], &mut out);
+        op.on_watermark(10, &mut out);
+        assert_eq!(sorted(out), vec![(0, 0, 10, 1, 11, false), (0, 0, 10, 2, 22, false)]);
+    }
+
+    #[test]
+    fn late_tuple_emits_update() {
+        let mut op = shared_op(10, KeyedConfig::default().with_allowed_lateness(100));
+        let mut out = Vec::new();
+        op.process_batch(&[(5, (1, 1)), (15, (1, 2))], &mut out);
+        op.on_watermark(20, &mut out);
+        assert_eq!(
+            sorted(std::mem::take(&mut out)),
+            vec![(0, 0, 10, 1, 1, false), (0, 10, 20, 1, 2, false)]
+        );
+
+        // A late tuple inside an already-fired window re-fires it as an
+        // update with the revised aggregate.
+        op.process(6, (1, 100), &mut out);
+        assert_eq!(sorted(out), vec![(0, 0, 10, 1, 101, true)]);
+        let s = op.stats();
+        assert_eq!(s.ooo_tuples, 1);
+        assert_eq!(s.updates_emitted, 1);
+        assert_eq!(s.dropped_late, 0);
+    }
+
+    #[test]
+    fn too_late_tuple_dropped() {
+        let mut op = shared_op(10, KeyedConfig::default().with_allowed_lateness(5));
+        let mut out = Vec::new();
+        op.process(50, (1, 1), &mut out);
+        op.on_watermark(40, &mut out);
+        op.process(10, (1, 100), &mut out); // 10 < 40 - 5
+        assert_eq!(op.stats().dropped_late, 1);
+        op.on_watermark(100, &mut out);
+        assert_eq!(sorted(out), vec![(0, 50, 60, 1, 1, false)]);
+    }
+
+    #[test]
+    fn watermark_sweeps_only_due_keys() {
+        let mut op = shared_op(10, KeyedConfig::default());
+        let mut out = Vec::new();
+        // 100 keys with data due at wm=10; one key far in the future.
+        let batch: Vec<_> = (0..100u64).map(|k| (5, (k, 1))).collect();
+        op.process_batch(&batch, &mut out);
+        op.process(1000, (500, 1), &mut out);
+        op.on_watermark(10, &mut out);
+        assert_eq!(out.len(), 100);
+        let s = op.stats();
+        // The future key must not have been swept.
+        assert_eq!(s.heap_wakeups, 100);
+        // Repeat watermarks with nothing due sweep nothing.
+        op.on_watermark(11, &mut out);
+        op.on_watermark(12, &mut out);
+        assert_eq!(op.stats().heap_wakeups, 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn idle_keys_evicted_after_ttl() {
+        let mut op = shared_op(10, KeyedConfig::default().with_idle_ttl(50));
+        let mut out = Vec::new();
+        op.process(5, (1, 1), &mut out);
+        op.process(5, (2, 1), &mut out);
+        op.on_watermark(20, &mut out);
+        assert_eq!(op.live_keys(), 2);
+        // Key 2 stays active; key 1 goes idle past the TTL.
+        op.process(60, (2, 1), &mut out);
+        op.on_watermark(70, &mut out);
+        assert_eq!(op.live_keys(), 1);
+        assert_eq!(op.stats().keys_evicted, 1);
+        // The surviving key keeps aggregating correctly.
+        op.process(75, (2, 1), &mut out);
+        op.on_watermark(100, &mut out);
+        let last = sorted(out.split_off(out.len() - 2));
+        assert_eq!(last, vec![(0, 60, 70, 2, 1, false), (0, 70, 80, 2, 1, false)]);
+    }
+
+    #[test]
+    fn ttl_never_evicts_key_with_pending_window() {
+        let mut op = shared_op(100, KeyedConfig::default().with_idle_ttl(10));
+        let mut out = Vec::new();
+        op.process(5, (1, 7), &mut out);
+        // Idle for far longer than the TTL, but its window [0,100) is
+        // still open — the key must survive to emit it.
+        op.on_watermark(90, &mut out);
+        assert_eq!(op.live_keys(), 1);
+        op.on_watermark(150, &mut out);
+        assert_eq!(sorted(out), vec![(0, 0, 100, 1, 7, false)]);
+    }
+
+    #[test]
+    fn shared_slices_evicted_behind_watermark() {
+        let mut op = shared_op(10, KeyedConfig::default());
+        let mut out = Vec::new();
+        for t in 0..100 {
+            op.process(t, (t as u64 % 4, 1), &mut out);
+        }
+        op.on_watermark(100, &mut out);
+        // boundary = 100 - 0 lateness - 10 extent = 90: one live slice.
+        assert!(op.live_slices() <= 2, "live slices: {}", op.live_slices());
+    }
+
+    #[test]
+    fn non_commutative_function_falls_back() {
+        let op = KeyedWindowOperator::new(Concat, vec![tumbling(10)], KeyedConfig::default());
+        assert!(!op.is_shared());
+    }
+
+    #[test]
+    fn fallback_matches_reference_semantics() {
+        let mut op = KeyedWindowOperator::new(Concat, vec![tumbling(10)], KeyedConfig::default());
+        let mut out = Vec::new();
+        op.process_batch(&[(1, (1, 10)), (2, (2, 20)), (3, (1, 30))], &mut out);
+        op.on_watermark(10, &mut out);
+        let mut vals: Vec<_> = out.iter().map(|r| (r.value.0, r.value.1.clone())).collect();
+        vals.sort();
+        assert_eq!(vals, vec![(1, vec![10, 30]), (2, vec![20])]);
+    }
+
+    #[test]
+    fn per_key_function_lifts_and_lowers() {
+        let f = PerKey(SumI64);
+        let p = f.combine(f.lift(&(3, 10)), &f.lift(&(3, 5)));
+        assert_eq!(f.lower(&p), (3, 15));
+        assert_eq!(f.invert(p, &(3, 5)), Some((3, 10)));
+        assert!(f.properties().commutative);
+    }
+
+    #[test]
+    fn empty_query_set_falls_back() {
+        let op = KeyedWindowOperator::new(SumI64, vec![], KeyedConfig::default());
+        assert!(!op.is_shared());
+    }
+
+    #[test]
+    fn timeline_prepends_for_late_keys() {
+        let mut op = shared_op(10, KeyedConfig::default().with_allowed_lateness(1000));
+        let mut out = Vec::new();
+        // Key 1 establishes the timeline far ahead; key 2's first tuple
+        // is much earlier, forcing a backwards extension.
+        op.process(95, (1, 1), &mut out);
+        op.process(12, (2, 5), &mut out);
+        op.on_watermark(200, &mut out);
+        assert_eq!(sorted(out), vec![(0, 10, 20, 2, 5, false), (0, 90, 100, 1, 1, false)]);
+    }
+
+    /// A heap-gated key skips watermarks, but its emission floor must
+    /// still advance as if it had been swept (the reference operator
+    /// advances `last_trigger` on every watermark). A late tuple landing
+    /// below that floor fires an update only — never a regular result at
+    /// the key's next sweep.
+    #[test]
+    fn late_tuple_below_skipped_floor_stays_update_only() {
+        let mut op = shared_op(10, KeyedConfig::default().with_allowed_lateness(500));
+        let mut out = Vec::new();
+        // Key due at 110 — watermark 90 leaves it gated while the floor
+        // conceptually advances to min(90, 100 + 11) = 90.
+        op.process(100, (1, 1), &mut out);
+        op.on_watermark(90, &mut out);
+        assert!(out.is_empty());
+        // Late tuple at 55: window [50, 60) ended before the floor, so
+        // this is an update; the next sweep must not re-fire it.
+        op.process(55, (1, 2), &mut out);
+        assert_eq!(sorted(std::mem::take(&mut out)), vec![(0, 50, 60, 1, 2, true)]);
+        op.on_watermark(200, &mut out);
+        assert_eq!(sorted(out), vec![(0, 100, 110, 1, 1, false)]);
+    }
+
+    /// A key first seen *after* the watermark advanced: both operators
+    /// route the key's first tuple through the in-order path (no drop, no
+    /// update — same as a fresh reference operator), but a key-late tuple
+    /// arriving before the next watermark must already be held to the
+    /// global lateness rule. The naive baseline gets this right only
+    /// because it replays the current watermark into freshly created
+    /// per-key operators.
+    #[test]
+    fn new_key_after_watermark_matches_naive() {
+        let windows = || vec![tumbling(10)];
+        let cfg = KeyedConfig::default().with_allowed_lateness(0);
+        let mut shared = KeyedWindowOperator::new(SumI64, windows(), cfg);
+        assert!(shared.is_shared());
+        let mut naive = NaiveKeyedOperator::new(SumI64, windows(), cfg);
+
+        for op in [&mut shared as &mut dyn WindowAggregator<PerKey<SumI64>>, &mut naive] {
+            let mut out = Vec::new();
+            op.process(500, (1, 1), &mut out);
+            op.on_watermark(200, &mut out);
+            out.clear();
+            // New key 2 behind the watermark: first tuple accepted
+            // (in-order path), the key-late one at ts=50 dropped
+            // (50 < 200 - 0), despite key 2 never having seen a watermark.
+            op.process_batch(&[(100, (2, 7)), (50, (2, 1000))], &mut out);
+            assert!(out.is_empty(), "no updates for windows not yet emitted");
+            op.on_watermark(600, &mut out);
+            assert_eq!(sorted(out), vec![(0, 100, 110, 2, 7, false), (0, 500, 510, 1, 1, false)]);
+        }
+        assert_eq!(shared.stats().dropped_late, 1);
+    }
+}

@@ -67,6 +67,8 @@ pub mod characteristics;
 pub mod element;
 pub mod flatfat;
 pub mod function;
+pub mod hash;
+pub mod keyed;
 pub mod mem;
 pub mod operator;
 pub mod result;
@@ -81,6 +83,8 @@ pub use characteristics::{RemovalStrategy, WorkloadCharacteristics};
 pub use element::StreamElement;
 pub use flatfat::FlatFat;
 pub use function::{AggregateFunction, FunctionKind, FunctionProperties};
+pub use hash::{fx_hash_u64, FxBuildHasher, FxHashMap, FxHasher};
+pub use keyed::{KeyedConfig, KeyedStats, KeyedWindowOperator, NaiveKeyedOperator, PerKey};
 pub use mem::HeapSize;
 pub use operator::{OperatorConfig, OperatorStats, QueryError, WindowOperator};
 pub use result::WindowResult;

@@ -1052,17 +1052,29 @@ impl<A: AggregateFunction> WindowOperator<A> {
         if !self.late_buf.is_empty() {
             let mut buf = std::mem::take(&mut self.late_buf);
             buf.sort_by_key(|&(t, _)| t);
+            // Forward pass: resolve each group's covering slice while the
+            // buffer is intact. `late_slice_index` may insert gap slices,
+            // but only at positions past every already-resolved group
+            // (groups ascend in time), so recorded indices stay valid.
+            let mut groups: Vec<(usize, usize)> = Vec::new(); // (slice idx, group start)
             let mut i = 0;
             while i < buf.len() {
                 let idx = self.late_slice_index(buf[i].0);
                 let slice_end = self.store.slice(idx).end();
                 let j = i + buf[i..].partition_point(|&(t, _)| t < slice_end);
                 debug_assert!(j > i, "late group must contain its first tuple");
-                self.store.add_out_of_order_run(idx, &buf[i..j]);
+                groups.push((idx, i));
                 i = j;
             }
-            buf.clear();
-            self.late_buf = buf; // keep the allocation for the next batch
+            // Apply back to front: each group is split off the buffer's
+            // tail and its values *moved* into the slice — the per-tuple
+            // `value.clone()` at deferral time is the only copy late
+            // tuples ever see.
+            for &(idx, start) in groups.iter().rev() {
+                let run = buf.split_off(start);
+                self.store.add_out_of_order_run_owned(idx, run);
+            }
+            self.late_buf = buf; // now empty; keeps its allocation
         }
         self.store.flush_eager_repairs();
     }

@@ -290,6 +290,19 @@ impl<A: AggregateFunction> SliceStore<A> {
         }
     }
 
+    /// Owned-run variant of [`SliceStore::add_out_of_order_run`]: the
+    /// run's values are moved into the slice, not cloned. Same deferred
+    /// eager-leaf handling.
+    pub fn add_out_of_order_run_owned(&mut self, idx: usize, run: Vec<(Time, A::Input)>) {
+        if run.is_empty() {
+            return;
+        }
+        self.slices[idx].add_out_of_order_run_owned(&self.f, run);
+        if let Some(t) = &mut self.eager {
+            t.update_deferred(idx, self.slices[idx].aggregate().cloned());
+        }
+    }
+
     /// Applies a pre-folded partial of late tuples to slice `idx` — the
     /// unsorted out-of-order fast path for commutative functions without
     /// tuple storage. `t_first`/`t_last` are the group's extreme

@@ -133,6 +133,12 @@ impl crate::window::WindowFunction for TumblingStub {
     fn next_window_end(&self, ts: crate::time::Time) -> Option<crate::time::Time> {
         self.next_edge(ts)
     }
+    fn prev_edge(&self, ts: crate::time::Time) -> Option<crate::time::Time> {
+        Some(ts.div_euclid(self.length) * self.length)
+    }
+    fn has_static_edges(&self) -> bool {
+        true
+    }
     fn requires_edge_at(&self, e: crate::time::Time) -> bool {
         e.rem_euclid(self.length) == 0
     }

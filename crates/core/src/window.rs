@@ -105,6 +105,26 @@ pub trait WindowFunction: Send {
     /// Section 5.3, Step 1).
     fn next_edge(&self, ts: Time) -> Option<Time>;
 
+    /// Latest window edge (start or end) at or **before** `ts`, if the
+    /// window can compute it without stream context. Context-free periodic
+    /// windows derive it arithmetically; stateful windows keep the default
+    /// `None`. Used by the keyed operator to extend its shared slice
+    /// timeline backwards for late tuples.
+    fn prev_edge(&self, _ts: Time) -> Option<Time> {
+        None
+    }
+
+    /// True iff this window's edge set is a pure function of its
+    /// parameters — independent of the tuples observed (tumbling, sliding).
+    /// Such windows can share one slice timeline across all keys of a
+    /// keyed operator; everything else (sessions, punctuation windows,
+    /// count measures) needs per-key edges. Implementations returning
+    /// `true` must also implement [`WindowFunction::prev_edge`] and
+    /// [`WindowFunction::next_window_end`].
+    fn has_static_edges(&self) -> bool {
+        false
+    }
+
     /// Next window **start** edge strictly after `ts`. On in-order streams
     /// it suffices to start slices when windows start (paper Section 5.3,
     /// Step 1: "In an in-order stream, it is sufficient to start slices

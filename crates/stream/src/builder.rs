@@ -24,10 +24,10 @@
 //! assert!(report.result_count > 0);
 //! ```
 
-use gss_core::{AggregateFunction, StreamElement, Time, WindowAggregator};
+use gss_core::{AggregateFunction, PerKey, StreamElement, Time, WindowAggregator};
 
-use crate::pipeline::{run_keyed, PipelineConfig, PipelineReport};
-use crate::source::{filter_records, key_by, map_records, IteratorSource};
+use crate::pipeline::{run_keyed, run_per_key, PipelineConfig, PipelineReport};
+use crate::source::{filter_records, key_by, map_records, punctuate_every, IteratorSource};
 use crate::watermark::WatermarkStrategy;
 
 /// An unkeyed element stream under construction.
@@ -67,6 +67,13 @@ impl<V: 'static> Pipeline<V> {
         Pipeline { elements: Box::new(filter_records(self.elements, pred)) }
     }
 
+    /// Interleaves stream punctuations every `period` of event time (see
+    /// [`punctuate_every`]) so FCF punctuation windows can run end to
+    /// end.
+    pub fn punctuate_every(self, period: Time) -> Pipeline<V> {
+        Pipeline { elements: Box::new(punctuate_every(self.elements, period)) }
+    }
+
     /// Assigns a key to every record, enabling partitioned execution.
     pub fn key_by(self, key: impl FnMut(Time, &V) -> u64 + 'static) -> KeyedPipeline<V> {
         KeyedPipeline { elements: Box::new(key_by(self.elements, key)) }
@@ -93,6 +100,22 @@ impl<V: 'static> KeyedPipeline<V> {
         F: Fn(usize) -> Box<dyn WindowAggregator<A>>,
     {
         run_keyed(self.elements, cfg, factory)
+    }
+
+    /// Runs a window aggregation with one **key-aware** operator per
+    /// partition (e.g. [`gss_core::KeyedWindowOperator`]); results carry
+    /// `(key, aggregate)` pairs. See [`run_per_key`].
+    pub fn aggregate_per_key<A, F>(
+        self,
+        cfg: PipelineConfig,
+        factory: F,
+    ) -> PipelineReport<(u64, A::Output)>
+    where
+        A: AggregateFunction<Input = V>,
+        A::Output: Send,
+        F: Fn(usize) -> Box<dyn WindowAggregator<PerKey<A>>>,
+    {
+        run_per_key(self.elements, cfg, factory)
     }
 
     /// Collects the keyed element stream.
@@ -171,6 +194,59 @@ mod tests {
         // Every window sums 1..=9 repeated 10x = 450 split across keys.
         let total: i64 = report.results.iter().map(|(_, r)| r.value).sum();
         assert_eq!(total, 900 / 9 * 45);
+    }
+
+    #[test]
+    fn punctuate_every_closes_fcf_windows_end_to_end() {
+        // Source-driven punctuations: the source emits no punctuation
+        // marks itself; `punctuate_every` derives them from record
+        // timestamps, and `run_keyed` broadcasts them to every partition
+        // where the FCF punctuation window turns them into window edges.
+        let records: Vec<(Time, i64)> = (0..200i64).map(|i| (i, 1)).collect();
+        let report = Pipeline::from_elements(
+            records.into_iter().map(|(ts, value)| StreamElement::Record { ts, value }),
+        )
+        .punctuate_every(50)
+        .key_by(|_, v| (*v % 2) as u64)
+        .aggregate(PipelineConfig::with_parallelism(2), |_| {
+            let mut op = WindowOperator::new(SumI64, OperatorConfig::in_order());
+            op.add_query(Box::new(gss_windows::PunctuationWindow::new())).unwrap();
+            Box::new(op) as Box<dyn WindowAggregator<SumI64>>
+        });
+        assert_eq!(report.records, 200);
+        let mut per_window: std::collections::BTreeMap<(i64, i64), i64> =
+            std::collections::BTreeMap::new();
+        for (_, r) in &report.results {
+            *per_window.entry((r.range.start, r.range.end)).or_default() += r.value;
+        }
+        let windows: Vec<((i64, i64), i64)> = per_window.into_iter().collect();
+        assert_eq!(
+            windows,
+            vec![((0, 50), 50), ((50, 100), 50), ((100, 150), 50), ((150, 200), 50)]
+        );
+    }
+
+    #[test]
+    fn punctuate_every_emits_boundaries_before_crossing_records() {
+        let elements = vec![
+            StreamElement::Record { ts: 1, value: 1i64 },
+            StreamElement::Record { ts: 12, value: 2 },
+            StreamElement::Watermark(12),
+            StreamElement::Record { ts: 35, value: 3 },
+        ];
+        let out: Vec<_> = crate::source::punctuate_every(elements.into_iter(), 10).collect();
+        let shape: Vec<String> = out
+            .iter()
+            .map(|e| match e {
+                StreamElement::Record { ts, .. } => format!("r{ts}"),
+                StreamElement::Watermark(w) => format!("w{w}"),
+                StreamElement::Punctuation(p) => format!("p{p}"),
+            })
+            .collect();
+        // p0 before the first record, p10 before ts=12, the watermark
+        // untouched, p20 and p30 both before ts=35 (gap spans two
+        // boundaries), and a closing p40 past the last record.
+        assert_eq!(shape, vec!["p0", "r1", "p10", "r12", "w12", "p20", "p30", "r35", "p40"]);
     }
 
     #[test]

@@ -13,6 +13,10 @@ pub mod watermark;
 
 pub use builder::{KeyedPipeline, Pipeline};
 pub use metrics::LatencyHistogram;
-pub use pipeline::{partition_of, process_cpu_time, run_keyed, PipelineConfig, PipelineReport};
-pub use source::{filter_records, key_by, map_records, IteratorSource};
+pub use pipeline::{
+    partition_of, process_cpu_time, run_keyed, run_per_key, PipelineConfig, PipelineReport,
+};
+pub use source::{
+    filter_records, key_by, map_records, punctuate_every, IteratorSource, PunctuateEvery,
+};
 pub use watermark::{AscendingTimestamps, BoundedOutOfOrderness, NoWatermarks, WatermarkStrategy};

@@ -12,7 +12,7 @@
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Sender};
-use gss_core::{AggregateFunction, StreamElement, Time, WindowAggregator, WindowResult};
+use gss_core::{AggregateFunction, PerKey, StreamElement, Time, WindowAggregator, WindowResult};
 
 /// Runtime configuration.
 #[derive(Debug, Clone, Copy)]
@@ -287,6 +287,40 @@ where
     report
 }
 
+/// Runs a keyed aggregation where the operators themselves are
+/// key-aware — each partition hosts one multi-key operator (e.g.
+/// [`gss_core::KeyedWindowOperator`]) instead of stripping keys off.
+///
+/// Results come back key-tagged: every [`WindowResult`] carries
+/// `(key, aggregate)` so downstream consumers can tell the per-key
+/// windows apart, unlike [`run_keyed`] where the key is implicit in the
+/// partition. Records are still routed with [`partition_of`], so all
+/// tuples of one key meet in the same operator instance.
+pub fn run_per_key<A, F>(
+    elements: impl IntoIterator<Item = StreamElement<(u64, A::Input)>>,
+    cfg: PipelineConfig,
+    make_operator: F,
+) -> PipelineReport<(u64, A::Output)>
+where
+    A: AggregateFunction,
+    A::Output: Send,
+    F: Fn(usize) -> Box<dyn WindowAggregator<PerKey<A>>>,
+{
+    // The outer key routes the partition; the inner copy stays attached
+    // for the keyed operator.
+    run_keyed::<PerKey<A>, F>(
+        elements.into_iter().map(|e| match e {
+            StreamElement::Record { ts, value: (key, v) } => {
+                StreamElement::Record { ts, value: (key, (key, v)) }
+            }
+            StreamElement::Watermark(wm) => StreamElement::Watermark(wm),
+            StreamElement::Punctuation(p) => StreamElement::Punctuation(p),
+        }),
+        cfg,
+        make_operator,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -453,6 +487,66 @@ mod tests {
             windows,
             vec![((0, 50), 50), ((50, 100), 50), ((100, 150), 50), ((150, 200), 50)]
         );
+    }
+
+    #[test]
+    fn run_per_key_tags_results_with_keys() {
+        use gss_core::{KeyedConfig, KeyedWindowOperator};
+        let factory = |_: usize| {
+            let op = KeyedWindowOperator::new(
+                SumI64,
+                vec![Box::new(TumblingWindow::new(100))],
+                KeyedConfig::default().with_allowed_lateness(100),
+            );
+            assert!(op.is_shared());
+            Box::new(op) as Box<dyn WindowAggregator<gss_core::PerKey<SumI64>>>
+        };
+        let report = run_per_key(make_elements(1000, 4), PipelineConfig::default(), factory);
+        assert_eq!(report.records, 1000);
+        // Values are all 1 and keys round-robin, so each complete window
+        // contributes 25 per key.
+        let mut per_key_window: std::collections::BTreeMap<(u64, i64), i64> =
+            std::collections::BTreeMap::new();
+        for (_, r) in &report.results {
+            assert!(!r.is_update);
+            *per_key_window.entry((r.value.0, r.range.start)).or_default() += r.value.1;
+        }
+        assert_eq!(per_key_window.len(), 4 * 10);
+        assert!(per_key_window.values().all(|&v| v == 25));
+    }
+
+    #[test]
+    fn run_per_key_matches_naive_keyed_across_parallelism() {
+        use gss_core::{KeyedConfig, KeyedWindowOperator, NaiveKeyedOperator, PerKey};
+        let shared = |_: usize| {
+            Box::new(KeyedWindowOperator::new(
+                SumI64,
+                vec![Box::new(TumblingWindow::new(100))],
+                KeyedConfig::default().with_allowed_lateness(100),
+            )) as Box<dyn WindowAggregator<PerKey<SumI64>>>
+        };
+        let naive = |_: usize| {
+            Box::new(NaiveKeyedOperator::new(
+                SumI64,
+                vec![Box::new(TumblingWindow::new(100))],
+                KeyedConfig::default().with_allowed_lateness(100),
+            )) as Box<dyn WindowAggregator<PerKey<SumI64>>>
+        };
+        let norm = |r: &PipelineReport<(u64, i64)>| {
+            let mut m: Vec<(u64, i64, i64, i64, bool)> = r
+                .results
+                .iter()
+                .map(|(_, w)| (w.value.0, w.range.start, w.range.end, w.value.1, w.is_update))
+                .collect();
+            m.sort_unstable();
+            m
+        };
+        let a = run_per_key(make_elements(2000, 16), PipelineConfig::default(), shared);
+        let b = run_per_key(make_elements(2000, 16), PipelineConfig::with_parallelism(4), shared);
+        let c = run_per_key(make_elements(2000, 16), PipelineConfig::default(), naive);
+        assert!(!norm(&a).is_empty());
+        assert_eq!(norm(&a), norm(&b), "shared keyed must be parallelism-invariant");
+        assert_eq!(norm(&a), norm(&c), "shared keyed must match the naive baseline");
     }
 
     #[test]

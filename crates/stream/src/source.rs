@@ -79,6 +79,87 @@ pub fn filter_records<V>(
     })
 }
 
+/// Interleaves stream punctuations every `period` of event time, driven
+/// by record timestamps: each boundary `k·period` is emitted *before*
+/// the first record at or past it, and one closing punctuation past the
+/// last record ends the final window. Watermarks pass through untouched.
+/// This is the source-side half of FCF punctuation windows
+/// (`gss-windows`' `PunctuationWindow`): the punctuations flow through
+/// [`crate::run_keyed`]'s broadcast to every partition.
+pub fn punctuate_every<V>(
+    elements: impl Iterator<Item = StreamElement<V>>,
+    period: Time,
+) -> PunctuateEvery<impl Iterator<Item = StreamElement<V>>, V> {
+    assert!(period > 0, "punctuation period must be positive");
+    PunctuateEvery {
+        input: elements,
+        period,
+        next_boundary: None,
+        max_ts: None,
+        pending: None,
+        closed: false,
+    }
+}
+
+/// Iterator returned by [`punctuate_every`].
+pub struct PunctuateEvery<I, V>
+where
+    I: Iterator<Item = StreamElement<V>>,
+{
+    input: I,
+    period: Time,
+    next_boundary: Option<Time>,
+    max_ts: Option<Time>,
+    pending: Option<StreamElement<V>>,
+    closed: bool,
+}
+
+impl<I, V> Iterator for PunctuateEvery<I, V>
+where
+    I: Iterator<Item = StreamElement<V>>,
+{
+    type Item = StreamElement<V>;
+
+    fn next(&mut self) -> Option<StreamElement<V>> {
+        loop {
+            if let Some(e) = self.pending.take() {
+                if let StreamElement::Record { ts, .. } = &e {
+                    let b = self.next_boundary.expect("boundary set when record stashed");
+                    if b <= *ts {
+                        // A record crossing one or more boundaries: emit
+                        // them one by one ahead of it.
+                        self.next_boundary = Some(b + self.period);
+                        self.pending = Some(e);
+                        return Some(StreamElement::Punctuation(b));
+                    }
+                }
+                return Some(e);
+            }
+            match self.input.next() {
+                Some(StreamElement::Record { ts, value }) => {
+                    if self.next_boundary.is_none() {
+                        self.next_boundary = Some(ts.div_euclid(self.period) * self.period);
+                    }
+                    self.max_ts = Some(self.max_ts.map_or(ts, |m| m.max(ts)));
+                    self.pending = Some(StreamElement::Record { ts, value });
+                }
+                Some(other) => return Some(other),
+                None => {
+                    if self.closed {
+                        return None;
+                    }
+                    self.closed = true;
+                    // Close the last open window with one punctuation
+                    // strictly past every record.
+                    return self.max_ts.map(|m| {
+                        StreamElement::Punctuation((m.div_euclid(self.period) + 1) * self.period)
+                    });
+                }
+            }
+        }
+    }
+}
+
 /// Assigns keys to records (for [`crate::run_keyed`]).
 pub fn key_by<V>(
     elements: impl Iterator<Item = StreamElement<V>>,

@@ -51,6 +51,26 @@ impl PeriodicEdges {
         self.next_start(ts).min(self.next_end(ts))
     }
 
+    /// Largest window start at or before `ts`.
+    #[inline]
+    pub fn prev_start(&self, ts: Time) -> Time {
+        (ts - self.offset).div_euclid(self.slide) * self.slide + self.offset
+    }
+
+    /// Largest window end at or before `ts`.
+    #[inline]
+    pub fn prev_end(&self, ts: Time) -> Time {
+        (ts - self.offset - self.length).div_euclid(self.slide) * self.slide
+            + self.offset
+            + self.length
+    }
+
+    /// Largest window edge (start or end) at or before `ts`.
+    #[inline]
+    pub fn prev_edge(&self, ts: Time) -> Time {
+        self.prev_start(ts).max(self.prev_end(ts))
+    }
+
     /// Is there a window start or end exactly at `e`?
     #[inline]
     pub fn edge_at(&self, e: Time) -> bool {
@@ -107,6 +127,12 @@ macro_rules! periodic_window {
             }
             fn next_window_end(&self, ts: Time) -> Option<Time> {
                 Some(self.edges.next_end(ts))
+            }
+            fn prev_edge(&self, ts: Time) -> Option<Time> {
+                Some(self.edges.prev_edge(ts))
+            }
+            fn has_static_edges(&self) -> bool {
+                true
             }
             fn requires_edge_at(&self, e: Time) -> bool {
                 self.edges.edge_at(e)

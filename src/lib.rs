@@ -61,8 +61,9 @@ pub mod prelude {
     };
     pub use gss_core::{
         AggregateFunction, ContextClass, ContextEdges, FunctionKind, FunctionProperties, HeapSize,
-        Measure, OperatorConfig, Query, QueryId, Range, StorePolicy, StreamElement, StreamOrder,
-        Time, WindowAggregator, WindowFunction, WindowOperator, WindowResult,
+        KeyedConfig, KeyedStats, KeyedWindowOperator, Measure, NaiveKeyedOperator, OperatorConfig,
+        PerKey, Query, QueryId, Range, StorePolicy, StreamElement, StreamOrder, Time,
+        WindowAggregator, WindowFunction, WindowOperator, WindowResult,
     };
     pub use gss_data::{
         make_out_of_order, with_watermarks, FootballConfig, FootballGenerator, MachineConfig,
@@ -70,8 +71,8 @@ pub mod prelude {
     };
     pub use gss_query::{translate, AggKind, AnyAggregate, QueryDsl, Value, WindowDsl};
     pub use gss_stream::{
-        run_keyed, BoundedOutOfOrderness, IteratorSource, LatencyHistogram, PipelineConfig,
-        PipelineReport,
+        run_keyed, run_per_key, BoundedOutOfOrderness, IteratorSource, LatencyHistogram,
+        PipelineConfig, PipelineReport,
     };
     pub use gss_windows::{
         CountSlidingWindow, CountTumblingWindow, MultiMeasureWindow, PunctuationWindow,

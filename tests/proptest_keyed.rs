@@ -1,0 +1,315 @@
+//! Property tests for keyed window aggregation: the shared-timeline
+//! [`KeyedWindowOperator`] (and the [`NaiveKeyedOperator`] baseline)
+//! must emit exactly the same result multiset as a reference map of
+//! independent per-key [`WindowOperator`]s, across window types
+//! (tumbling/sliding on the shared path, session on the fallback),
+//! stream order, batch size, watermark placement (including stale,
+//! repeated, and flush watermarks), and idle-key TTL eviction.
+//!
+//! The reference replays the current watermark into each freshly created
+//! per-key operator — watermarks are broadcast, so a key first seen late
+//! in the stream is still subject to the global lateness rule.
+
+use std::collections::BTreeMap;
+
+use general_stream_slicing::prelude::*;
+use proptest::prelude::*;
+
+/// `(watermark segment, key, query, start, end, value, is_update)` — the
+/// segment index pins emissions to the watermark interval they occurred
+/// in, so sorting compares segment-by-segment multisets (emission order
+/// across keys within a segment is not specified).
+type Emitted = Vec<(usize, u64, QueryId, Time, Time, i64, bool)>;
+
+type KeyedElements = Vec<StreamElement<(u64, i64)>>;
+
+/// Reference: one full `WindowOperator` per key, driven tuple-at-a-time.
+struct RefKeyed {
+    ops: BTreeMap<u64, WindowOperator<Sum>>,
+    windows: Vec<Box<dyn WindowFunction>>,
+    lateness: Time,
+    wm: Time,
+}
+
+const TIME_MIN: Time = i64::MIN;
+
+impl RefKeyed {
+    fn new(windows: Vec<Box<dyn WindowFunction>>, lateness: Time) -> Self {
+        RefKeyed { ops: BTreeMap::new(), windows, lateness, wm: TIME_MIN }
+    }
+
+    fn run(mut self, elements: &KeyedElements) -> Emitted {
+        let mut emitted = Emitted::new();
+        let mut scratch = Vec::new();
+        let mut segment = 0usize;
+        for e in elements {
+            match e {
+                StreamElement::Record { ts, value: (key, v) } => {
+                    if !self.ops.contains_key(key) {
+                        let mut op =
+                            WindowOperator::new(Sum, OperatorConfig::out_of_order(self.lateness));
+                        for w in &self.windows {
+                            op.add_query(w.clone_box()).unwrap();
+                        }
+                        if self.wm != TIME_MIN {
+                            op.process_watermark(self.wm, &mut scratch);
+                            assert!(scratch.is_empty());
+                        }
+                        self.ops.insert(*key, op);
+                    }
+                    let op = self.ops.get_mut(key).unwrap();
+                    op.process(*ts, *v, &mut scratch);
+                    emitted.extend(scratch.drain(..).map(|r| {
+                        (segment, *key, r.query, r.range.start, r.range.end, r.value, r.is_update)
+                    }));
+                }
+                StreamElement::Watermark(wm) => {
+                    if *wm > self.wm {
+                        self.wm = *wm;
+                        for (key, op) in self.ops.iter_mut() {
+                            op.process_watermark(*wm, &mut scratch);
+                            emitted.extend(scratch.drain(..).map(|r| {
+                                (
+                                    segment,
+                                    *key,
+                                    r.query,
+                                    r.range.start,
+                                    r.range.end,
+                                    r.value,
+                                    r.is_update,
+                                )
+                            }));
+                        }
+                    }
+                    segment += 1;
+                }
+                StreamElement::Punctuation(_) => {}
+            }
+        }
+        emitted
+    }
+}
+
+/// Drives a keyed aggregator in chunks of `batch_size`, flushing the
+/// pending chunk before every watermark so watermark segments line up
+/// with the per-tuple reference.
+fn drive_keyed(
+    agg: &mut dyn WindowAggregator<PerKey<Sum>>,
+    elements: &KeyedElements,
+    batch_size: usize,
+) -> Emitted {
+    let batch_size = batch_size.max(1);
+    let mut emitted = Emitted::new();
+    let mut out = Vec::new();
+    let mut buf: Vec<(Time, (u64, i64))> = Vec::new();
+    let mut segment = 0usize;
+    for e in elements {
+        match e {
+            StreamElement::Record { ts, value } => {
+                buf.push((*ts, *value));
+                if buf.len() >= batch_size {
+                    agg.process_batch(&buf, &mut out);
+                    buf.clear();
+                }
+            }
+            StreamElement::Watermark(wm) => {
+                if !buf.is_empty() {
+                    agg.process_batch(&buf, &mut out);
+                    buf.clear();
+                }
+                agg.on_watermark(*wm, &mut out);
+            }
+            StreamElement::Punctuation(_) => {}
+        }
+        emitted.extend(out.drain(..).map(|r| {
+            (segment, r.value.0, r.query, r.range.start, r.range.end, r.value.1, r.is_update)
+        }));
+        if matches!(e, StreamElement::Watermark(_)) {
+            segment += 1;
+        }
+    }
+    if !buf.is_empty() {
+        agg.process_batch(&buf, &mut out);
+        emitted.extend(out.drain(..).map(|r| {
+            (segment, r.value.0, r.query, r.range.start, r.range.end, r.value.1, r.is_update)
+        }));
+    }
+    emitted
+}
+
+fn sorted(mut e: Emitted) -> Emitted {
+    e.sort_unstable();
+    e
+}
+
+/// Interleaves watermarks into a keyed tuple stream: one every
+/// `every` records at `max_ts - lag` (watermarks are monotone because
+/// `max_ts` is), with an occasional stale duplicate to exercise the
+/// non-increasing-watermark ignore path, plus a final flush.
+fn with_keyed_watermarks(tuples: &[(Time, u64, i64)], every: usize, lag: Time) -> KeyedElements {
+    let every = every.max(1);
+    let mut elements = KeyedElements::with_capacity(tuples.len() + tuples.len() / every + 2);
+    let mut max_ts = TIME_MIN;
+    for (i, &(ts, key, v)) in tuples.iter().enumerate() {
+        elements.push(StreamElement::Record { ts, value: (key, v) });
+        max_ts = max_ts.max(ts);
+        if i % every == every - 1 {
+            elements.push(StreamElement::Watermark(max_ts - lag));
+            if i % (3 * every) == every - 1 {
+                // Stale: strictly behind the one just emitted.
+                elements.push(StreamElement::Watermark(max_ts - lag - 1));
+            }
+        }
+    }
+    elements.push(StreamElement::Watermark(i64::MAX - 1));
+    elements
+}
+
+fn time_windows(length: i64, slide: i64) -> Vec<Box<dyn WindowFunction>> {
+    vec![
+        Box::new(TumblingWindow::new(length)),
+        Box::new(SlidingWindow::new(length.max(slide), slide)),
+    ]
+}
+
+fn check_all(
+    windows: impl Fn() -> Vec<Box<dyn WindowFunction>>,
+    cfg: KeyedConfig,
+    lateness: Time,
+    elements: &KeyedElements,
+    batch_size: usize,
+    expect_shared: bool,
+) -> Result<(), TestCaseError> {
+    let reference = RefKeyed::new(windows(), lateness).run(elements);
+    let want = sorted(reference);
+
+    let mut shared = KeyedWindowOperator::new(Sum, windows(), cfg);
+    prop_assert_eq!(shared.is_shared(), expect_shared);
+    let got = sorted(drive_keyed(&mut shared, elements, batch_size));
+    prop_assert_eq!(&got, &want, "KeyedWindowOperator diverged (batch {})", batch_size);
+
+    let mut naive = NaiveKeyedOperator::new(Sum, windows(), cfg);
+    let got = sorted(drive_keyed(&mut naive, elements, batch_size));
+    prop_assert_eq!(&got, &want, "NaiveKeyedOperator diverged (batch {})", batch_size);
+
+    // Per-tuple processing through the same operators must agree too.
+    let mut shared = KeyedWindowOperator::new(Sum, windows(), cfg);
+    let got = sorted(drive_keyed(&mut shared, elements, 1));
+    prop_assert_eq!(&got, &want, "per-tuple KeyedWindowOperator diverged");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// In-order keyed streams on the shared path: tumbling + sliding
+    /// queries over interleaved keys, every batch size, watermarks with
+    /// stale duplicates.
+    #[test]
+    fn keyed_matches_reference_in_order(
+        raw in prop::collection::vec((0i64..2_000, 0u64..10, -50i64..50), 1..200),
+        length in 1i64..50,
+        slide in 1i64..50,
+        lateness_i in 0usize..3,
+        batch_size in 1usize..70,
+        wm_every in 1usize..40,
+    ) {
+        let lateness = [0i64, 50, 500][lateness_i];
+        let mut tuples = raw;
+        tuples.sort_by_key(|&(ts, _, _)| ts);
+        let elements = with_keyed_watermarks(&tuples, wm_every, 50);
+        check_all(
+            || time_windows(length, slide),
+            KeyedConfig::default().with_allowed_lateness(lateness),
+            lateness,
+            &elements,
+            batch_size,
+            true,
+        )?;
+    }
+
+    /// Out-of-order keyed streams: random arrival order means heavy
+    /// key-late traffic — allowed-lateness drops and window updates must
+    /// match the reference exactly, including keys first seen behind the
+    /// watermark (timeline prepends, watermark replay in the reference).
+    #[test]
+    fn keyed_matches_reference_out_of_order(
+        raw in prop::collection::vec((0i64..2_000, 0u64..8, -50i64..50), 1..150),
+        length in 2i64..50,
+        slide in 1i64..30,
+        lateness_i in 0usize..3,
+        batch_size in 1usize..70,
+        wm_every in 1usize..30,
+    ) {
+        let lateness = [0i64, 50, 500][lateness_i];
+        // Raw vec order is random in ts: maximal disorder.
+        let elements = with_keyed_watermarks(&raw, wm_every, 20);
+        check_all(
+            || time_windows(length, slide),
+            KeyedConfig::default().with_allowed_lateness(lateness),
+            lateness,
+            &elements,
+            batch_size,
+            true,
+        )?;
+    }
+
+    /// Session windows are context-aware, so the operator must fall back
+    /// to the naive per-key path — and still match the reference map.
+    #[test]
+    fn keyed_session_fallback_matches_reference(
+        raw in prop::collection::vec((0i64..2_000, 0u64..6, -50i64..50), 1..120),
+        gap in 1i64..60,
+        batch_size in 1usize..50,
+        wm_every in 1usize..30,
+    ) {
+        let mut tuples = raw;
+        tuples.sort_by_key(|&(ts, _, _)| ts);
+        let elements = with_keyed_watermarks(&tuples, wm_every, 50);
+        let windows = || -> Vec<Box<dyn WindowFunction>> { vec![Box::new(SessionWindow::new(gap))] };
+        check_all(
+            windows,
+            KeyedConfig::default().with_allowed_lateness(0),
+            0,
+            &elements,
+            batch_size,
+            false,
+        )?;
+    }
+
+    /// Idle-key TTL eviction on globally in-order streams is invisible in
+    /// the output: an evicted key's windows were fully emitted before
+    /// eviction, and a reappearing key starts fresh exactly like the
+    /// reference (which never evicts) would continue in order. Exercises
+    /// the trigger-heap and TTL-heap interplay: keys going idle, being
+    /// evicted, and re-registering.
+    #[test]
+    fn keyed_ttl_eviction_is_invisible_in_order(
+        raw in prop::collection::vec((0i64..4_000, 0u64..6, -50i64..50), 1..200),
+        length in 1i64..40,
+        slide in 1i64..40,
+        ttl in 1i64..400,
+        batch_size in 1usize..50,
+        wm_every in 1usize..20,
+    ) {
+        let mut tuples = raw;
+        tuples.sort_by_key(|&(ts, _, _)| ts);
+        let elements = with_keyed_watermarks(&tuples, wm_every, 30);
+        let windows = || time_windows(length, slide);
+        let want = sorted(RefKeyed::new(windows(), 0).run(&elements));
+
+        let cfg = KeyedConfig::default().with_idle_ttl(ttl);
+        let mut shared = KeyedWindowOperator::new(Sum, windows(), cfg);
+        prop_assert!(shared.is_shared());
+        let got = sorted(drive_keyed(&mut shared, &elements, batch_size));
+        prop_assert_eq!(&got, &want, "shared + ttl {} diverged", ttl);
+        // Everything is drained by the flush watermark: with a TTL set,
+        // every key must eventually be evicted.
+        prop_assert_eq!(shared.live_keys(), 0, "flush watermark must evict all idle keys");
+
+        let mut naive = NaiveKeyedOperator::new(Sum, windows(), cfg);
+        let got = sorted(drive_keyed(&mut naive, &elements, batch_size));
+        prop_assert_eq!(&got, &want, "naive + ttl {} diverged", ttl);
+        prop_assert_eq!(naive.live_keys(), 0);
+    }
+}
