@@ -1,0 +1,63 @@
+//! Criterion microbenchmark: intra-query parallel slicing (`run_parallel`
+//! two-stage path) vs the sequential operator, sliding-window sum over an
+//! in-order stream, at 1/2/4 workers and two driver batch sizes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use gss_aggregates::Sum;
+use gss_core::{OperatorConfig, StreamElement, Time, WindowFunction};
+use gss_stream::{run_parallel, PipelineConfig};
+use gss_windows::SlidingWindow;
+
+const TUPLES: usize = 200_000;
+const LATENESS: i64 = 500;
+
+fn windows() -> Vec<Box<dyn WindowFunction>> {
+    vec![Box::new(SlidingWindow::new(1_000, 250))]
+}
+
+fn make_elements() -> Vec<StreamElement<i64>> {
+    let mut v = Vec::with_capacity(TUPLES + TUPLES / 1_000 + 2);
+    for i in 0..TUPLES {
+        let ts = i as Time;
+        v.push(StreamElement::Record { ts, value: (i % 101) as i64 - 50 });
+        if i % 1_000 == 999 {
+            v.push(StreamElement::Watermark(ts - LATENESS));
+        }
+    }
+    v.push(StreamElement::Watermark(i64::MAX - 1));
+    v
+}
+
+fn bench_par(c: &mut Criterion) {
+    let elements = make_elements();
+    for batch in [64usize, 512] {
+        let mut group = c.benchmark_group(format!("par/batch-{batch}"));
+        group.throughput(Throughput::Elements(TUPLES as u64));
+        group.sample_size(10);
+        for workers in [1usize, 2, 4] {
+            group.bench_function(format!("workers-{workers}"), |b| {
+                b.iter_batched(
+                    || elements.clone(),
+                    |elements| {
+                        run_parallel(
+                            elements,
+                            PipelineConfig::with_parallelism(workers)
+                                .with_batch_size(batch)
+                                .throughput_only(),
+                            Sum,
+                            windows(),
+                            OperatorConfig::out_of_order(LATENESS),
+                        )
+                        .result_count
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_par);
+criterion_main!(benches);

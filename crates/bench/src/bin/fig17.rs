@@ -92,17 +92,18 @@ fn main() {
                 PipelineConfig::with_parallelism(p).throughput_only(),
                 &factory,
             );
+            // None when CPU time is unavailable (non-Linux) — report "n/a"
+            // rather than a misleading 0 %.
+            let cpu = report
+                .cpu_utilization()
+                .map_or_else(|| "n/a".to_string(), |u| format!("{:.0}", u * 100.0));
             out.row(&[
                 technique.to_string(),
                 p.to_string(),
                 format!("{:.0}", report.throughput()),
-                format!("{:.0}", report.cpu_utilization() * 100.0),
+                cpu.clone(),
             ]);
-            eprintln!(
-                "  {technique} x{p}: {} tuples/s, {:.0}% CPU",
-                fmt_tput(report.throughput()),
-                report.cpu_utilization() * 100.0
-            );
+            eprintln!("  {technique} x{p}: {} tuples/s, {cpu}% CPU", fmt_tput(report.throughput()));
         }
     }
     out.finish();

@@ -39,7 +39,8 @@ use crate::hash::FxHashMap;
 use crate::mem::HeapSize;
 use crate::operator::{OperatorConfig, WindowOperator};
 use crate::result::WindowResult;
-use crate::time::{Measure, Range, Time, TIME_MAX, TIME_MIN};
+use crate::time::{Measure, Time, TIME_MAX, TIME_MIN};
+use crate::timeline::Timeline;
 use crate::window::{ContextClass, Query, WindowFunction};
 
 /// Lifts an [`AggregateFunction`] over `V` to one over `(key, V)` pairs.
@@ -133,138 +134,6 @@ pub struct KeyedStats {
     pub heap_wakeups: u64,
     /// Heap entries discarded as stale (key evicted or due time superseded).
     pub stale_wakeups: u64,
-}
-
-// ---------------------------------------------------------------------------
-// Shared slice timeline
-// ---------------------------------------------------------------------------
-
-/// One shared slice: a half-open `[start, end)` span bounded by window
-/// edges. Unlike [`crate::slice::Slice`] it holds **no aggregate** — those
-/// live per key in [`KeyState`].
-#[derive(Debug, Clone, Copy)]
-struct SliceMeta {
-    start: Time,
-    end: Time,
-}
-
-/// The shared, contiguous slice timeline. Slices are addressed by a
-/// *global index* (`base + position`) that stays stable across front
-/// eviction, so per-key rings can align to it without per-key fixups.
-#[derive(Debug, Default)]
-struct Timeline {
-    slices: VecDeque<SliceMeta>,
-    /// Global index of `slices[0]`. Increases on eviction, decreases when
-    /// a late tuple forces a prepend.
-    base: i64,
-}
-
-impl Timeline {
-    fn len(&self) -> usize {
-        self.slices.len()
-    }
-
-    /// Earliest next edge strictly after `ts` across all queries.
-    fn union_next_edge(queries: &[Query], ts: Time) -> Time {
-        let mut e = TIME_MAX;
-        for q in queries {
-            if let Some(n) = q.window.next_edge(ts) {
-                e = e.min(n);
-            }
-        }
-        debug_assert!(e > ts, "next edge must be strictly after ts");
-        e
-    }
-
-    /// Latest edge at or before `ts` across all queries.
-    fn union_prev_edge(queries: &[Query], ts: Time) -> Time {
-        let mut e = TIME_MIN;
-        for q in queries {
-            if let Some(p) = q.window.prev_edge(ts) {
-                e = e.max(p);
-            }
-        }
-        debug_assert!(e <= ts, "prev edge must be at or before ts");
-        e
-    }
-
-    /// Extends the timeline (in either direction) so some slice covers
-    /// `ts`, and returns that slice's **position** (index into `slices`).
-    fn ensure_covering(&mut self, ts: Time, queries: &[Query], stats: &mut KeyedStats) -> usize {
-        if self.slices.is_empty() {
-            let start = Self::union_prev_edge(queries, ts);
-            let end = Self::union_next_edge(queries, ts);
-            self.slices.push_back(SliceMeta { start, end });
-            stats.slices_created += 1;
-            return 0;
-        }
-        while ts >= self.slices.back().expect("non-empty").end {
-            let start = self.slices.back().expect("non-empty").end;
-            let end = Self::union_next_edge(queries, start);
-            self.slices.push_back(SliceMeta { start, end });
-            stats.slices_created += 1;
-        }
-        while ts < self.slices.front().expect("non-empty").start {
-            let end = self.slices.front().expect("non-empty").start;
-            let start = Self::union_prev_edge(queries, end - 1);
-            debug_assert!(start < end);
-            self.slices.push_front(SliceMeta { start, end });
-            self.base -= 1;
-            stats.slices_created += 1;
-        }
-        self.pos_covering(ts).expect("timeline extended to cover ts")
-    }
-
-    /// Position of the slice covering `ts`, if any.
-    fn pos_covering(&self, ts: Time) -> Option<usize> {
-        if self.slices.is_empty()
-            || ts < self.slices.front().expect("non-empty").start
-            || ts >= self.slices.back().expect("non-empty").end
-        {
-            return None;
-        }
-        // Largest position whose start <= ts; slices are contiguous.
-        let pos = self.slices.partition_point(|s| s.start <= ts);
-        debug_assert!(pos > 0);
-        Some(pos - 1)
-    }
-
-    /// Maps a window `[range.start, range.end)` to the inclusive-exclusive
-    /// global slice index span it covers, clamped to current coverage.
-    /// `None` if the window doesn't overlap the timeline at all.
-    fn global_range(&self, range: Range) -> Option<(i64, i64)> {
-        let first = self.slices.front()?;
-        let last = self.slices.back().expect("non-empty");
-        if range.end <= first.start || range.start >= last.end {
-            return None;
-        }
-        let lo_pos = if range.start <= first.start {
-            0
-        } else {
-            self.pos_covering(range.start).expect("start within coverage")
-        };
-        // Exclusive upper bound: first slice whose start >= range.end.
-        let hi_pos = self.slices.partition_point(|s| s.start < range.end);
-        debug_assert!(hi_pos > lo_pos);
-        Some((self.base + lo_pos as i64, self.base + hi_pos as i64))
-    }
-
-    /// Drops slices that end at or before `boundary`; keeps global
-    /// numbering monotone by advancing `base`.
-    fn evict_to(&mut self, boundary: Time) {
-        while let Some(front) = self.slices.front() {
-            if front.end <= boundary {
-                self.slices.pop_front();
-                self.base += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn heap_bytes(&self) -> usize {
-        self.slices.capacity() * std::mem::size_of::<SliceMeta>()
-    }
 }
 
 // ---------------------------------------------------------------------------
@@ -599,7 +468,7 @@ impl<A: AggregateFunction> SharedKeyed<A> {
                 e.insert(KeyState::new())
             }
         };
-        st.trim_to(self.timeline.base);
+        st.trim_to(self.timeline.base());
         catch_up_emitted(st, self.watermark, self.max_extent);
         let old_due = st.due;
 
@@ -608,15 +477,19 @@ impl<A: AggregateFunction> SharedKeyed<A> {
             let (ts, _) = tuples[i];
             if st.t_last == TIME_MIN || ts >= st.t_last {
                 // Key-in-order: fold the longest run inside one slice.
-                let pos = self.timeline.ensure_covering(ts, &self.queries, &mut self.stats);
-                let slice = self.timeline.slices[pos];
+                let pos = self.timeline.ensure_covering(
+                    ts,
+                    &self.queries,
+                    &mut self.stats.slices_created,
+                );
+                let slice = self.timeline.get(pos);
                 let n = in_order_run_len(tuples, i, ts, slice.end, usize::MAX);
                 debug_assert!(n >= 1);
                 let mut p = self.f.lift(&tuples[i].1);
                 for (_, v) in &tuples[i + 1..i + n] {
                     p = self.f.combine(p, &self.f.lift(v));
                 }
-                st.add_at(self.timeline.base + pos as i64, p, &self.f);
+                st.add_at(self.timeline.base() + pos as i64, p, &self.f);
                 st.t_first = st.t_first.min(ts);
                 st.t_last = tuples[i + n - 1].0;
                 self.stats.tuples += n as u64;
@@ -631,8 +504,12 @@ impl<A: AggregateFunction> SharedKeyed<A> {
                     i += 1;
                     continue;
                 }
-                let pos = self.timeline.ensure_covering(ts, &self.queries, &mut self.stats);
-                let g = self.timeline.base + pos as i64;
+                let pos = self.timeline.ensure_covering(
+                    ts,
+                    &self.queries,
+                    &mut self.stats.slices_created,
+                );
+                let g = self.timeline.base() + pos as i64;
                 st.add_at(g, self.f.lift(&tuples[i].1), &self.f);
                 st.t_first = st.t_first.min(ts);
                 self.stats.tuples += 1;
@@ -698,7 +575,7 @@ impl<A: AggregateFunction> SharedKeyed<A> {
             }
             st.due = None;
             self.stats.heap_wakeups += 1;
-            st.trim_to(self.timeline.base);
+            st.trim_to(self.timeline.base());
             // Catch the floor up over watermarks skipped while heap-gated
             // (`self.watermark` is still the previous watermark here).
             catch_up_emitted(st, self.watermark, self.max_extent);

@@ -76,6 +76,7 @@ pub mod slice;
 pub mod store;
 pub mod testsupport;
 pub mod time;
+pub mod timeline;
 pub mod window;
 
 pub use aggregator::{in_order_run_len, WindowAggregator};
@@ -86,9 +87,10 @@ pub use function::{AggregateFunction, FunctionKind, FunctionProperties};
 pub use hash::{fx_hash_u64, FxBuildHasher, FxHashMap, FxHasher};
 pub use keyed::{KeyedConfig, KeyedStats, KeyedWindowOperator, NaiveKeyedOperator, PerKey};
 pub use mem::HeapSize;
-pub use operator::{OperatorConfig, OperatorStats, QueryError, WindowOperator};
+pub use operator::{OperatorConfig, OperatorStats, QueryError, SlicePartial, WindowOperator};
 pub use result::WindowResult;
 pub use slice::Slice;
 pub use store::{SliceStore, StorePolicy};
 pub use time::{Count, Measure, Range, StreamOrder, Time, Watermark, TIME_MAX, TIME_MIN};
+pub use timeline::{SliceMeta, Timeline};
 pub use window::{ContextClass, ContextEdges, Query, QueryId, WindowFunction};

@@ -144,6 +144,39 @@ impl<P: Clone> Clone for LateGroup<P> {
     }
 }
 
+/// One worker-local pre-aggregated slice from the intra-query parallel
+/// path: everything a worker folded into the static-edge span
+/// `[start, end)`, plus the extreme timestamps and tuple count. Produced
+/// by worker-side slicers, consumed by
+/// [`WindowOperator::merge_parallel_partials`].
+pub struct SlicePartial<A: AggregateFunction> {
+    /// Slice span start (a static window edge).
+    pub start: Time,
+    /// Slice span end (the next static window edge after `start`).
+    pub end: Time,
+    /// ⊕-fold of the lifted values of every contributing tuple.
+    pub partial: A::Partial,
+    /// Earliest contributing timestamp (`start <= t_first`).
+    pub t_first: Time,
+    /// Latest contributing timestamp (`t_last < end`).
+    pub t_last: Time,
+    /// Number of contributing tuples.
+    pub n: u64,
+}
+
+impl<A: AggregateFunction> Clone for SlicePartial<A> {
+    fn clone(&self) -> Self {
+        SlicePartial {
+            start: self.start,
+            end: self.end,
+            partial: self.partial.clone(),
+            t_first: self.t_first,
+            t_last: self.t_last,
+            n: self.n,
+        }
+    }
+}
+
 /// The general stream slicing operator.
 pub struct WindowOperator<A: AggregateFunction> {
     f: A,
@@ -1184,9 +1217,85 @@ impl<A: AggregateFunction> WindowOperator<A> {
         if wm <= self.watermark {
             return;
         }
+        // Deferred eager repairs (late-run or parallel-merge inserts) must
+        // land before the trigger sweep queries the FlatFAT. A no-op when
+        // the dirty set is empty.
+        self.store.flush_eager_repairs();
         self.trigger_up_to(wm, self.max_ts, out);
         self.watermark = wm;
         self.evict(wm);
+    }
+
+    // ------------------------------------------------------------------
+    // Intra-query parallel merge stage (beyond the paper)
+    // ------------------------------------------------------------------
+
+    /// Combines one worker-local slice partial into the authoritative
+    /// store — the merge stage of the intra-query parallel path.
+    ///
+    /// The caller's eligibility check guarantees: a commutative function,
+    /// time-measure context-free windows with static edges (so
+    /// `[part.start, part.end)` is the same span every worker derives —
+    /// it either matches an existing slice exactly or fills a coverage
+    /// gap without straddling a boundary), an out-of-order config, and no
+    /// tuple storage. Partials at or below the current watermark are
+    /// straggler singletons and revise already-emitted windows, exactly
+    /// like the sequential out-of-order path.
+    ///
+    /// Eager-store FlatFAT repairs are *deferred*: finish a run of calls
+    /// with [`merge_parallel_partials`](Self::merge_parallel_partials)
+    /// (which flushes once per run) before querying; triggering via
+    /// [`process_watermark`](Self::process_watermark) flushes defensively.
+    pub fn add_parallel_partial(
+        &mut self,
+        part: SlicePartial<A>,
+        out: &mut Vec<WindowResult<A::Output>>,
+    ) {
+        debug_assert!(
+            self.f.properties().commutative,
+            "parallel merge requires a commutative function"
+        );
+        debug_assert!(
+            !self.chars.requires_tuple_storage() && !self.cfg.force_tuple_storage,
+            "parallel merge requires dropped tuples (partials carry none)"
+        );
+        debug_assert!(!self.count_mode(), "parallel merge requires time-measure windows");
+        let SlicePartial { start, end, partial, t_first, t_last, n } = part;
+        debug_assert!(start <= t_first && t_first <= t_last && t_last < end);
+        let idx = match self.store.covering_index(t_first) {
+            Some(i) => i,
+            None => {
+                let idx = self.store.insert_gap_slice(Range::new(start, end));
+                self.stats.slices_created += 1;
+                idx
+            }
+        };
+        self.store.add_out_of_order_partial(idx, partial, t_first, t_last, n as usize);
+        self.stats.tuples += n;
+        self.max_ts = self.max_ts.max(t_last);
+        // Window Manager: a partial at or below the watermark is a late
+        // straggler — revise the windows that already fired. Grouped
+        // partials never take this branch: workers group only tuples
+        // above their watermark, and the merge protocol applies a group
+        // before the global watermark passes it.
+        if self.watermark != TIME_MIN && t_first <= self.watermark {
+            self.store.flush_eager_repairs();
+            self.emit_updates(t_first, out);
+        }
+    }
+
+    /// Bulk-merges a run of worker-local slice partials (one store touch
+    /// per `(worker, slice)` run), amortizing the eager-store repair to a
+    /// single flush per call.
+    pub fn merge_parallel_partials(
+        &mut self,
+        parts: impl IntoIterator<Item = SlicePartial<A>>,
+        out: &mut Vec<WindowResult<A::Output>>,
+    ) {
+        for p in parts {
+            self.add_parallel_partial(p, out);
+        }
+        self.store.flush_eager_repairs();
     }
 }
 

@@ -1,0 +1,291 @@
+//! The shared slice timeline: window-edge boundary math decoupled from
+//! aggregate storage.
+//!
+//! For time-measure, context-free windows with **static edges**
+//! ([`WindowFunction::has_static_edges`]), slice boundaries are a pure
+//! function of the query set — every observer derives the same `[start,
+//! end)` spans without coordination. The keyed operator exploits this to
+//! share one boundary list across all keys; the intra-query parallel path
+//! exploits it so N workers pre-aggregate disjoint sub-streams into
+//! identical per-slice partials that a merge stage can `combine`.
+//!
+//! Slices are addressed by a *global index* (`base + position`) that stays
+//! stable across front eviction, so consumers holding dense rings of
+//! per-slice state need no fixups when the timeline advances.
+//!
+//! [`WindowFunction::has_static_edges`]: crate::window::WindowFunction::has_static_edges
+
+use std::collections::VecDeque;
+
+use crate::time::{Range, Time, TIME_MAX, TIME_MIN};
+use crate::window::Query;
+
+/// One shared slice: a half-open `[start, end)` span bounded by window
+/// edges. Unlike [`crate::slice::Slice`] it holds **no aggregate** — those
+/// live with whoever aligns state to the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceMeta {
+    pub start: Time,
+    pub end: Time,
+}
+
+/// The shared, contiguous slice timeline (see module docs).
+#[derive(Debug, Default, Clone)]
+pub struct Timeline {
+    slices: VecDeque<SliceMeta>,
+    /// Global index of `slices[0]`. Increases on eviction, decreases when
+    /// a late tuple forces a prepend.
+    base: i64,
+}
+
+impl Timeline {
+    pub fn len(&self) -> usize {
+        self.slices.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slices.is_empty()
+    }
+
+    /// Global index of the slice at position 0.
+    pub fn base(&self) -> i64 {
+        self.base
+    }
+
+    /// Slice metadata at `position` (an index into the live span, not a
+    /// global index).
+    pub fn get(&self, position: usize) -> SliceMeta {
+        self.slices[position]
+    }
+
+    /// Drops all slices and resets the global numbering. Boundary math is
+    /// stateless, so a cleared timeline regrows exact spans on demand —
+    /// used by parallel workers that ship their state off after a flush.
+    pub fn clear(&mut self) {
+        self.slices.clear();
+        self.base = 0;
+    }
+
+    /// Earliest next edge strictly after `ts` across all queries.
+    pub fn union_next_edge(queries: &[Query], ts: Time) -> Time {
+        let mut e = TIME_MAX;
+        for q in queries {
+            if let Some(n) = q.window.next_edge(ts) {
+                e = e.min(n);
+            }
+        }
+        debug_assert!(e > ts, "next edge must be strictly after ts");
+        e
+    }
+
+    /// Latest edge at or before `ts` across all queries.
+    pub fn union_prev_edge(queries: &[Query], ts: Time) -> Time {
+        let mut e = TIME_MIN;
+        for q in queries {
+            if let Some(p) = q.window.prev_edge(ts) {
+                e = e.max(p);
+            }
+        }
+        debug_assert!(e <= ts, "prev edge must be at or before ts");
+        e
+    }
+
+    /// Extends the timeline (in either direction) so some slice covers
+    /// `ts`, and returns that slice's **position** (index into the live
+    /// span). Increments `slices_created` once per slice added.
+    pub fn ensure_covering(
+        &mut self,
+        ts: Time,
+        queries: &[Query],
+        slices_created: &mut u64,
+    ) -> usize {
+        if self.slices.is_empty() {
+            let start = Self::union_prev_edge(queries, ts);
+            let end = Self::union_next_edge(queries, ts);
+            self.slices.push_back(SliceMeta { start, end });
+            *slices_created += 1;
+            return 0;
+        }
+        while ts >= self.slices.back().expect("non-empty").end {
+            let start = self.slices.back().expect("non-empty").end;
+            let end = Self::union_next_edge(queries, start);
+            self.slices.push_back(SliceMeta { start, end });
+            *slices_created += 1;
+        }
+        while ts < self.slices.front().expect("non-empty").start {
+            let end = self.slices.front().expect("non-empty").start;
+            let start = Self::union_prev_edge(queries, end - 1);
+            debug_assert!(start < end);
+            self.slices.push_front(SliceMeta { start, end });
+            self.base -= 1;
+            *slices_created += 1;
+        }
+        self.pos_covering(ts).expect("timeline extended to cover ts")
+    }
+
+    /// Position of the slice covering `ts`, if any.
+    pub fn pos_covering(&self, ts: Time) -> Option<usize> {
+        if self.slices.is_empty()
+            || ts < self.slices.front().expect("non-empty").start
+            || ts >= self.slices.back().expect("non-empty").end
+        {
+            return None;
+        }
+        // Largest position whose start <= ts; slices are contiguous.
+        let pos = self.slices.partition_point(|s| s.start <= ts);
+        debug_assert!(pos > 0);
+        Some(pos - 1)
+    }
+
+    /// Maps a window `[range.start, range.end)` to the inclusive-exclusive
+    /// global slice index span it covers, clamped to current coverage.
+    /// `None` if the window doesn't overlap the timeline at all.
+    pub fn global_range(&self, range: Range) -> Option<(i64, i64)> {
+        let first = self.slices.front()?;
+        let last = self.slices.back().expect("non-empty");
+        if range.end <= first.start || range.start >= last.end {
+            return None;
+        }
+        let lo_pos = if range.start <= first.start {
+            0
+        } else {
+            self.pos_covering(range.start).expect("start within coverage")
+        };
+        // Exclusive upper bound: first slice whose start >= range.end.
+        let hi_pos = self.slices.partition_point(|s| s.start < range.end);
+        debug_assert!(hi_pos > lo_pos);
+        Some((self.base + lo_pos as i64, self.base + hi_pos as i64))
+    }
+
+    /// Drops slices that end at or before `boundary`; keeps global
+    /// numbering monotone by advancing `base`.
+    pub fn evict_to(&mut self, boundary: Time) {
+        while let Some(front) = self.slices.front() {
+            if front.end <= boundary {
+                self.slices.pop_front();
+                self.base += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    pub fn heap_bytes(&self) -> usize {
+        self.slices.capacity() * std::mem::size_of::<SliceMeta>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::WindowFunction;
+    use crate::{ContextClass, Measure};
+
+    #[derive(Clone)]
+    struct Tumble(Time);
+    impl WindowFunction for Tumble {
+        fn measure(&self) -> Measure {
+            Measure::Time
+        }
+        fn context(&self) -> ContextClass {
+            ContextClass::ContextFree
+        }
+        fn next_edge(&self, ts: Time) -> Option<Time> {
+            Some((ts.div_euclid(self.0) + 1) * self.0)
+        }
+        fn prev_edge(&self, ts: Time) -> Option<Time> {
+            Some(ts.div_euclid(self.0) * self.0)
+        }
+        fn next_window_end(&self, ts: Time) -> Option<Time> {
+            self.next_edge(ts)
+        }
+        fn has_static_edges(&self) -> bool {
+            true
+        }
+        fn trigger_windows(&mut self, p: Time, c: Time, out: &mut dyn FnMut(Range)) {
+            let mut e = (p.div_euclid(self.0) + 1) * self.0;
+            while e <= c {
+                out(Range::new(e - self.0, e));
+                e += self.0;
+            }
+        }
+        fn windows_containing(&self, ts: Time, out: &mut dyn FnMut(Range)) {
+            let s = ts.div_euclid(self.0) * self.0;
+            out(Range::new(s, s + self.0));
+        }
+        fn max_extent(&self) -> i64 {
+            self.0
+        }
+        fn clone_box(&self) -> Box<dyn WindowFunction> {
+            Box::new(self.clone())
+        }
+    }
+
+    fn queries() -> Vec<Query> {
+        vec![Query::new(0, Box::new(Tumble(10))), Query::new(1, Box::new(Tumble(15)))]
+    }
+
+    #[test]
+    fn covering_grows_both_directions() {
+        let qs = queries();
+        let mut t = Timeline::default();
+        let mut created = 0u64;
+        let pos = t.ensure_covering(17, &qs, &mut created);
+        // Union edges of tumble(10) and tumble(15) around 17: [15, 20).
+        assert_eq!(t.get(pos), SliceMeta { start: 15, end: 20 });
+        let before = t.base();
+        let pos2 = t.ensure_covering(3, &qs, &mut created);
+        assert_eq!(t.get(pos2), SliceMeta { start: 0, end: 10 });
+        assert!(t.base() < before, "prepend must lower the base");
+        let pos3 = t.ensure_covering(42, &qs, &mut created);
+        assert_eq!(t.get(pos3), SliceMeta { start: 40, end: 45 });
+        assert_eq!(created, t.len() as u64);
+        // Contiguity: every neighbor pair shares an edge.
+        for i in 1..t.len() {
+            assert_eq!(t.get(i - 1).end, t.get(i).start);
+        }
+    }
+
+    #[test]
+    fn boundaries_are_deterministic_across_instances() {
+        // Two independent timelines fed disjoint timestamp subsets must
+        // agree on every span they both cover — the property the parallel
+        // workers rely on.
+        let qs = queries();
+        let (mut a, mut b) = (Timeline::default(), Timeline::default());
+        let mut c = 0u64;
+        for ts in [3, 17, 42, 8, 29] {
+            let p = a.ensure_covering(ts, &qs, &mut c);
+            let q = b.ensure_covering(ts, &qs, &mut c);
+            assert_eq!(a.get(p), b.get(q));
+        }
+    }
+
+    #[test]
+    fn clear_resets_and_regrows_exact_spans() {
+        let qs = queries();
+        let mut t = Timeline::default();
+        let mut c = 0u64;
+        let pos = t.ensure_covering(17, &qs, &mut c);
+        let span = t.get(pos);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.base(), 0);
+        let pos = t.ensure_covering(17, &qs, &mut c);
+        assert_eq!(t.get(pos), span);
+    }
+
+    #[test]
+    fn evict_advances_base() {
+        let qs = queries();
+        let mut t = Timeline::default();
+        let mut c = 0u64;
+        t.ensure_covering(0, &qs, &mut c);
+        t.ensure_covering(55, &qs, &mut c);
+        let len = t.len();
+        t.evict_to(30);
+        assert!(t.len() < len);
+        assert_eq!(t.base(), (len - t.len()) as i64);
+        assert!(t.get(0).end > 30);
+    }
+}

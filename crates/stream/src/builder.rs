@@ -24,8 +24,12 @@
 //! assert!(report.result_count > 0);
 //! ```
 
-use gss_core::{AggregateFunction, PerKey, StreamElement, Time, WindowAggregator};
+use gss_core::{
+    AggregateFunction, OperatorConfig, PerKey, StreamElement, Time, WindowAggregator,
+    WindowFunction,
+};
 
+use crate::parallel::run_parallel;
 use crate::pipeline::{run_keyed, run_per_key, PipelineConfig, PipelineReport};
 use crate::source::{filter_records, key_by, map_records, punctuate_every, IteratorSource};
 use crate::watermark::WatermarkStrategy;
@@ -77,6 +81,26 @@ impl<V: 'static> Pipeline<V> {
     /// Assigns a key to every record, enabling partitioned execution.
     pub fn key_by(self, key: impl FnMut(Time, &V) -> u64 + 'static) -> KeyedPipeline<V> {
         KeyedPipeline { elements: Box::new(key_by(self.elements, key)) }
+    }
+
+    /// Runs an **unkeyed** window aggregation through the intra-query
+    /// parallel path ([`run_parallel`]): `cfg.parallelism` workers
+    /// pre-aggregate disjoint chunks of this one stream into per-slice
+    /// partials and a merge stage combines them, falling back to a single
+    /// sequential operator when the workload is ineligible (see
+    /// [`parallel_eligible`](crate::parallel::parallel_eligible)).
+    pub fn aggregate_parallel<A>(
+        self,
+        cfg: PipelineConfig,
+        f: A,
+        windows: Vec<Box<dyn WindowFunction>>,
+        op_cfg: OperatorConfig,
+    ) -> PipelineReport<A::Output>
+    where
+        A: AggregateFunction<Input = V>,
+        A::Output: Send,
+    {
+        run_parallel(self.elements, cfg, f, windows, op_cfg)
     }
 
     /// Collects the element stream (for tests and small jobs).

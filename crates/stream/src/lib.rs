@@ -7,12 +7,14 @@
 
 pub mod builder;
 pub mod metrics;
+pub mod parallel;
 pub mod pipeline;
 pub mod source;
 pub mod watermark;
 
 pub use builder::{KeyedPipeline, Pipeline};
 pub use metrics::LatencyHistogram;
+pub use parallel::{parallel_eligible, run_parallel};
 pub use pipeline::{
     partition_of, process_cpu_time, run_keyed, run_per_key, PipelineConfig, PipelineReport,
 };

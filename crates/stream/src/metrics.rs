@@ -23,6 +23,15 @@ pub struct LatencyHistogram {
     min_ns: u64,
 }
 
+/// Summarized rather than bucket-dumped: the histogram embeds in larger
+/// `#[derive(Debug)]` structs (e.g. `PipelineReport`) without printing 640
+/// bucket counters.
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "LatencyHistogram({})", self.summary())
+    }
+}
+
 impl Default for LatencyHistogram {
     fn default() -> Self {
         Self::new()

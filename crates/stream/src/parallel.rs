@@ -1,0 +1,821 @@
+//! Intra-query parallel slicing: worker-local slice pre-aggregation with
+//! a combining merge stage.
+//!
+//! The paper parallelizes by key (Section 5.3); this module parallelizes
+//! *within* one logical stream. N workers consume disjoint chunks of the
+//! same stream, fold tuples into worker-local per-slice partials, and a
+//! merge stage combines the partials into one authoritative
+//! [`WindowOperator`] that triggers and emits exactly as the sequential
+//! operator would. The split is sound because for **time-measure,
+//! context-free windows with static edges** slice boundaries are a pure
+//! function of the query set ([`Timeline`]): every worker derives the
+//! same `[start, end)` spans without coordination, and a **commutative**
+//! aggregate lets partials combine in any arrival order.
+//!
+//! ## Two-stage protocol
+//!
+//! * The driver deals record chunks round-robin to workers and broadcasts
+//!   every watermark to all of them, in stream order.
+//! * A worker folds each on-time tuple into a per-slice partial keyed by
+//!   the slice covering its timestamp, and flushes the accumulated
+//!   partials to the merge stage when it sees a watermark (then **acks**
+//!   the watermark) or when its timeline grows past a cap. Tuples at or
+//!   below the worker's watermark flush pending partials first and then
+//!   travel as singleton partials, preserving this worker's stream order
+//!   at the merge stage; tuples below `watermark - allowed_lateness` are
+//!   dropped, mirroring the sequential operator.
+//! * The merge stage keeps one FIFO queue per worker. Data messages at
+//!   queue fronts apply immediately via
+//!   [`WindowOperator::merge_parallel_partials`]; the global watermark
+//!   advances — triggering and emission — only when **every** queue front
+//!   is a watermark ack (the *epoch barrier*), at which point all
+//!   partials that precede the watermark in any worker's stream have been
+//!   applied. The operator advances to the minimum of the acked values,
+//!   which equals the broadcast value since acks ride FIFO channels.
+//!
+//! Final window aggregates are exactly those of a sequential run. Late
+//! *update* emissions (`is_update == true`) carry the same multiplicity;
+//! their intermediate values can differ from the sequential run only when
+//! two stragglers land in the same window within one watermark epoch from
+//! different workers (each run reflects a different apply order of the
+//! same commutative updates, so the last update of a window per epoch —
+//! and every final — agrees).
+//!
+//! Ineligible workloads — count measures, context-aware windows
+//! (sessions, punctuation), non-commutative functions, forced tuple
+//! storage, or in-order configs (which emit per tuple, not per
+//! watermark) — fall back to one sequential operator on the calling
+//! thread; [`PipelineReport::parallel_workers`] reports which path ran.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use gss_core::{
+    AggregateFunction, ContextClass, Measure, OperatorConfig, Query, QueryId, SlicePartial,
+    StreamElement, StreamOrder, Time, Timeline, WindowFunction, WindowOperator, WindowResult,
+    TIME_MAX, TIME_MIN,
+};
+
+use crate::metrics::LatencyHistogram;
+use crate::pipeline::{process_cpu_time, PipelineConfig, PipelineReport};
+
+/// Worker-side flush threshold, in timeline slices. Bounds worker memory
+/// between watermarks; each flush ships the accumulated partials and the
+/// timeline regrows on demand.
+const FLUSH_SLICE_CAP: usize = 4096;
+
+/// Whether a workload can take the two-stage parallel path.
+///
+/// Requires: at least one query; a commutative aggregate (partials
+/// combine in worker-arrival order, not stream order); no forced tuple
+/// storage (partials carry no tuples to re-slice); every window
+/// time-measure, context-free, and static-edged (slice boundaries
+/// derivable without coordination); and an out-of-order config (emission
+/// driven by watermarks, which the merge stage reproduces — in-order
+/// streams emit per tuple).
+pub fn parallel_eligible<A: AggregateFunction>(
+    f: &A,
+    windows: &[Box<dyn WindowFunction>],
+    op_cfg: &OperatorConfig,
+) -> bool {
+    !windows.is_empty()
+        && f.properties().commutative
+        && !op_cfg.force_tuple_storage
+        && op_cfg.order == StreamOrder::OutOfOrder
+        && windows.iter().all(|w| {
+            w.measure() == Measure::Time
+                && w.context() == ContextClass::ContextFree
+                && w.has_static_edges()
+        })
+}
+
+/// Message from a worker to the merge stage.
+enum MergeMsg<A: AggregateFunction> {
+    /// Pre-aggregated slice partials, disjoint per message.
+    Partials(Vec<SlicePartial<A>>),
+    /// Ack of a broadcast watermark: everything this worker received
+    /// before the watermark has already been shipped.
+    Watermark(Time),
+}
+
+/// Work sent from the driver to one worker.
+enum ParChunk<V> {
+    Records(Vec<(Time, V)>),
+    Watermark(Time),
+}
+
+/// Sends with backpressure accounting: the fast path is a non-blocking
+/// `try_send`; when the merge stage's queue is full the blocking fallback
+/// is timed, so the recorded latency *is* the queue wait.
+fn send_timed<T>(tx: &Sender<T>, msg: T, wait: &mut LatencyHistogram) {
+    match tx.try_send(msg) {
+        Ok(()) => wait.record_ns(0),
+        Err(TrySendError::Full(v)) => {
+            let t0 = Instant::now();
+            tx.send(v).expect("merge stage hung up");
+            wait.record(t0.elapsed());
+        }
+        Err(TrySendError::Disconnected(_)) => panic!("merge stage hung up"),
+    }
+}
+
+/// One in-flight per-slice accumulator on a worker.
+struct Acc<A: AggregateFunction> {
+    partial: A::Partial,
+    t_first: Time,
+    t_last: Time,
+    n: u64,
+}
+
+/// Worker-local slicer: a [`Timeline`] of deterministic slice spans plus
+/// an aligned ring of per-slice accumulators.
+struct WorkerSlicer<A: AggregateFunction> {
+    f: A,
+    queries: Vec<Query>,
+    lateness: Time,
+    /// Last broadcast watermark this worker acked.
+    wm: Time,
+    timeline: Timeline,
+    /// Accumulator for the slice at the same timeline position; `None`
+    /// until a tuple lands there. Kept aligned by mirroring the
+    /// timeline's front/back growth.
+    accs: VecDeque<Option<Acc<A>>>,
+    filled: usize,
+    /// Hot-path cache of the last slice hit: `(start, end, global
+    /// index)`. The global index survives front growth (which shifts
+    /// positions but not `base + pos`).
+    cache: Option<(Time, Time, i64)>,
+    slices_created: u64,
+    dropped_late: u64,
+}
+
+impl<A: AggregateFunction> WorkerSlicer<A> {
+    fn new(f: A, windows: &[Box<dyn WindowFunction>], lateness: Time) -> Self {
+        let queries = windows
+            .iter()
+            .enumerate()
+            .map(|(id, w)| Query::new(id as QueryId, w.clone_box()))
+            .collect();
+        WorkerSlicer {
+            f,
+            queries,
+            lateness,
+            wm: TIME_MIN,
+            timeline: Timeline::default(),
+            accs: VecDeque::new(),
+            filled: 0,
+            cache: None,
+            slices_created: 0,
+            dropped_late: 0,
+        }
+    }
+
+    fn ingest(
+        &mut self,
+        ts: Time,
+        value: A::Input,
+        tx: &Sender<(usize, MergeMsg<A>)>,
+        me: usize,
+        wait: &mut LatencyHistogram,
+    ) {
+        if self.wm != TIME_MIN {
+            // Same drop rule as the sequential operator.
+            if ts < self.wm - self.lateness {
+                self.dropped_late += 1;
+                return;
+            }
+            if ts <= self.wm {
+                // Straggler below the acked watermark: ship pending
+                // partials first so the merge stage sees this worker's
+                // messages in stream order, then send the tuple as a
+                // singleton partial so the merge operator can revise the
+                // affected emitted windows immediately.
+                self.flush(tx, me, wait);
+                let start = Timeline::union_prev_edge(&self.queries, ts);
+                let end = Timeline::union_next_edge(&self.queries, ts);
+                let part = SlicePartial {
+                    start,
+                    end,
+                    partial: self.f.lift(&value),
+                    t_first: ts,
+                    t_last: ts,
+                    n: 1,
+                };
+                send_timed(tx, (me, MergeMsg::Partials(vec![part])), wait);
+                return;
+            }
+        }
+        self.fold(ts, &value);
+    }
+
+    fn fold(&mut self, ts: Time, value: &A::Input) {
+        let pos = match self.cache {
+            Some((start, end, g)) if ts >= start && ts < end => (g - self.timeline.base()) as usize,
+            _ => {
+                let old_base = self.timeline.base();
+                let old_len = self.timeline.len();
+                let pos =
+                    self.timeline.ensure_covering(ts, &self.queries, &mut self.slices_created);
+                // Mirror the timeline's growth into the accumulator ring
+                // so positions stay aligned.
+                let front = (old_base - self.timeline.base()) as usize;
+                let back = self.timeline.len() - old_len - front;
+                for _ in 0..front {
+                    self.accs.push_front(None);
+                }
+                for _ in 0..back {
+                    self.accs.push_back(None);
+                }
+                let meta = self.timeline.get(pos);
+                self.cache = Some((meta.start, meta.end, self.timeline.base() + pos as i64));
+                pos
+            }
+        };
+        let lifted = self.f.lift(value);
+        let slot = &mut self.accs[pos];
+        match slot.take() {
+            None => {
+                *slot = Some(Acc { partial: lifted, t_first: ts, t_last: ts, n: 1 });
+                self.filled += 1;
+            }
+            Some(mut acc) => {
+                acc.partial = self.f.combine(acc.partial, &lifted);
+                acc.t_first = acc.t_first.min(ts);
+                acc.t_last = acc.t_last.max(ts);
+                acc.n += 1;
+                *slot = Some(acc);
+            }
+        }
+    }
+
+    /// Ships every accumulated partial and resets the timeline (boundary
+    /// math is stateless, so it regrows exact spans on demand).
+    fn flush(&mut self, tx: &Sender<(usize, MergeMsg<A>)>, me: usize, wait: &mut LatencyHistogram) {
+        if self.filled > 0 {
+            let mut parts = Vec::with_capacity(self.filled);
+            for (pos, slot) in self.accs.iter_mut().enumerate() {
+                if let Some(acc) = slot.take() {
+                    let meta = self.timeline.get(pos);
+                    parts.push(SlicePartial {
+                        start: meta.start,
+                        end: meta.end,
+                        partial: acc.partial,
+                        t_first: acc.t_first,
+                        t_last: acc.t_last,
+                        n: acc.n,
+                    });
+                }
+            }
+            self.filled = 0;
+            send_timed(tx, (me, MergeMsg::Partials(parts)), wait);
+        }
+        self.accs.clear();
+        self.timeline.clear();
+        self.cache = None;
+    }
+}
+
+/// One worker thread: fold records into per-slice partials, flush + ack
+/// on every watermark. Returns `(records, queue-wait histogram)`.
+fn worker_loop<A: AggregateFunction>(
+    rx: Receiver<ParChunk<A::Input>>,
+    tx: Sender<(usize, MergeMsg<A>)>,
+    me: usize,
+    mut slicer: WorkerSlicer<A>,
+) -> (u64, LatencyHistogram) {
+    let mut wait = LatencyHistogram::new();
+    let mut records = 0u64;
+    for chunk in rx.iter() {
+        match chunk {
+            ParChunk::Records(tuples) => {
+                records += tuples.len() as u64;
+                for (ts, value) in tuples {
+                    slicer.ingest(ts, value, &tx, me, &mut wait);
+                }
+                if slicer.timeline.len() >= FLUSH_SLICE_CAP {
+                    slicer.flush(&tx, me, &mut wait);
+                }
+            }
+            ParChunk::Watermark(wm) => {
+                // Flush, then ack: after the ack every pre-watermark
+                // tuple this worker received is with the merge stage.
+                // Every watermark is acked — even a regressive one, which
+                // the operator ignores — so ack sequences align across
+                // workers and the merge barrier stays in lockstep.
+                slicer.flush(&tx, me, &mut wait);
+                send_timed(&tx, (me, MergeMsg::Watermark(wm)), &mut wait);
+                slicer.wm = slicer.wm.max(wm);
+            }
+        }
+    }
+    // End of stream: ship whatever is still pending.
+    slicer.flush(&tx, me, &mut wait);
+    (records, wait)
+}
+
+/// Applies every message that is ready under the epoch barrier: data at
+/// queue fronts applies freely; a watermark round applies only once all
+/// workers have acked one.
+fn apply_ready<A: AggregateFunction>(
+    queues: &mut [VecDeque<MergeMsg<A>>],
+    op: &mut WindowOperator<A>,
+    out: &mut Vec<WindowResult<A::Output>>,
+) {
+    loop {
+        let mut progressed = false;
+        for q in queues.iter_mut() {
+            while matches!(q.front(), Some(MergeMsg::Partials(_))) {
+                let Some(MergeMsg::Partials(parts)) = q.pop_front() else { unreachable!() };
+                op.merge_parallel_partials(parts, out);
+                progressed = true;
+            }
+        }
+        if queues.iter().all(|q| matches!(q.front(), Some(MergeMsg::Watermark(_)))) {
+            // All acks in: every partial preceding the watermark in any
+            // worker's stream has been applied above, so triggering is
+            // safe. Watermarks are broadcast in stream order over FIFO
+            // channels, so the fronts agree; min is defensive.
+            let mut wm = TIME_MAX;
+            for q in queues.iter_mut() {
+                let Some(MergeMsg::Watermark(w)) = q.pop_front() else { unreachable!() };
+                wm = wm.min(w);
+            }
+            op.process_watermark(wm, out);
+            progressed = true;
+        }
+        if !progressed {
+            return;
+        }
+    }
+}
+
+/// The merge stage: one FIFO queue per worker, epoch-barrier watermark
+/// advancement. Returns `(results, result count)`.
+fn merge_loop<A: AggregateFunction>(
+    rx: Receiver<(usize, MergeMsg<A>)>,
+    mut op: WindowOperator<A>,
+    workers: usize,
+    collect: bool,
+) -> (Vec<WindowResult<A::Output>>, u64) {
+    let mut queues: Vec<VecDeque<MergeMsg<A>>> = (0..workers).map(|_| VecDeque::new()).collect();
+    let mut results = Vec::new();
+    let mut scratch: Vec<WindowResult<A::Output>> = Vec::new();
+    let mut count = 0u64;
+    let account =
+        |scratch: &mut Vec<WindowResult<A::Output>>, results: &mut Vec<_>, count: &mut u64| {
+            *count += scratch.len() as u64;
+            if collect {
+                results.append(scratch);
+            } else {
+                scratch.clear();
+            }
+        };
+    while let Ok((w, msg)) = rx.recv() {
+        queues[w].push_back(msg);
+        // Drain the burst already queued before doing merge work.
+        for (w2, m2) in rx.try_iter() {
+            queues[w2].push_back(m2);
+        }
+        apply_ready(&mut queues, &mut op, &mut scratch);
+        account(&mut scratch, &mut results, &mut count);
+    }
+    // Channel closed: every worker has shipped its tail. All remaining
+    // rounds complete because workers ack watermarks 1:1 with broadcasts.
+    apply_ready(&mut queues, &mut op, &mut scratch);
+    account(&mut scratch, &mut results, &mut count);
+    debug_assert!(queues.iter().all(|q| q.is_empty()), "merge queues must drain at end of stream");
+    (results, count)
+}
+
+/// Runs one logical window aggregation with intra-query parallelism:
+/// worker-local slice pre-aggregation on `cfg.parallelism` threads and a
+/// combining merge stage driving one authoritative [`WindowOperator`].
+///
+/// Eligible workloads (see [`parallel_eligible`]) produce exactly the
+/// final window results of a sequential operator with the same config;
+/// ineligible ones fall back to that sequential operator on the calling
+/// thread (`report.parallel_workers == 0`).
+///
+/// ```
+/// use gss_core::{OperatorConfig, StreamElement};
+/// use gss_core::testsupport::SumI64;
+/// use gss_stream::{run_parallel, PipelineConfig};
+/// use gss_windows::TumblingWindow;
+///
+/// let elements = (0..100i64)
+///     .map(|i| StreamElement::Record { ts: i, value: 1i64 })
+///     .chain([StreamElement::Watermark(100)]);
+/// let report = run_parallel(
+///     elements,
+///     PipelineConfig::with_parallelism(2),
+///     SumI64,
+///     vec![Box::new(TumblingWindow::new(10))],
+///     OperatorConfig::out_of_order(0),
+/// );
+/// assert_eq!(report.parallel_workers, 2);
+/// assert_eq!(report.result_count, 10);
+/// assert!(report.results.iter().all(|(_, r)| r.value == 10));
+/// ```
+pub fn run_parallel<A>(
+    elements: impl IntoIterator<Item = StreamElement<A::Input>>,
+    cfg: PipelineConfig,
+    f: A,
+    windows: Vec<Box<dyn WindowFunction>>,
+    op_cfg: OperatorConfig,
+) -> PipelineReport<A::Output>
+where
+    A: AggregateFunction,
+    A::Output: Send,
+{
+    if !parallel_eligible(&f, &windows, &op_cfg) {
+        return run_sequential(elements, cfg, f, windows, op_cfg);
+    }
+    let workers = cfg.parallelism.max(1);
+    let batch = cfg.batch_size.max(1);
+    let cpu_before = process_cpu_time();
+    let start = Instant::now();
+    let mut report = PipelineReport::empty();
+    report.parallel_workers = workers;
+
+    // The merge operator is the single authority on triggering and
+    // eviction. It never sees raw tuples — slices enter pre-aligned to
+    // full static-edge intervals via `add_parallel_partial` — so the
+    // ablation switches of `op_cfg` (which shape the tuple path) don't
+    // apply; order/policy/lateness carry over.
+    let merge_cfg = OperatorConfig {
+        order: StreamOrder::OutOfOrder,
+        policy: op_cfg.policy,
+        allowed_lateness: op_cfg.allowed_lateness,
+        ..OperatorConfig::default()
+    };
+    let mut op = WindowOperator::new(f.clone(), merge_cfg);
+    for w in &windows {
+        op.add_query(w.clone_box()).expect("time-measure queries cannot conflict");
+    }
+
+    std::thread::scope(|scope| {
+        let (mtx, mrx) = bounded::<(usize, MergeMsg<A>)>(cfg.channel_capacity.max(workers));
+        let collect = cfg.collect_results;
+        let merge = scope.spawn(move || merge_loop(mrx, op, workers, collect));
+
+        let mut senders: Vec<Sender<ParChunk<A::Input>>> = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx) = bounded::<ParChunk<A::Input>>(cfg.channel_capacity);
+            senders.push(tx);
+            let slicer = WorkerSlicer::new(f.clone(), &windows, op_cfg.allowed_lateness);
+            let mtx = mtx.clone();
+            handles.push(scope.spawn(move || worker_loop(rx, mtx, i, slicer)));
+        }
+        // Workers hold the only remaining clones; the merge loop ends
+        // when the last worker exits.
+        drop(mtx);
+
+        // Driver: deal record chunks round-robin, broadcast watermarks
+        // in stream order. O(1) work per chunk keeps the single-threaded
+        // driver off the critical path.
+        let mut buf: Vec<(Time, A::Input)> = Vec::with_capacity(batch);
+        let mut next = 0usize;
+        for element in elements {
+            match element {
+                StreamElement::Record { ts, value } => {
+                    buf.push((ts, value));
+                    if buf.len() >= batch {
+                        let full = std::mem::replace(&mut buf, Vec::with_capacity(batch));
+                        senders[next].send(ParChunk::Records(full)).expect("worker hung up");
+                        next = (next + 1) % workers;
+                    }
+                }
+                StreamElement::Watermark(wm) => {
+                    if !buf.is_empty() {
+                        let full = std::mem::replace(&mut buf, Vec::with_capacity(batch));
+                        senders[next].send(ParChunk::Records(full)).expect("worker hung up");
+                        next = (next + 1) % workers;
+                    }
+                    for tx in &senders {
+                        tx.send(ParChunk::Watermark(wm)).expect("worker hung up");
+                    }
+                }
+                // Context-free static-edge windows ignore punctuation (the
+                // sequential operator treats it as a context no-op);
+                // punctuation-driven windows are ineligible and take the
+                // fallback.
+                StreamElement::Punctuation(_) => {}
+            }
+        }
+        if !buf.is_empty() {
+            senders[next].send(ParChunk::Records(buf)).expect("worker hung up");
+        }
+        drop(senders);
+
+        for h in handles {
+            let (records, wait) = h.join().expect("worker panicked");
+            report.records += records;
+            report.send_wait.merge(&wait);
+        }
+        let (results, count) = merge.join().expect("merge stage panicked");
+        report.result_count = count;
+        report.results = results.into_iter().map(|r| (0usize, r)).collect();
+    });
+
+    report.elapsed = start.elapsed();
+    report.cpu_time = process_cpu_time().saturating_sub(cpu_before);
+    report
+}
+
+/// The fallback: one sequential [`WindowOperator`] on the calling thread,
+/// with the exact semantics of the user's `op_cfg` (including in-order
+/// emission and context-aware windows). Chunked like the parallel path so
+/// throughput numbers compare setup-for-setup.
+fn run_sequential<A>(
+    elements: impl IntoIterator<Item = StreamElement<A::Input>>,
+    cfg: PipelineConfig,
+    f: A,
+    windows: Vec<Box<dyn WindowFunction>>,
+    op_cfg: OperatorConfig,
+) -> PipelineReport<A::Output>
+where
+    A: AggregateFunction,
+    A::Output: Send,
+{
+    let cpu_before = process_cpu_time();
+    let start = Instant::now();
+    let mut report = PipelineReport::empty();
+    let mut op = WindowOperator::new(f, op_cfg);
+    for w in &windows {
+        op.add_query(w.clone_box()).expect("incompatible query mix");
+    }
+    let batch = cfg.batch_size.max(1);
+    let mut buf: Vec<(Time, A::Input)> = Vec::with_capacity(batch);
+    let mut scratch: Vec<WindowResult<A::Output>> = Vec::new();
+
+    fn drain_buf<A: AggregateFunction>(
+        op: &mut WindowOperator<A>,
+        buf: &mut Vec<(Time, A::Input)>,
+        batched: bool,
+        scratch: &mut Vec<WindowResult<A::Output>>,
+    ) {
+        if buf.is_empty() {
+            return;
+        }
+        if batched {
+            op.process_batch_tuples(buf, scratch);
+            buf.clear();
+        } else {
+            for (ts, v) in buf.drain(..) {
+                op.process_tuple(ts, v, scratch);
+            }
+        }
+    }
+
+    for element in elements {
+        match element {
+            StreamElement::Record { ts, value } => {
+                report.records += 1;
+                buf.push((ts, value));
+                if buf.len() >= batch {
+                    drain_buf(&mut op, &mut buf, cfg.batched, &mut scratch);
+                }
+            }
+            StreamElement::Watermark(wm) => {
+                drain_buf(&mut op, &mut buf, cfg.batched, &mut scratch);
+                op.process_watermark(wm, &mut scratch);
+            }
+            StreamElement::Punctuation(ts) => {
+                drain_buf(&mut op, &mut buf, cfg.batched, &mut scratch);
+                op.process_punctuation(ts, &mut scratch);
+            }
+        }
+        if !scratch.is_empty() {
+            report.result_count += scratch.len() as u64;
+            if cfg.collect_results {
+                report.results.extend(scratch.drain(..).map(|r| (0usize, r)));
+            } else {
+                scratch.clear();
+            }
+        }
+    }
+    drain_buf(&mut op, &mut buf, cfg.batched, &mut scratch);
+    report.result_count += scratch.len() as u64;
+    if cfg.collect_results {
+        report.results.extend(scratch.drain(..).map(|r| (0usize, r)));
+    }
+
+    report.elapsed = start.elapsed();
+    report.cpu_time = process_cpu_time().saturating_sub(cpu_before);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gss_core::testsupport::{Concat, SumI64};
+    use gss_core::{Range, StorePolicy};
+    use gss_windows::{CountTumblingWindow, SessionWindow, SlidingWindow, TumblingWindow};
+
+    fn tumbling(len: i64) -> Vec<Box<dyn WindowFunction>> {
+        vec![Box::new(TumblingWindow::new(len))]
+    }
+
+    /// Reference: drive one sequential operator per element.
+    fn sequential_finals(
+        elements: &[StreamElement<i64>],
+        windows: &[Box<dyn WindowFunction>],
+        op_cfg: OperatorConfig,
+    ) -> Vec<(QueryId, Range, i64)> {
+        let mut op = WindowOperator::new(SumI64, op_cfg);
+        for w in windows {
+            op.add_query(w.clone_box()).unwrap();
+        }
+        let mut out = Vec::new();
+        for e in elements {
+            match e {
+                StreamElement::Record { ts, value } => op.process_tuple(*ts, *value, &mut out),
+                StreamElement::Watermark(wm) => op.process_watermark(*wm, &mut out),
+                StreamElement::Punctuation(ts) => op.process_punctuation(*ts, &mut out),
+            }
+        }
+        finals(out.iter())
+    }
+
+    /// Last emission per window — the value a downstream consumer keeps.
+    fn finals<'a>(
+        results: impl Iterator<Item = &'a WindowResult<i64>>,
+    ) -> Vec<(QueryId, Range, i64)> {
+        let mut map = std::collections::BTreeMap::new();
+        for r in results {
+            map.insert((r.query, r.range.start, r.range.end), r.value);
+        }
+        map.into_iter().map(|((q, s, e), v)| (q, Range::new(s, e), v)).collect()
+    }
+
+    /// Mostly ascending stream with periodic watermarks, occasional
+    /// stragglers (below the watermark but within lateness), and a few
+    /// too-late tuples that must be dropped.
+    fn stream_with_watermarks(n: i64, every: i64) -> Vec<StreamElement<i64>> {
+        let mut v = Vec::new();
+        for i in 0..n {
+            let ts = match i % 11 {
+                7 => (i * 3 - 25).max(0),  // straggler once watermarks start
+                9 => (i * 3 - 200).max(0), // far below wm - lateness: dropped
+                _ => i * 3,
+            };
+            v.push(StreamElement::Record { ts, value: i });
+            if i % every == every - 1 {
+                v.push(StreamElement::Watermark(i * 3 - 20));
+            }
+        }
+        v.push(StreamElement::Watermark(i64::MAX - 1));
+        v
+    }
+
+    #[test]
+    fn eligibility_rules() {
+        let ooo = OperatorConfig::out_of_order(10);
+        assert!(parallel_eligible(&SumI64, &tumbling(10), &ooo));
+        // Sessions are context aware.
+        let session: Vec<Box<dyn WindowFunction>> = vec![Box::new(SessionWindow::new(5))];
+        assert!(!parallel_eligible(&SumI64, &session, &ooo));
+        // Count measure shifts tuples across slices.
+        let count: Vec<Box<dyn WindowFunction>> = vec![Box::new(CountTumblingWindow::new(10))];
+        assert!(!parallel_eligible(&SumI64, &count, &ooo));
+        // Non-commutative functions need stream order.
+        assert!(!parallel_eligible(&Concat, &tumbling(10), &ooo));
+        // One bad query poisons the mix.
+        let mixed: Vec<Box<dyn WindowFunction>> =
+            vec![Box::new(TumblingWindow::new(10)), Box::new(SessionWindow::new(5))];
+        assert!(!parallel_eligible(&SumI64, &mixed, &ooo));
+        // In-order configs emit per tuple; the merge stage is watermark
+        // driven.
+        assert!(!parallel_eligible(&SumI64, &tumbling(10), &OperatorConfig::in_order()));
+        // Forced tuple storage keeps raw tuples, which partials drop.
+        let forced = OperatorConfig { force_tuple_storage: true, ..ooo };
+        assert!(!parallel_eligible(&SumI64, &tumbling(10), &forced));
+        let none: Vec<Box<dyn WindowFunction>> = Vec::new();
+        assert!(!parallel_eligible(&SumI64, &none, &ooo));
+    }
+
+    #[test]
+    fn matches_sequential_across_workers_and_batches() {
+        let elements = stream_with_watermarks(500, 64);
+        let windows: Vec<Box<dyn WindowFunction>> =
+            vec![Box::new(TumblingWindow::new(50)), Box::new(SlidingWindow::new(100, 30))];
+        let cfg = OperatorConfig::out_of_order(30);
+        let expect = sequential_finals(&elements, &windows, cfg);
+        assert!(!expect.is_empty());
+        for workers in [1, 2, 4] {
+            for batch in [1, 7, 512] {
+                let report = run_parallel(
+                    elements.iter().cloned(),
+                    PipelineConfig::with_parallelism(workers).with_batch_size(batch),
+                    SumI64,
+                    windows.iter().map(|w| w.clone_box()).collect(),
+                    cfg,
+                );
+                assert_eq!(report.parallel_workers, workers);
+                assert_eq!(report.records, 500);
+                let got = finals(report.results.iter().map(|(_, r)| r));
+                assert_eq!(got, expect, "workers={workers} batch={batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn eager_store_matches_sequential() {
+        let elements = stream_with_watermarks(300, 32);
+        let cfg = OperatorConfig::out_of_order(20).with_policy(StorePolicy::Eager);
+        let expect = sequential_finals(&elements, &tumbling(25), cfg);
+        let report = run_parallel(
+            elements.iter().cloned(),
+            PipelineConfig::with_parallelism(3).with_batch_size(16),
+            SumI64,
+            tumbling(25),
+            cfg,
+        );
+        assert_eq!(finals(report.results.iter().map(|(_, r)| r)), expect);
+    }
+
+    #[test]
+    fn straggler_updates_have_exact_multiplicity() {
+        // One straggler within lateness must produce exactly one update
+        // emission for each affected window, as in the sequential run.
+        let elements = vec![
+            StreamElement::Record { ts: 5, value: 1 },
+            StreamElement::Record { ts: 15, value: 2 },
+            StreamElement::Watermark(20),
+            StreamElement::Record { ts: 7, value: 10 }, // straggler
+            StreamElement::Watermark(40),
+        ];
+        let cfg = OperatorConfig::out_of_order(100);
+        for workers in [1, 2, 4] {
+            let report = run_parallel(
+                elements.iter().cloned(),
+                PipelineConfig::with_parallelism(workers).with_batch_size(1),
+                SumI64,
+                tumbling(10),
+                cfg,
+            );
+            let updates: Vec<_> =
+                report.results.iter().filter(|(_, r)| r.is_update).map(|(_, r)| r).collect();
+            assert_eq!(updates.len(), 1, "workers={workers}");
+            assert_eq!(updates[0].range, Range::new(0, 10));
+            assert_eq!(updates[0].value, 11);
+            let got = finals(report.results.iter().map(|(_, r)| r));
+            assert_eq!(got, sequential_finals(&elements, &tumbling(10), cfg));
+        }
+    }
+
+    #[test]
+    fn ineligible_workload_falls_back() {
+        let elements = [
+            StreamElement::Record { ts: 1, value: 4 },
+            StreamElement::Record { ts: 3, value: 5 },
+            StreamElement::Record { ts: 30, value: 1 },
+            StreamElement::Watermark(50),
+        ];
+        let session: Vec<Box<dyn WindowFunction>> = vec![Box::new(SessionWindow::new(10))];
+        let report = run_parallel(
+            elements.iter().cloned(),
+            PipelineConfig::with_parallelism(4),
+            SumI64,
+            session,
+            OperatorConfig::out_of_order(0),
+        );
+        assert_eq!(report.parallel_workers, 0, "session windows must fall back");
+        assert_eq!(report.records, 3);
+        let vals: Vec<i64> = report.results.iter().map(|(_, r)| r.value).collect();
+        assert_eq!(vals, vec![9, 1]);
+    }
+
+    #[test]
+    fn fallback_preserves_in_order_emission() {
+        let elements: Vec<StreamElement<i64>> =
+            (0..40).map(|i| StreamElement::Record { ts: i, value: 1 }).collect();
+        let report = run_parallel(
+            elements,
+            PipelineConfig::with_parallelism(2),
+            SumI64,
+            tumbling(10),
+            OperatorConfig::in_order(),
+        );
+        assert_eq!(report.parallel_workers, 0);
+        // In-order streams emit as tuples cross window ends — no
+        // watermarks needed.
+        assert_eq!(report.result_count, 3);
+    }
+
+    #[test]
+    fn throughput_only_counts_without_collecting() {
+        let elements = stream_with_watermarks(200, 50);
+        let report = run_parallel(
+            elements.iter().cloned(),
+            PipelineConfig::with_parallelism(2).throughput_only(),
+            SumI64,
+            tumbling(10),
+            OperatorConfig::out_of_order(10),
+        );
+        assert!(report.results.is_empty());
+        assert!(report.result_count > 0);
+    }
+}

@@ -14,6 +14,8 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, Sender};
 use gss_core::{AggregateFunction, PerKey, StreamElement, Time, WindowAggregator, WindowResult};
 
+use crate::metrics::LatencyHistogram;
+
 /// Runtime configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct PipelineConfig {
@@ -95,6 +97,16 @@ pub struct PipelineReport<O> {
     pub elapsed: Duration,
     /// CPU time consumed by the whole process during the run.
     pub cpu_time: Duration,
+    /// Queue-wait latency of producer sends into the merge stage, folded
+    /// across workers ([`LatencyHistogram::merge`]). Non-empty only for
+    /// [`run_parallel`](crate::parallel::run_parallel)'s two-stage path;
+    /// a fat tail here means the merge stage is the bottleneck
+    /// (backpressure), not the workers.
+    pub send_wait: LatencyHistogram,
+    /// Pre-aggregation workers used by the two-stage parallel path; 0 when
+    /// the run went through a sequential operator (including the
+    /// ineligible-workload fallback of `run_parallel`).
+    pub parallel_workers: usize,
 }
 
 impl<O> PipelineReport<O> {
@@ -103,9 +115,32 @@ impl<O> PipelineReport<O> {
         self.records as f64 / self.elapsed.as_secs_f64().max(1e-9)
     }
 
-    /// Average CPU utilization in busy cores (e.g. 4.0 ≙ 400 %).
-    pub fn cpu_utilization(&self) -> f64 {
-        self.cpu_time.as_secs_f64() / self.elapsed.as_secs_f64().max(1e-9)
+    /// Average CPU utilization in busy cores (e.g. 4.0 ≙ 400 %), or
+    /// `None` when process CPU time is unavailable or below the clock-tick
+    /// resolution: [`process_cpu_time`] reads `/proc` and returns zero on
+    /// non-Linux platforms (and for runs shorter than one `USER_HZ` tick),
+    /// so a raw ratio would silently report 0 there.
+    pub fn cpu_utilization(&self) -> Option<f64> {
+        if self.cpu_time == Duration::ZERO {
+            return None;
+        }
+        let elapsed = self.elapsed.as_secs_f64();
+        if !elapsed.is_finite() || elapsed <= 0.0 {
+            return None;
+        }
+        Some(self.cpu_time.as_secs_f64() / elapsed)
+    }
+
+    pub(crate) fn empty() -> Self {
+        PipelineReport {
+            results: Vec::new(),
+            result_count: 0,
+            records: 0,
+            elapsed: Duration::ZERO,
+            cpu_time: Duration::ZERO,
+            send_wait: LatencyHistogram::new(),
+            parallel_workers: 0,
+        }
     }
 }
 
@@ -189,13 +224,7 @@ where
     let p = cfg.parallelism.max(1);
     let cpu_before = process_cpu_time();
     let start = Instant::now();
-    let mut report = PipelineReport {
-        results: Vec::new(),
-        result_count: 0,
-        records: 0,
-        elapsed: Duration::ZERO,
-        cpu_time: Duration::ZERO,
-    };
+    let mut report = PipelineReport::empty();
     let batch = cfg.batch_size.max(1);
     std::thread::scope(|scope| {
         let mut senders: Vec<Sender<Chunk<A::Input>>> = Vec::with_capacity(p);

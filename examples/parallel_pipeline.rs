@@ -36,12 +36,15 @@ fn main() {
             PipelineConfig::with_parallelism(p).throughput_only(),
             factory,
         );
+        let cpu = report
+            .cpu_utilization()
+            .map_or_else(|| "n/a".to_string(), |u| format!("{:.0}%", u * 100.0));
         println!(
-            "{:>12} {:>13.2} M/s {:>12} {:>9.0}%",
+            "{:>12} {:>13.2} M/s {:>12} {:>10}",
             p,
             report.throughput() / 1e6,
             report.result_count,
-            report.cpu_utilization() * 100.0
+            cpu
         );
     }
     println!("\neach key's windows are complete and correct within its partition;");

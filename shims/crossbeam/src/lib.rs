@@ -28,6 +28,51 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error returned by [`Sender::try_send`]: the value comes back so the
+    /// caller can retry (e.g. with a blocking [`Sender::send`]).
+    #[derive(PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// The receiving side has hung up.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recovers the value that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+
+        pub fn is_disconnected(&self) -> bool {
+            matches!(self, TrySendError::Disconnected(_))
+        }
+    }
+
+    impl<T> std::fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "Full(..)"),
+                TrySendError::Disconnected(_) => write!(f, "Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> std::fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+            }
+        }
+    }
+
     /// Sending half of a bounded channel; cloneable for fan-in.
     pub struct Sender<T>(mpsc::SyncSender<T>);
 
@@ -41,6 +86,17 @@ pub mod channel {
         /// Blocks while the channel is at capacity (backpressure).
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+
+        /// Non-blocking send: fails immediately with [`TrySendError::Full`]
+        /// when the channel is at capacity instead of waiting for space.
+        /// Lets producers detect backpressure (and measure the queue wait
+        /// of the blocking fallback).
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(value).map_err(|e| match e {
+                mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+            })
         }
     }
 
@@ -59,6 +115,14 @@ pub mod channel {
         /// Blocking iterator that ends when all senders are dropped.
         pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
             self.0.iter()
+        }
+
+        /// Non-blocking iterator: yields every message already queued and
+        /// stops at the first would-block, without waiting. Consumers use
+        /// it to drain a burst after one blocking `recv` instead of
+        /// busy-polling `try_recv`.
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.try_iter()
         }
     }
 
@@ -101,6 +165,42 @@ mod tests {
         let (tx, rx) = bounded::<i32>(1);
         drop(rx);
         assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        use super::channel::TrySendError;
+        let (tx, rx) = bounded::<i32>(2);
+        assert!(tx.try_send(1).is_ok());
+        assert!(tx.try_send(2).is_ok());
+        // At capacity: the value comes back without blocking.
+        match tx.try_send(3) {
+            Err(e) if e.is_full() => assert_eq!(e.into_inner(), 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert!(tx.try_send(3).is_ok(), "space freed by recv");
+        drop(rx);
+        match tx.try_send(4) {
+            Err(TrySendError::Disconnected(v)) => assert_eq!(v, 4),
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_iter_drains_without_blocking() {
+        let (tx, rx) = bounded(8);
+        assert_eq!(rx.try_iter().count(), 0, "empty channel yields nothing");
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        // Drains exactly what is queued, then returns instead of blocking
+        // even though a sender is still alive.
+        let got: Vec<i32> = rx.try_iter().collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert_eq!(rx.try_iter().count(), 0);
+        tx.send(9).unwrap();
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![9]);
     }
 
     #[test]

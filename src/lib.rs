@@ -71,8 +71,8 @@ pub mod prelude {
     };
     pub use gss_query::{translate, AggKind, AnyAggregate, QueryDsl, Value, WindowDsl};
     pub use gss_stream::{
-        run_keyed, run_per_key, BoundedOutOfOrderness, IteratorSource, LatencyHistogram,
-        PipelineConfig, PipelineReport,
+        parallel_eligible, run_keyed, run_parallel, run_per_key, BoundedOutOfOrderness,
+        IteratorSource, LatencyHistogram, PipelineConfig, PipelineReport,
     };
     pub use gss_windows::{
         CountSlidingWindow, CountTumblingWindow, MultiMeasureWindow, PunctuationWindow,

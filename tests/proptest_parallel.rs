@@ -1,0 +1,262 @@
+//! Property tests for intra-query parallel slicing: `run_parallel` must
+//! agree with a sequential [`WindowOperator`] across window types, stream
+//! order, worker counts, batch sizes, store policies, and lateness.
+//!
+//! What "agree" means (see `crates/stream/src/parallel.rs`):
+//!
+//! * **Final emissions** (`is_update == false`, produced at watermark
+//!   triggers) match exactly, values included — the epoch barrier
+//!   guarantees the merge operator holds exactly the stream prefix when
+//!   a watermark fires.
+//! * **Update emissions** (straggler revisions of already-emitted
+//!   windows) match in multiplicity and affected window, and the *last*
+//!   value per window matches; intermediate update values may reflect a
+//!   different apply order when several stragglers hit the same window
+//!   inside one watermark epoch from different workers.
+//! * With **one worker** the merge stage sees the exact stream order, so
+//!   the full emission sequence matches, values included.
+//! * Ineligible workloads (session windows here) take the sequential
+//!   fallback and must match exactly.
+
+use std::collections::BTreeMap;
+
+use general_stream_slicing::prelude::*;
+use proptest::prelude::*;
+
+const TIME_MIN: Time = i64::MIN;
+
+type Row = (QueryId, Time, Time, i64, bool);
+
+/// Reference: one sequential out-of-order operator, tuple at a time.
+fn sequential_rows(
+    elements: &[StreamElement<i64>],
+    windows: &[Box<dyn WindowFunction>],
+    lateness: Time,
+    policy: StorePolicy,
+) -> Vec<Row> {
+    let mut op =
+        WindowOperator::new(Sum, OperatorConfig::out_of_order(lateness).with_policy(policy));
+    for w in windows {
+        op.add_query(w.clone_box()).unwrap();
+    }
+    let mut out = Vec::new();
+    let mut rows = Vec::new();
+    for e in elements {
+        match e {
+            StreamElement::Record { ts, value } => op.process_tuple(*ts, *value, &mut out),
+            StreamElement::Watermark(wm) => op.process_watermark(*wm, &mut out),
+            StreamElement::Punctuation(ts) => op.process_punctuation(*ts, &mut out),
+        }
+        rows.extend(out.drain(..).map(row));
+    }
+    rows
+}
+
+fn row(r: WindowResult<i64>) -> Row {
+    (r.query, r.range.start, r.range.end, r.value, r.is_update)
+}
+
+fn parallel_rows(
+    elements: &[StreamElement<i64>],
+    windows: &[Box<dyn WindowFunction>],
+    lateness: Time,
+    policy: StorePolicy,
+    workers: usize,
+    batch: usize,
+) -> (usize, Vec<Row>) {
+    let report = run_parallel(
+        elements.iter().cloned(),
+        PipelineConfig::with_parallelism(workers).with_batch_size(batch),
+        Sum,
+        windows.iter().map(|w| w.clone_box()).collect(),
+        OperatorConfig::out_of_order(lateness).with_policy(policy),
+    );
+    (report.parallel_workers, report.results.into_iter().map(|(_, r)| row(r)).collect())
+}
+
+/// Last emission per window — what a downstream consumer ends up with.
+fn finals(rows: &[Row]) -> BTreeMap<(QueryId, Time, Time), i64> {
+    let mut map = BTreeMap::new();
+    for &(q, s, e, v, _) in rows {
+        map.insert((q, s, e), v);
+    }
+    map
+}
+
+fn sorted<T: Ord>(mut v: Vec<T>) -> Vec<T> {
+    v.sort_unstable();
+    v
+}
+
+/// Compares a parallel run against the sequential reference under the
+/// documented equivalence contract.
+fn assert_equivalent(
+    want: &[Row],
+    got: &[Row],
+    workers: usize,
+    batch: usize,
+) -> Result<(), TestCaseError> {
+    let ctx = format!("workers={workers} batch={batch}");
+    prop_assert_eq!(finals(got), finals(want), "finals diverged ({})", ctx);
+    let want_final: Vec<Row> = want.iter().filter(|r| !r.4).cloned().collect();
+    let got_final: Vec<Row> = got.iter().filter(|r| !r.4).cloned().collect();
+    prop_assert_eq!(
+        sorted(got_final),
+        sorted(want_final),
+        "watermark-trigger emissions diverged ({})",
+        ctx
+    );
+    let keys = |rows: &[Row], upd: bool| -> Vec<(QueryId, Time, Time)> {
+        sorted(rows.iter().filter(|r| r.4 == upd).map(|r| (r.0, r.1, r.2)).collect())
+    };
+    prop_assert_eq!(keys(got, true), keys(want, true), "update multiplicity diverged ({})", ctx);
+    Ok(())
+}
+
+/// Interleaves watermarks: one every `every` records at `max_ts - lag`
+/// (monotone), with occasional stale duplicates, plus a final flush.
+fn with_stream_watermarks(
+    tuples: &[(Time, i64)],
+    every: usize,
+    lag: Time,
+) -> Vec<StreamElement<i64>> {
+    let every = every.max(1);
+    let mut elements = Vec::with_capacity(tuples.len() + tuples.len() / every + 2);
+    let mut max_ts = TIME_MIN;
+    for (i, &(ts, v)) in tuples.iter().enumerate() {
+        elements.push(StreamElement::Record { ts, value: v });
+        max_ts = max_ts.max(ts);
+        if i % every == every - 1 {
+            elements.push(StreamElement::Watermark(max_ts - lag));
+            if i % (3 * every) == every - 1 {
+                elements.push(StreamElement::Watermark(max_ts - lag - 1));
+            }
+        }
+    }
+    elements.push(StreamElement::Watermark(i64::MAX - 1));
+    elements
+}
+
+fn time_windows(length: i64, slide: i64) -> Vec<Box<dyn WindowFunction>> {
+    vec![
+        Box::new(TumblingWindow::new(length)),
+        Box::new(SlidingWindow::new(length.max(slide), slide)),
+    ]
+}
+
+fn check_parallel(
+    elements: &[StreamElement<i64>],
+    windows: &[Box<dyn WindowFunction>],
+    lateness: Time,
+    policy: StorePolicy,
+    batch: usize,
+) -> Result<(), TestCaseError> {
+    let want = sequential_rows(elements, windows, lateness, policy);
+    for workers in [1usize, 2, 4, 8] {
+        let (used, got) = parallel_rows(elements, windows, lateness, policy, workers, batch);
+        prop_assert_eq!(used, workers, "eligible workload must take the parallel path");
+        if workers == 1 {
+            // One worker preserves exact stream order through the merge
+            // stage: the full emission sequence must match.
+            prop_assert_eq!(&got, &want, "single-worker run must match exactly");
+        } else {
+            assert_equivalent(&want, &got, workers, batch)?;
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(30))]
+
+    /// In-order streams: tumbling + sliding queries, every worker count,
+    /// varying batch sizes and watermark cadence.
+    #[test]
+    fn parallel_matches_sequential_in_order(
+        raw in prop::collection::vec((0i64..2_000, -50i64..50), 1..200),
+        length in 1i64..50,
+        slide in 1i64..50,
+        lateness_i in 0usize..3,
+        batch in 1usize..70,
+        wm_every in 1usize..40,
+    ) {
+        let lateness = [0i64, 50, 500][lateness_i];
+        let mut tuples = raw;
+        tuples.sort_by_key(|&(ts, _)| ts);
+        let elements = with_stream_watermarks(&tuples, wm_every, 50);
+        check_parallel(&elements, &time_windows(length, slide), lateness, StorePolicy::Lazy, batch)?;
+    }
+
+    /// Out-of-order streams: random arrival order means stragglers and
+    /// allowed-lateness drops on every worker.
+    #[test]
+    fn parallel_matches_sequential_out_of_order(
+        raw in prop::collection::vec((0i64..2_000, -50i64..50), 1..150),
+        length in 2i64..50,
+        slide in 1i64..30,
+        lateness_i in 0usize..3,
+        batch in 1usize..70,
+        wm_every in 1usize..30,
+    ) {
+        let lateness = [0i64, 50, 500][lateness_i];
+        let elements = with_stream_watermarks(&raw, wm_every, 20);
+        check_parallel(&elements, &time_windows(length, slide), lateness, StorePolicy::Lazy, batch)?;
+    }
+
+    /// Eager (FlatFAT-indexed) stores take the deferred-repair path on
+    /// every merged partial; results must not change.
+    #[test]
+    fn parallel_matches_sequential_eager_store(
+        raw in prop::collection::vec((0i64..1_000, -50i64..50), 1..120),
+        length in 2i64..40,
+        slide in 1i64..20,
+        batch in 1usize..50,
+        wm_every in 1usize..25,
+    ) {
+        let elements = with_stream_watermarks(&raw, wm_every, 20);
+        check_parallel(&elements, &time_windows(length, slide), 100, StorePolicy::Eager, batch)?;
+    }
+
+    /// Session windows are context-aware → ineligible → the sequential
+    /// fallback must run and match the reference exactly (full sequence).
+    #[test]
+    fn ineligible_sessions_fall_back_and_match(
+        raw in prop::collection::vec((0i64..1_000, -50i64..50), 1..100),
+        gap in 1i64..40,
+        batch in 1usize..50,
+        wm_every in 1usize..25,
+    ) {
+        let mut tuples = raw;
+        tuples.sort_by_key(|&(ts, _)| ts);
+        let elements = with_stream_watermarks(&tuples, wm_every, 20);
+        let windows: Vec<Box<dyn WindowFunction>> = vec![Box::new(SessionWindow::new(gap))];
+        let want = sequential_rows(&elements, &windows, 20, StorePolicy::Lazy);
+        for workers in [1usize, 4] {
+            let (used, got) =
+                parallel_rows(&elements, &windows, 20, StorePolicy::Lazy, workers, batch);
+            prop_assert_eq!(used, 0, "sessions must take the fallback");
+            prop_assert_eq!(&got, &want, "fallback diverged (workers={}, batch={})", workers, batch);
+        }
+    }
+
+    /// Multi-query mixes where one query is ineligible must fall back as
+    /// a whole — and still match.
+    #[test]
+    fn mixed_eligibility_falls_back(
+        raw in prop::collection::vec((0i64..500, -20i64..20), 1..60),
+        length in 2i64..30,
+        gap in 1i64..20,
+    ) {
+        let mut tuples = raw;
+        tuples.sort_by_key(|&(ts, _)| ts);
+        let elements = with_stream_watermarks(&tuples, 10, 10);
+        let windows: Vec<Box<dyn WindowFunction>> = vec![
+            Box::new(TumblingWindow::new(length)),
+            Box::new(SessionWindow::new(gap)),
+        ];
+        let want = sequential_rows(&elements, &windows, 10, StorePolicy::Lazy);
+        let (used, got) = parallel_rows(&elements, &windows, 10, StorePolicy::Lazy, 4, 8);
+        prop_assert_eq!(used, 0);
+        prop_assert_eq!(&got, &want);
+    }
+}
