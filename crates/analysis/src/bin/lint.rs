@@ -1,0 +1,74 @@
+//! Workspace lint driver: scans every `.rs` file, applies the rules in
+//! `gss_analysis::rules`, subtracts the audited exceptions in
+//! `analysis/lint.allow`, and reports.
+//!
+//! Exit codes: `0` clean, `1` violations or stale allowlist entries,
+//! `2` the allowlist itself is malformed.
+
+use gss_analysis::allowlist::Allowlist;
+use gss_analysis::rules::{check_file, RULE_IDS};
+use gss_analysis::walk::{rust_files, workspace_root};
+
+fn main() {
+    if std::env::args().any(|a| a == "--rules") {
+        for r in RULE_IDS {
+            println!("{r}");
+        }
+        return;
+    }
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let root = workspace_root();
+    let allow_path = root.join("analysis").join("lint.allow");
+    let allow_text = std::fs::read_to_string(&allow_path).unwrap_or_default();
+    let allow = match Allowlist::parse(&allow_text) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("lint: malformed allowlist: {e}");
+            return 2;
+        }
+    };
+
+    let files = rust_files(&root);
+    let mut violations = Vec::new();
+    for (rel, path) in &files {
+        match std::fs::read_to_string(path) {
+            Ok(src) => violations.extend(check_file(rel, &src)),
+            Err(e) => eprintln!("lint: skipping unreadable {rel}: {e}"),
+        }
+    }
+
+    let total = violations.len();
+    let (live, used) = allow.filter(violations);
+    for v in &live {
+        println!("{v}");
+    }
+    let stale = allow.stale(&used);
+    for e in &stale {
+        eprintln!(
+            "lint: stale allowlist entry (waives nothing) at lint.allow:{}: {} {} -- {}",
+            e.line, e.rule, e.path_prefix, e.justification
+        );
+    }
+
+    let waived = total - live.len();
+    if live.is_empty() && stale.is_empty() {
+        println!(
+            "lint: OK — {} files scanned, {} audited exception(s) waived",
+            files.len(),
+            waived
+        );
+        0
+    } else {
+        eprintln!(
+            "lint: FAILED — {} violation(s), {} stale allowlist entr(ies) ({} files, {} waived)",
+            live.len(),
+            stale.len(),
+            files.len(),
+            waived
+        );
+        1
+    }
+}

@@ -1,0 +1,48 @@
+//! Workspace source discovery for the lint binary.
+
+use std::path::{Path, PathBuf};
+
+/// The workspace root, resolved relative to this crate's manifest so the
+/// binaries work from any working directory.
+pub fn workspace_root() -> PathBuf {
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest.join("..").join("..");
+    root.canonicalize().unwrap_or(root)
+}
+
+/// Every `.rs` file under `root` as `(workspace-relative path with '/'
+/// separators, absolute path)`, sorted for deterministic output. Build
+/// output (`target/`) and dot-directories are skipped.
+pub fn rust_files(root: &Path) -> Vec<(String, PathBuf)> {
+    let mut out = Vec::new();
+    visit(root, root, &mut out);
+    out.sort();
+    out
+}
+
+fn visit(dir: &Path, root: &Path, out: &mut Vec<(String, PathBuf)>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            visit(&path, root, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let Ok(rel) = path.strip_prefix(root) else {
+                continue;
+            };
+            let rel = rel
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((rel, path));
+        }
+    }
+}

@@ -152,7 +152,9 @@ impl<A: AggregateFunction> Buckets<A> {
                     q.window.windows_containing(count_pos as Time, &mut |r| ranges.push(r))
                 }
             }
-            let per_query = buckets.get_mut(&q.id).expect("bucket map per query");
+            let Some(per_query) = buckets.get_mut(&q.id) else {
+                continue;
+            };
             let merging = q.window.is_session();
             for &range in &ranges {
                 if merging {
@@ -344,9 +346,8 @@ impl<A: AggregateFunction> WindowAggregator<A> for Buckets<A> {
             // Fold the run once, then pay one ⊕ per containing bucket
             // instead of one per tuple per bucket.
             let f = &self.f;
-            let mut it = run.iter();
-            let mut p = f.lift(&it.next().expect("run is non-empty").1);
-            for (_, v) in it {
+            let mut p = f.lift(&run[0].1);
+            for (_, v) in &run[1..] {
                 p = f.combine(p, &f.lift(v));
             }
             let mode = self.mode;
@@ -355,7 +356,9 @@ impl<A: AggregateFunction> WindowAggregator<A> for Buckets<A> {
             for q in self.queries.iter() {
                 ranges.clear();
                 q.window.windows_containing(first, &mut |r| ranges.push(r));
-                let per_query = buckets.get_mut(&q.id).expect("bucket map per query");
+                let Some(per_query) = buckets.get_mut(&q.id) else {
+                    continue;
+                };
                 for &range in &ranges {
                     let bucket = per_query
                         .entry(range.start)

@@ -68,12 +68,13 @@ impl<A: AggregateFunction> FifoAggregator<A> {
             // front.last() aggregates the whole former back content.
             let mut suffix: Option<A::Partial> = None;
             while let Some((ts, lifted)) = self.back.pop_back() {
-                suffix = Some(match suffix.take() {
+                let s = match suffix.take() {
                     None => lifted,
                     // `lifted` precedes the current suffix in stream order.
                     Some(s) => self.f.combine(lifted, &s),
-                });
-                self.front.push((ts, suffix.clone().expect("just set")));
+                };
+                self.front.push((ts, s.clone()));
+                suffix = Some(s);
             }
             self.back_agg = None;
         }

@@ -1,0 +1,56 @@
+//! Checked numeric conversions for slice-index and timestamp arithmetic.
+//!
+//! The `core-cast` lint (see `crates/analysis`) bans bare `as usize` /
+//! `as i64` casts in this crate: a silently wrapping cast between a
+//! global slice index (`i64`) and a dense buffer offset (`usize`), or
+//! between a tuple count (`u64`) and a capacity, corrupts aggregates
+//! without a trace. Every lossy direction funnels through this module
+//! instead, where the debug build asserts the precondition and the
+//! release build saturates rather than wraps. This file is the single
+//! audited `core-cast` exception in `analysis/lint.allow`.
+
+/// Widens a buffer length or position into global-index (`i64`)
+/// arithmetic. Lossless for any in-memory length.
+#[inline]
+pub fn to_i64(n: usize) -> i64 {
+    debug_assert!(i64::try_from(n).is_ok(), "length {n} overflows i64");
+    i64::try_from(n).unwrap_or(i64::MAX)
+}
+
+/// Narrows a tuple count (`u64`) into a capacity / element count.
+#[inline]
+pub fn to_usize(n: u64) -> usize {
+    debug_assert!(usize::try_from(n).is_ok(), "count {n} overflows usize");
+    usize::try_from(n).unwrap_or(usize::MAX)
+}
+
+/// Offset of global slice index `g` from `base` as a dense index.
+/// Callers guarantee `g >= base`; the debug build asserts it.
+#[inline]
+pub fn gidx(g: i64, base: i64) -> usize {
+    debug_assert!(g >= base, "global index {g} below base {base}");
+    usize::try_from(g.wrapping_sub(base)).unwrap_or(0)
+}
+
+/// Widens a dense `u32` id (group slots, small handles) to an index.
+/// Infallible on every supported target (`usize` is at least 32 bits).
+#[inline]
+pub fn idx32(n: u32) -> usize {
+    n as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        assert_eq!(to_i64(0), 0);
+        assert_eq!(to_i64(4096), 4096);
+        assert_eq!(to_usize(0), 0);
+        assert_eq!(to_usize(1 << 40), 1usize << 40);
+        assert_eq!(gidx(17, 10), 7);
+        assert_eq!(gidx(-3, -8), 5);
+        assert_eq!(idx32(u32::MAX), u32::MAX as usize);
+    }
+}

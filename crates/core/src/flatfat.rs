@@ -158,6 +158,32 @@ impl<A: AggregateFunction> FlatFat<A> {
             }
             frontier.dedup();
         }
+        #[cfg(feature = "audit")]
+        self.assert_invariants();
+    }
+
+    /// Dense structural checks for the audit build: the node array is
+    /// shaped like a complete tree, spare leaves are vacant, no repair
+    /// is pending, and internal-node presence is consistent with the
+    /// children (partials carry no equality, so presence is the
+    /// strongest checkable property).
+    #[cfg(feature = "audit")]
+    pub fn assert_invariants(&self) {
+        assert!(self.cap.is_power_of_two(), "capacity {} not a power of two", self.cap);
+        assert_eq!(self.nodes.len(), 2 * self.cap, "node array out of shape");
+        assert!(self.len <= self.cap, "len {} exceeds capacity {}", self.len, self.cap);
+        assert!(self.dirty.is_empty(), "dirty leaves survived repair");
+        for i in self.len..self.cap {
+            assert!(self.nodes[self.cap + i].is_none(), "spare leaf {i} is occupied");
+        }
+        for i in 1..self.cap {
+            let children = self.nodes[2 * i].is_some() || self.nodes[2 * i + 1].is_some();
+            assert_eq!(
+                self.nodes[i].is_some(),
+                children,
+                "internal node {i} presence inconsistent with its children"
+            );
+        }
     }
 
     /// Inserts a leaf at `i`, shifting later leaves right: `O(n)`.

@@ -40,7 +40,9 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for chunk in &mut chunks {
-            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+            // chunks_exact(8) guarantees the width.
+            let word: [u8; 8] = chunk.try_into().unwrap_or_default();
+            self.add_to_hash(u64::from_le_bytes(word));
         }
         let rest = chunks.remainder();
         if !rest.is_empty() {

@@ -34,6 +34,7 @@ use std::collections::hash_map::Entry;
 use std::collections::{BinaryHeap, VecDeque};
 
 use crate::aggregator::{in_order_run_len, WindowAggregator};
+use crate::cast;
 use crate::function::{AggregateFunction, FunctionProperties};
 use crate::hash::FxHashMap;
 use crate::mem::HeapSize;
@@ -212,7 +213,7 @@ impl<A: AggregateFunction> KeyState<A> {
             self.partials[0] = Some(p);
             return;
         }
-        let idx = (g - self.first) as usize;
+        let idx = cast::gidx(g, self.first);
         if idx >= self.partials.len() {
             for _ in self.partials.len()..=idx {
                 self.partials.push_back(None);
@@ -228,13 +229,13 @@ impl<A: AggregateFunction> KeyState<A> {
     /// or `None` if the key has no tuples there.
     fn query(&self, gl: i64, gr: i64, f: &A) -> Option<A::Partial> {
         let lo = gl.max(self.first);
-        let hi = gr.min(self.first + self.partials.len() as i64);
+        let hi = gr.min(self.first + cast::to_i64(self.partials.len()));
         if lo >= hi {
             return None;
         }
         let mut acc: Option<A::Partial> = None;
         for i in lo..hi {
-            if let Some(p) = &self.partials[(i - self.first) as usize] {
+            if let Some(p) = &self.partials[cast::gidx(i, self.first)] {
                 acc = Some(match acc {
                     Some(a) => f.combine(a, p),
                     None => p.clone(),
@@ -424,7 +425,7 @@ impl<A: AggregateFunction> SharedKeyed<A> {
         let mut live = 0usize;
         for (ts, (key, v)) in batch {
             let gi = match self.group_of.get(key) {
-                Some(&gi) => gi as usize,
+                Some(&gi) => cast::idx32(gi),
                 None => {
                     let gi = live;
                     if gi == self.groups.len() {
@@ -489,7 +490,7 @@ impl<A: AggregateFunction> SharedKeyed<A> {
                 for (_, v) in &tuples[i + 1..i + n] {
                     p = self.f.combine(p, &self.f.lift(v));
                 }
-                st.add_at(self.timeline.base() + pos as i64, p, &self.f);
+                st.add_at(self.timeline.base() + cast::to_i64(pos), p, &self.f);
                 st.t_first = st.t_first.min(ts);
                 st.t_last = tuples[i + n - 1].0;
                 self.stats.tuples += n as u64;
@@ -509,7 +510,7 @@ impl<A: AggregateFunction> SharedKeyed<A> {
                     &self.queries,
                     &mut self.stats.slices_created,
                 );
-                let g = self.timeline.base() + pos as i64;
+                let g = self.timeline.base() + cast::to_i64(pos);
                 st.add_at(g, self.f.lift(&tuples[i].1), &self.f);
                 st.t_first = st.t_first.min(ts);
                 self.stats.tuples += 1;
@@ -620,6 +621,38 @@ impl<A: AggregateFunction> SharedKeyed<A> {
                 }
             }
         }
+        #[cfg(feature = "audit")]
+        self.assert_invariants();
+    }
+
+    /// Dense trigger-gating checks for the audit build, run after every
+    /// watermark: no live key may still owe an emission (a due time at
+    /// or below the watermark), every live due time must have a backing
+    /// trigger-heap entry (entries are lazy, so the heap may hold extra
+    /// stale ones), and no key's watermark floor may run ahead of the
+    /// operator's.
+    #[cfg(feature = "audit")]
+    fn assert_invariants(&self) {
+        let mut entries: Vec<(Time, u64)> = self.trigger_heap.iter().map(|&Reverse(e)| e).collect();
+        entries.sort_unstable();
+        for (key, st) in &self.keys {
+            assert!(
+                st.wm_seen <= self.watermark,
+                "key {key} watermark floor {} ahead of operator watermark {}",
+                st.wm_seen,
+                self.watermark
+            );
+            let Some(d) = st.due else { continue };
+            assert!(
+                d > self.watermark,
+                "key {key} left due {d} at or below watermark {}",
+                self.watermark
+            );
+            assert!(
+                entries.binary_search(&(d, *key)).is_ok(),
+                "key {key} due {d} has no trigger-heap entry"
+            );
+        }
     }
 
     fn memory_bytes(&self) -> usize {
@@ -684,26 +717,24 @@ impl<A: AggregateFunction> NaiveKeyedOperator<A> {
     }
 
     fn operator_for(&mut self, key: u64) -> &mut (Time, WindowOperator<A>) {
-        if !self.keys.contains_key(&key) {
-            let mut op = WindowOperator::new(
-                self.f.clone(),
-                OperatorConfig::out_of_order(self.cfg.allowed_lateness),
-            );
-            for w in &self.windows {
+        let (f, windows, cfg, watermark) = (&self.f, &self.windows, &self.cfg, self.watermark);
+        self.keys.entry(key).or_insert_with(|| {
+            let mut op =
+                WindowOperator::new(f.clone(), OperatorConfig::out_of_order(cfg.allowed_lateness));
+            for w in windows {
                 op.add_query(w.clone_box()).expect("keyed windows share one measure");
             }
             // Watermarks are broadcast: a key that first appears after the
             // stream has progressed must still apply the global late-drop
             // rule, exactly as the shared timeline does. Replaying into an
             // empty operator emits nothing.
-            if self.watermark != TIME_MIN {
+            if watermark != TIME_MIN {
                 let mut sink = Vec::new();
-                op.process_watermark(self.watermark, &mut sink);
+                op.process_watermark(watermark, &mut sink);
                 debug_assert!(sink.is_empty(), "fresh operator emitted on watermark replay");
             }
-            self.keys.insert(key, (TIME_MIN, op));
-        }
-        self.keys.get_mut(&key).expect("just inserted")
+            (TIME_MIN, op)
+        })
     }
 
     fn group_batch(&mut self, batch: &[(Time, (u64, A::Input))]) {
@@ -711,7 +742,7 @@ impl<A: AggregateFunction> NaiveKeyedOperator<A> {
         let mut live = 0usize;
         for (ts, (key, v)) in batch {
             let gi = match self.group_of.get(key) {
-                Some(&gi) => gi as usize,
+                Some(&gi) => cast::idx32(gi),
                 None => {
                     let gi = live;
                     if gi == self.groups.len() {

@@ -63,6 +63,9 @@
 //! ```
 
 pub mod aggregator;
+#[macro_use]
+pub mod audit;
+pub mod cast;
 pub mod characteristics;
 pub mod element;
 pub mod flatfat;

@@ -10,6 +10,7 @@
 //! recomputes from source tuples only when unavoidable.
 
 use crate::aggregator::WindowAggregator;
+use crate::cast;
 use crate::characteristics::WorkloadCharacteristics;
 use crate::function::AggregateFunction;
 use crate::mem::HeapSize;
@@ -886,14 +887,14 @@ impl<A: AggregateFunction> WindowOperator<A> {
                 if total >= edge {
                     return 0;
                 }
-                cap = cap.min((edge - total) as usize);
+                cap = cap.min(cast::to_usize(edge - total));
             }
             if in_order_emit {
                 if let Some(c) = self.next_trigger_count {
                     if total + 1 >= c {
                         return 0;
                     }
-                    cap = cap.min((c - 1 - total) as usize);
+                    cap = cap.min(cast::to_usize(c - 1 - total));
                 }
             }
         }
@@ -1270,7 +1271,7 @@ impl<A: AggregateFunction> WindowOperator<A> {
                 idx
             }
         };
-        self.store.add_out_of_order_partial(idx, partial, t_first, t_last, n as usize);
+        self.store.add_out_of_order_partial(idx, partial, t_first, t_last, cast::to_usize(n));
         self.stats.tuples += n;
         self.max_ts = self.max_ts.max(t_last);
         // Window Manager: a partial at or below the watermark is a late

@@ -33,6 +33,20 @@ pub struct Slice<A: AggregateFunction> {
     tuples: Option<Vec<(Time, A::Input)>>,
 }
 
+/// Folds a run of tuples into one partial in stream order; `None` for an
+/// empty run.
+fn fold_run<A: AggregateFunction>(f: &A, run: &[(Time, A::Input)]) -> Option<A::Partial> {
+    let mut acc: Option<A::Partial> = None;
+    for (_, v) in run {
+        let lifted = f.lift(v);
+        acc = Some(match acc {
+            None => lifted,
+            Some(a) => f.combine(a, &lifted),
+        });
+    }
+    acc
+}
+
 impl<A: AggregateFunction> Slice<A> {
     /// Creates an empty slice covering `range`. `keep_tuples` mirrors the
     /// Figure-4 decision and must be uniform across all slices of a store.
@@ -143,12 +157,9 @@ impl<A: AggregateFunction> Slice<A> {
             self.range
         );
         debug_assert!(run.windows(2).all(|w| w[0].0 <= w[1].0), "run not sorted");
-        let mut it = run.iter();
-        let (_, v0) = it.next().expect("run is non-empty");
-        let mut p = f.lift(v0);
-        for (_, v) in it {
-            p = f.combine(p, &f.lift(v));
-        }
+        let Some(p) = fold_run(f, run) else {
+            return;
+        };
         self.agg = Some(match self.agg.take() {
             None => p,
             Some(a) => f.combine(a, &p),
@@ -247,16 +258,12 @@ impl<A: AggregateFunction> Slice<A> {
         self.t_last = self.t_last.max(last_ts);
         self.n_tuples += run.len();
         if commutative {
-            let mut it = run.iter();
-            let (_, v0) = it.next().expect("run is non-empty");
-            let mut p = f.lift(v0);
-            for (_, v) in it {
-                p = f.combine(p, &f.lift(v));
+            if let Some(p) = fold_run(f, run) {
+                self.agg = Some(match self.agg.take() {
+                    None => p,
+                    Some(a) => f.combine(a, &p),
+                });
             }
-            self.agg = Some(match self.agg.take() {
-                None => p,
-                Some(a) => f.combine(a, &p),
-            });
         } else {
             self.recompute(f);
         }
@@ -274,17 +281,7 @@ impl<A: AggregateFunction> Slice<A> {
         let n = run.len();
         let commutative = f.properties().commutative;
         // Fold the aggregate by reference before the values move away.
-        let folded = if commutative {
-            let mut it = run.iter();
-            let (_, v0) = it.next().expect("run is non-empty");
-            let mut p = f.lift(v0);
-            for (_, v) in it {
-                p = f.combine(p, &f.lift(v));
-            }
-            Some(p)
-        } else {
-            None
-        };
+        let folded = if commutative { fold_run(f, &run) } else { None };
         if let Some(tuples) = &mut self.tuples {
             if first_ts >= self.t_last {
                 tuples.append(&mut run);
@@ -294,8 +291,8 @@ impl<A: AggregateFunction> Slice<A> {
                 let mut merged = Vec::with_capacity(tuples.len() + run.len());
                 let mut it = run.drain(..).peekable();
                 for old in tuples.drain(..) {
-                    while it.peek().is_some_and(|&(ts, _)| ts < old.0) {
-                        merged.push(it.next().expect("peeked"));
+                    while let Some(t) = it.next_if(|&(ts, _)| ts < old.0) {
+                        merged.push(t);
                     }
                     merged.push(old);
                 }

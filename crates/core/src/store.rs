@@ -182,7 +182,29 @@ impl<A: AggregateFunction> SliceStore<A> {
         if let Some(t) = &mut self.eager {
             t.insert(idx, None);
         }
+        #[cfg(feature = "audit")]
+        self.assert_invariants();
         idx
+    }
+
+    /// Dense structural checks for the audit build: slices are in
+    /// ascending, non-overlapping time order (lazy stores may leave
+    /// gaps; count cuts at tied timestamps may leave zero-width time
+    /// ranges) and the eager FlatFAT index, when present, has exactly
+    /// one leaf per slice.
+    #[cfg(feature = "audit")]
+    pub fn assert_invariants(&self) {
+        let mut prev_end: Option<Time> = None;
+        for s in &self.slices {
+            assert!(s.start() <= s.end(), "slice {} inverted", s.range());
+            if let Some(pe) = prev_end {
+                assert!(pe <= s.start(), "slice {} overlaps predecessor ending {pe}", s.range());
+            }
+            prev_end = Some(s.end());
+        }
+        if let Some(t) = &self.eager {
+            assert_eq!(t.len(), self.slices.len(), "eager index out of sync with slices");
+        }
     }
 
     /// `append_slice` without the ordering debug-assert (for count cuts
@@ -331,6 +353,8 @@ impl<A: AggregateFunction> SliceStore<A> {
         if let Some(t) = &mut self.eager {
             t.repair_dirty();
         }
+        #[cfg(feature = "audit")]
+        self.assert_invariants();
     }
 
     /// Whether deferred eager-leaf writes are pending repair.
@@ -523,6 +547,8 @@ impl<A: AggregateFunction> SliceStore<A> {
         if let Some(t) = &mut self.eager {
             t.remove_prefix(k);
         }
+        #[cfg(feature = "audit")]
+        self.assert_invariants();
     }
 
     /// Evicts leading slices whose tuples are entirely below the absolute

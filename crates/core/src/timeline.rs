@@ -17,6 +17,7 @@
 
 use std::collections::VecDeque;
 
+use crate::cast;
 use crate::time::{Range, Time, TIME_MAX, TIME_MIN};
 use crate::window::Query;
 
@@ -106,29 +107,56 @@ impl Timeline {
             *slices_created += 1;
             return 0;
         }
-        while ts >= self.slices.back().expect("non-empty").end {
-            let start = self.slices.back().expect("non-empty").end;
+        while let Some(start) = self.slices.back().map(|s| s.end) {
+            if ts < start {
+                break;
+            }
             let end = Self::union_next_edge(queries, start);
             self.slices.push_back(SliceMeta { start, end });
             *slices_created += 1;
         }
-        while ts < self.slices.front().expect("non-empty").start {
-            let end = self.slices.front().expect("non-empty").start;
+        while let Some(end) = self.slices.front().map(|s| s.start) {
+            if ts >= end {
+                break;
+            }
             let start = Self::union_prev_edge(queries, end - 1);
             debug_assert!(start < end);
             self.slices.push_front(SliceMeta { start, end });
             self.base -= 1;
             *slices_created += 1;
         }
-        self.pos_covering(ts).expect("timeline extended to cover ts")
+        // The loops above extended coverage to include `ts`.
+        let pos = self.pos_covering(ts);
+        debug_assert!(pos.is_some(), "timeline extended to cover ts");
+        #[cfg(feature = "audit")]
+        self.assert_invariants();
+        pos.unwrap_or(0)
+    }
+
+    /// Dense structural checks for the audit build: every slice is
+    /// non-empty and the timeline is contiguous (each slice starts where
+    /// its predecessor ends), so global indices map 1:1 onto disjoint
+    /// covering time ranges.
+    #[cfg(feature = "audit")]
+    pub fn assert_invariants(&self) {
+        let mut prev_end: Option<Time> = None;
+        for s in &self.slices {
+            assert!(s.start < s.end, "slice [{}, {}) empty or inverted", s.start, s.end);
+            if let Some(pe) = prev_end {
+                assert_eq!(
+                    pe, s.start,
+                    "timeline gap: predecessor ends {pe}, slice starts {}",
+                    s.start
+                );
+            }
+            prev_end = Some(s.end);
+        }
     }
 
     /// Position of the slice covering `ts`, if any.
     pub fn pos_covering(&self, ts: Time) -> Option<usize> {
-        if self.slices.is_empty()
-            || ts < self.slices.front().expect("non-empty").start
-            || ts >= self.slices.back().expect("non-empty").end
-        {
+        let (front, back) = (self.slices.front()?, self.slices.back()?);
+        if ts < front.start || ts >= back.end {
             return None;
         }
         // Largest position whose start <= ts; slices are contiguous.
@@ -142,19 +170,22 @@ impl Timeline {
     /// `None` if the window doesn't overlap the timeline at all.
     pub fn global_range(&self, range: Range) -> Option<(i64, i64)> {
         let first = self.slices.front()?;
-        let last = self.slices.back().expect("non-empty");
+        let last = self.slices.back()?;
         if range.end <= first.start || range.start >= last.end {
             return None;
         }
         let lo_pos = if range.start <= first.start {
             0
         } else {
-            self.pos_covering(range.start).expect("start within coverage")
+            // Guarded above: first.start < range.start < last.end.
+            let pos = self.pos_covering(range.start);
+            debug_assert!(pos.is_some(), "start within coverage");
+            pos.unwrap_or(0)
         };
         // Exclusive upper bound: first slice whose start >= range.end.
         let hi_pos = self.slices.partition_point(|s| s.start < range.end);
         debug_assert!(hi_pos > lo_pos);
-        Some((self.base + lo_pos as i64, self.base + hi_pos as i64))
+        Some((self.base + cast::to_i64(lo_pos), self.base + cast::to_i64(hi_pos)))
     }
 
     /// Drops slices that end at or before `boundary`; keeps global
@@ -168,6 +199,8 @@ impl Timeline {
                 break;
             }
         }
+        #[cfg(feature = "audit")]
+        self.assert_invariants();
     }
 
     pub fn heap_bytes(&self) -> usize {

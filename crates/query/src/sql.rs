@@ -65,18 +65,18 @@ fn tokenize(input: &str) -> Result<Vec<Token>, String> {
             c if c.is_ascii_digit() => {
                 // A number with an optional unit suffix (e.g. `10s`).
                 let mut lit = String::new();
-                while chars.peek().is_some_and(|c| c.is_ascii_digit()) {
-                    lit.push(chars.next().expect("peeked"));
+                while let Some(d) = chars.next_if(|c| c.is_ascii_digit()) {
+                    lit.push(d);
                 }
-                while chars.peek().is_some_and(|c| c.is_ascii_alphabetic()) {
-                    lit.push(chars.next().expect("peeked"));
+                while let Some(u) = chars.next_if(|c| c.is_ascii_alphabetic()) {
+                    lit.push(u);
                 }
                 tokens.push(Token::Number(lit));
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let mut ident = String::new();
-                while chars.peek().is_some_and(|c| c.is_ascii_alphanumeric() || *c == '_') {
-                    ident.push(chars.next().expect("peeked"));
+                while let Some(c) = chars.next_if(|c| c.is_ascii_alphanumeric() || *c == '_') {
+                    ident.push(c);
                 }
                 tokens.push(Token::Ident(ident));
             }
@@ -109,7 +109,7 @@ impl Parser {
         }
     }
 
-    fn expect(&mut self, t: Token) -> Result<(), String> {
+    fn expect_tok(&mut self, t: Token) -> Result<(), String> {
         let got = self.next()?;
         if got == t {
             Ok(())
@@ -129,12 +129,12 @@ impl Parser {
     fn agg(&mut self) -> Result<crate::any::AggKind, String> {
         let name = self.ident()?;
         let kind = parse_agg(&name)?;
-        self.expect(Token::LParen)?;
+        self.expect_tok(Token::LParen)?;
         match self.next()? {
             Token::Ident(_) | Token::Star => {}
             other => return Err(format!("expected column or '*', found {other:?}")),
         }
-        self.expect(Token::RParen)?;
+        self.expect_tok(Token::RParen)?;
         Ok(kind)
     }
 
@@ -156,7 +156,7 @@ impl Parser {
 
     fn window(&mut self) -> Result<WindowDsl, String> {
         let kw = self.ident()?.to_ascii_uppercase();
-        self.expect(Token::LParen)?;
+        self.expect_tok(Token::LParen)?;
         let w = match kw.as_str() {
             "TUMBLE" => {
                 let length = self.duration_arg()?;
@@ -173,7 +173,7 @@ impl Parser {
             }
             "SLIDE" => {
                 let length = self.duration_arg()?;
-                self.expect(Token::Comma)?;
+                self.expect_tok(Token::Comma)?;
                 let slide = self.duration_arg()?;
                 WindowDsl::Slide { length, slide }
             }
@@ -181,13 +181,13 @@ impl Parser {
             "COUNT_TUMBLE" => WindowDsl::CountTumble { length: self.int_arg()? },
             "COUNT_SLIDE" => {
                 let length = self.int_arg()?;
-                self.expect(Token::Comma)?;
+                self.expect_tok(Token::Comma)?;
                 let slide = self.int_arg()?;
                 WindowDsl::CountSlide { length, slide }
             }
             other => return Err(format!("unknown window function '{other}'")),
         };
-        self.expect(Token::RParen)?;
+        self.expect_tok(Token::RParen)?;
         Ok(w)
     }
 }
@@ -198,7 +198,7 @@ pub fn parse_sql(input: &str) -> Result<SqlStatement, String> {
     p.expect_keyword("SELECT")?;
     let mut aggs = vec![p.agg()?];
     while matches!(p.peek(), Some(Token::Comma)) {
-        p.expect(Token::Comma)?;
+        p.expect_tok(Token::Comma)?;
         aggs.push(p.agg()?);
     }
     p.expect_keyword("FROM")?;

@@ -56,9 +56,8 @@ pub fn translate(
 ) -> Result<Translated, QueryError> {
     let mut operators: Vec<(AggKind, WindowOperator<AnyAggregate>, Vec<QueryId>)> = Vec::new();
     for q in queries {
-        let slot = operators.iter_mut().find(|(k, _, _)| *k == q.agg);
-        let (_, op, ids) = match slot {
-            Some(entry) => entry,
+        let idx = match operators.iter().position(|(k, _, _)| *k == q.agg) {
+            Some(i) => i,
             None => {
                 let cfg = OperatorConfig { order, policy, allowed_lateness, ..Default::default() };
                 operators.push((
@@ -66,9 +65,10 @@ pub fn translate(
                     WindowOperator::new(AnyAggregate::new(q.agg), cfg),
                     Vec::new(),
                 ));
-                operators.last_mut().expect("just pushed")
+                operators.len() - 1
             }
         };
+        let (_, op, ids) = &mut operators[idx];
         let id = op.add_query(q.window.build())?;
         ids.push(id);
     }

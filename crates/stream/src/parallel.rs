@@ -20,10 +20,12 @@
 //!   the slice covering its timestamp, and flushes the accumulated
 //!   partials to the merge stage when it sees a watermark (then **acks**
 //!   the watermark) or when its timeline grows past a cap. Tuples at or
-//!   below the worker's watermark flush pending partials first and then
-//!   travel as singleton partials, preserving this worker's stream order
-//!   at the merge stage; tuples below `watermark - allowed_lateness` are
-//!   dropped, mirroring the sequential operator.
+//!   below the worker's watermark are buffered as individual straggler
+//!   partials (one update emission each at the merge stage) and ride the
+//!   head of the next flush batch in arrival order — coalescing is at
+//!   the message level only, so every straggler still revises its
+//!   windows exactly once. Tuples below `watermark - allowed_lateness`
+//!   are dropped, mirroring the sequential operator.
 //! * The merge stage keeps one FIFO queue per worker. Data messages at
 //!   queue fronts apply immediately via
 //!   [`WindowOperator::merge_parallel_partials`]; the global watermark
@@ -60,9 +62,10 @@ use gss_core::{
 use crate::metrics::LatencyHistogram;
 use crate::pipeline::{process_cpu_time, PipelineConfig, PipelineReport};
 
-/// Worker-side flush threshold, in timeline slices. Bounds worker memory
-/// between watermarks; each flush ships the accumulated partials and the
-/// timeline regrows on demand.
+/// Worker-side flush threshold, in timeline slices plus buffered
+/// straggler partials. Bounds worker memory between watermarks; each
+/// flush ships the accumulated partials and the timeline regrows on
+/// demand.
 const FLUSH_SLICE_CAP: usize = 4096;
 
 /// Whether a workload can take the two-stage parallel path.
@@ -146,6 +149,10 @@ struct WorkerSlicer<A: AggregateFunction> {
     /// index)`. The global index survives front growth (which shifts
     /// positions but not `base + pos`).
     cache: Option<(Time, Time, i64)>,
+    /// Stragglers (at or below the acked watermark, within lateness)
+    /// buffered in arrival order; they ride the next flush as the head of
+    /// its `Partials` batch instead of each paying for a message.
+    stragglers: Vec<SlicePartial<A>>,
     slices_created: u64,
     dropped_late: u64,
 }
@@ -166,19 +173,13 @@ impl<A: AggregateFunction> WorkerSlicer<A> {
             accs: VecDeque::new(),
             filled: 0,
             cache: None,
+            stragglers: Vec::new(),
             slices_created: 0,
             dropped_late: 0,
         }
     }
 
-    fn ingest(
-        &mut self,
-        ts: Time,
-        value: A::Input,
-        tx: &Sender<(usize, MergeMsg<A>)>,
-        me: usize,
-        wait: &mut LatencyHistogram,
-    ) {
+    fn ingest(&mut self, ts: Time, value: A::Input) {
         if self.wm != TIME_MIN {
             // Same drop rule as the sequential operator.
             if ts < self.wm - self.lateness {
@@ -186,23 +187,25 @@ impl<A: AggregateFunction> WorkerSlicer<A> {
                 return;
             }
             if ts <= self.wm {
-                // Straggler below the acked watermark: ship pending
-                // partials first so the merge stage sees this worker's
-                // messages in stream order, then send the tuple as a
-                // singleton partial so the merge operator can revise the
-                // affected emitted windows immediately.
-                self.flush(tx, me, wait);
+                // Straggler at or below the acked watermark: buffer it as
+                // its own partial (one update emission per straggler at
+                // the merge stage) and let it ride the next flush instead
+                // of paying for a singleton message. Sound because the
+                // relative order of straggler and on-time partials within
+                // an epoch is immaterial: on-time tuples only touch
+                // windows that have not fired, the aggregate is
+                // commutative, and the batch is applied before the next
+                // epoch barrier either way.
                 let start = Timeline::union_prev_edge(&self.queries, ts);
                 let end = Timeline::union_next_edge(&self.queries, ts);
-                let part = SlicePartial {
+                self.stragglers.push(SlicePartial {
                     start,
                     end,
                     partial: self.f.lift(&value),
                     t_first: ts,
                     t_last: ts,
                     n: 1,
-                };
-                send_timed(tx, (me, MergeMsg::Partials(vec![part])), wait);
+                });
                 return;
             }
         }
@@ -249,11 +252,14 @@ impl<A: AggregateFunction> WorkerSlicer<A> {
         }
     }
 
-    /// Ships every accumulated partial and resets the timeline (boundary
-    /// math is stateless, so it regrows exact spans on demand).
+    /// Ships buffered stragglers (arrival order, at the head of the
+    /// batch) and every accumulated partial in **one** `Partials`
+    /// message, then resets the timeline (boundary math is stateless, so
+    /// it regrows exact spans on demand).
     fn flush(&mut self, tx: &Sender<(usize, MergeMsg<A>)>, me: usize, wait: &mut LatencyHistogram) {
-        if self.filled > 0 {
-            let mut parts = Vec::with_capacity(self.filled);
+        if self.filled > 0 || !self.stragglers.is_empty() {
+            let mut parts = Vec::with_capacity(self.stragglers.len() + self.filled);
+            parts.append(&mut self.stragglers);
             for (pos, slot) in self.accs.iter_mut().enumerate() {
                 if let Some(acc) = slot.take() {
                     let meta = self.timeline.get(pos);
@@ -291,9 +297,9 @@ fn worker_loop<A: AggregateFunction>(
             ParChunk::Records(tuples) => {
                 records += tuples.len() as u64;
                 for (ts, value) in tuples {
-                    slicer.ingest(ts, value, &tx, me, &mut wait);
+                    slicer.ingest(ts, value);
                 }
-                if slicer.timeline.len() >= FLUSH_SLICE_CAP {
+                if slicer.timeline.len() + slicer.stragglers.len() >= FLUSH_SLICE_CAP {
                     slicer.flush(&tx, me, &mut wait);
                 }
             }
@@ -339,6 +345,10 @@ fn apply_ready<A: AggregateFunction>(
             let mut wm = TIME_MAX;
             for q in queues.iter_mut() {
                 let Some(MergeMsg::Watermark(w)) = q.pop_front() else { unreachable!() };
+                gss_core::audit_assert!(
+                    wm == TIME_MAX || w == wm,
+                    "barrier acks disagree: {w} vs {wm} (FIFO broadcast broken)"
+                );
                 wm = wm.min(w);
             }
             op.process_watermark(wm, out);

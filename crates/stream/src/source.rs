@@ -124,7 +124,12 @@ where
         loop {
             if let Some(e) = self.pending.take() {
                 if let StreamElement::Record { ts, .. } = &e {
-                    let b = self.next_boundary.expect("boundary set when record stashed");
+                    let Some(b) = self.next_boundary else {
+                        // A stash without a pending boundary cannot
+                        // happen (records are only stashed to let a
+                        // boundary overtake them); emit it as-is.
+                        return Some(e);
+                    };
                     if b <= *ts {
                         // A record crossing one or more boundaries: emit
                         // them one by one ahead of it.

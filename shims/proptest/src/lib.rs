@@ -42,6 +42,9 @@ pub fn run_cases(
         seed ^= b as u64;
         seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
     }
+    // Like real proptest: PROPTEST_CASES overrides the per-test count
+    // (CI uses a reduced count for the slow audit build).
+    let cases = std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(cases);
     let replay: Option<u64> =
         std::env::var("PROPTEST_REPLAY_SEED").ok().and_then(|s| s.parse().ok());
     for case in 0..cases as u64 {
