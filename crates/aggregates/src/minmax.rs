@@ -42,6 +42,19 @@ impl AggregateFunction for Min {
             kind: FunctionKind::Distributive,
         }
     }
+    /// Branch-free reduction: `min` compiles to a conditional move (or a
+    /// packed-min once vectorized), never a data-dependent branch.
+    fn fold_slice(&self, values: &[i64]) -> Option<i64> {
+        let (&first, rest) = values.split_first()?;
+        let mut acc = first;
+        for &v in rest {
+            acc = acc.min(v);
+        }
+        Some(acc)
+    }
+    fn has_fold_kernel(&self) -> bool {
+        true
+    }
 }
 
 /// Maximum. Mirror image of [`Min`].
@@ -71,6 +84,18 @@ impl AggregateFunction for Max {
             invertible: false,
             kind: FunctionKind::Distributive,
         }
+    }
+    /// Mirror of [`Min::fold_slice`].
+    fn fold_slice(&self, values: &[i64]) -> Option<i64> {
+        let (&first, rest) = values.split_first()?;
+        let mut acc = first;
+        for &v in rest {
+            acc = acc.max(v);
+        }
+        Some(acc)
+    }
+    fn has_fold_kernel(&self) -> bool {
+        true
     }
 }
 
@@ -319,5 +344,16 @@ mod tests {
         let a = f.lift(&(7, 2));
         let b = f.lift(&(7, 1));
         assert_eq!(f.combine(a, &b), f.combine(b, &a));
+    }
+
+    #[test]
+    fn minmax_fold_kernels_match_default() {
+        let values: Vec<i64> = (0..257).map(|i| (i * 73 - 9000) % 513).collect();
+        assert!(Min.has_fold_kernel() && Max.has_fold_kernel());
+        for len in [0, 1, 2, 16, 255, 257] {
+            let v = &values[..len];
+            assert_eq!(Min.fold_slice(v), gss_core::default_fold_slice(&Min, v));
+            assert_eq!(Max.fold_slice(v), gss_core::default_fold_slice(&Max, v));
+        }
     }
 }

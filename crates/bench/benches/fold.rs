@@ -1,0 +1,63 @@
+//! Microbenchmark for the bulk fold kernels: hand-written
+//! `fold_slice` vs the default lift/combine fold on a 4096-element
+//! contiguous run, per aggregate function. `default_inline` is the
+//! monomorphized loop (auto-vectorized by LLVM for `i64`, so it tracks
+//! the kernel); `default_opaque` routes `lift`/`combine` through
+//! `black_box`ed function pointers — the per-element cost every
+//! dispatch-opaque runtime pays (see `src/bin/fold.rs` for the full
+//! framing).
+//!
+//! Run: `cargo bench -p gss-bench --bench fold`
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gss_aggregates::{Avg, CountAgg, Max, Min, SampleStdDev, Sum};
+use gss_core::{default_fold_slice, AggregateFunction};
+
+const RUN_LEN: usize = 4096;
+
+fn opaque_fold<A: AggregateFunction<Input = i64>>(f: &A, values: &[i64]) -> Option<A::Partial> {
+    let lift: fn(&A, &i64) -> A::Partial = black_box(A::lift);
+    let combine: fn(&A, A::Partial, &A::Partial) -> A::Partial = black_box(A::combine);
+    let mut acc: Option<A::Partial> = None;
+    for v in values {
+        let lifted = lift(f, v);
+        acc = Some(match acc {
+            None => lifted,
+            Some(a) => combine(f, a, &lifted),
+        });
+    }
+    acc
+}
+
+fn bench_one<A: AggregateFunction<Input = i64>>(
+    c: &mut Criterion,
+    f: &A,
+    name: &str,
+    values: &[i64],
+) {
+    let mut group = c.benchmark_group(format!("fold_kernel/{name}"));
+    group.throughput(Throughput::Elements(RUN_LEN as u64));
+    group.bench_function("kernel", |b| b.iter(|| black_box(f.fold_slice(black_box(values)))));
+    group.bench_function("default_inline", |b| {
+        b.iter(|| black_box(default_fold_slice(f, black_box(values))))
+    });
+    group.bench_function("default_opaque", |b| {
+        b.iter(|| black_box(opaque_fold(f, black_box(values))))
+    });
+    group.finish();
+}
+
+fn bench_fold(c: &mut Criterion) {
+    let values: Vec<i64> = (0..RUN_LEN as i64).map(|i| (i * 37 + 11) % 1_001 - 500).collect();
+    bench_one(c, &CountAgg, "count", &values);
+    bench_one(c, &Sum, "sum", &values);
+    bench_one(c, &Avg, "avg", &values);
+    bench_one(c, &Min, "min", &values);
+    bench_one(c, &Max, "max", &values);
+    bench_one(c, &SampleStdDev, "stddev", &values);
+}
+
+criterion_group!(benches, bench_fold);
+criterion_main!(benches);

@@ -1,0 +1,366 @@
+//! Fold kernels: hand-written [`AggregateFunction::fold_slice`] bulk
+//! kernels vs the default lift/combine loop they replace, plus the
+//! pipeline-level effect of latency-bounded adaptive batching.
+//!
+//! Part 1 (kernel microbench): for each aggregate with a kernel (and
+//! stddev's moments fold), time `fold_slice` on a contiguous run at
+//! lengths {64, 512, 4096, 16384} against two baselines:
+//!
+//! * `default` — the per-element lift/combine loop executed through
+//!   function pointers the optimizer cannot see through. This is the
+//!   default fold as a dispatch-opaque runtime runs it (debug builds,
+//!   dynamically loaded UDFs, megamorphic JIT call sites — the setting
+//!   the paper's own JVM implementation pays on every element), and the
+//!   headline `speedup` column is measured against it.
+//! * `inline_default` — [`default_fold_slice`] monomorphized and fully
+//!   inlined, exactly as this engine's own fallback path compiles. For
+//!   `i64` inputs LLVM auto-vectorizes that loop too, so
+//!   `speedup_vs_inline` hovers near 1.0x: the hand-written kernels
+//!   don't outrun the optimizer when it fires, they *guarantee* the
+//!   vectorized floor when it doesn't (reduction idiom matching is
+//!   fragile — see EXPERIMENTS.md) and in dispatch-opaque contexts.
+//!
+//! Part 2 (pipeline sweep): `run_keyed` over a 64-key sliding-window sum
+//! under full-throttle load, comparing per-tuple ingestion, fixed batch
+//! sizes 1 and 4096, and the default adaptive batching (target 4096,
+//! 1 ms deadline). `fixed_1` is the configuration cliff adaptive
+//! retires: one channel send per record, far below even the per-tuple
+//! mode (which still ships transport-sized chunks). Adaptive reaches the
+//! target size under load — >=1.0x the per-tuple baseline with no batch
+//! knob to misconfigure, and >=90 % of fixed-4096 throughput (the gap is
+//! its amortized deadline polling). The operator-level batch-1 cliff is
+//! pinned separately in BENCH_batch.json, where `run_batched` at size 1
+//! now falls back to the plain per-tuple driver.
+//!
+//! Writes `target/experiments/fold.csv` and a machine-readable summary
+//! to `BENCH_fold.json` at the repo root.
+//!
+//! Run: `cargo run --release -p gss-bench --bin fold`
+
+use std::hint::black_box;
+use std::io::Write as _;
+use std::time::Instant;
+
+use gss_aggregates::{Avg, CountAgg, Max, Min, SampleStdDev, Sum};
+use gss_bench::{fmt_tput, Output};
+use gss_core::{
+    default_fold_slice, AggregateFunction, OperatorConfig, StreamElement, WindowAggregator,
+    WindowOperator,
+};
+use gss_stream::{run_keyed, PipelineConfig, PipelineReport};
+use gss_windows::SlidingWindow;
+
+fn scale() -> f64 {
+    std::env::var("GSS_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+}
+
+const RUN_LENS: [usize; 4] = [64, 512, 4096, 16384];
+
+/// A pipeline-sweep mode: display name + config constructor.
+type Mode = (&'static str, fn() -> PipelineConfig);
+
+struct KernelRow {
+    function: &'static str,
+    run_len: usize,
+    kernel_ns_per_elem: f64,
+    default_ns_per_elem: f64,
+    inline_default_ns_per_elem: f64,
+    speedup: f64,
+    speedup_vs_inline: f64,
+    has_kernel: bool,
+}
+
+#[derive(Clone, Copy)]
+enum FoldPath {
+    Kernel,
+    InlineDefault,
+    OpaqueDefault,
+}
+
+/// The default lift/combine loop with per-element calls routed through
+/// `black_box`ed function pointers, so the optimizer can neither inline
+/// nor vectorize across elements — the shape every dispatch-opaque
+/// runtime executes.
+fn opaque_fold<A: AggregateFunction<Input = i64>>(f: &A, values: &[i64]) -> Option<A::Partial> {
+    let lift: fn(&A, &i64) -> A::Partial = black_box(A::lift);
+    let combine: fn(&A, A::Partial, &A::Partial) -> A::Partial = black_box(A::combine);
+    let mut acc: Option<A::Partial> = None;
+    for v in values {
+        let lifted = lift(f, v);
+        acc = Some(match acc {
+            None => lifted,
+            Some(a) => combine(f, a, &lifted),
+        });
+    }
+    acc
+}
+
+/// Nanoseconds per element for one fold variant, best of `reps` passes.
+fn time_fold<A: AggregateFunction<Input = i64>>(
+    f: &A,
+    values: &[i64],
+    iters: usize,
+    reps: usize,
+    path: FoldPath,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..iters {
+            let partial = match path {
+                FoldPath::Kernel => f.fold_slice(black_box(values)),
+                FoldPath::InlineDefault => default_fold_slice(f, black_box(values)),
+                FoldPath::OpaqueDefault => opaque_fold(f, black_box(values)),
+            };
+            black_box(partial);
+        }
+        let ns = start.elapsed().as_secs_f64() * 1e9 / (iters * values.len()) as f64;
+        best = best.min(ns);
+    }
+    best
+}
+
+fn bench_kernel<A: AggregateFunction<Input = i64>>(
+    f: &A,
+    name: &'static str,
+    values: &[i64],
+    budget: usize,
+    rows: &mut Vec<KernelRow>,
+    out: &mut Output,
+) {
+    for &len in &RUN_LENS {
+        let run = &values[..len];
+        // Folds must agree (the equivalence proptests pin this bit-exactly
+        // for every function; this is a cheap smoke of the same).
+        assert!(f.fold_slice(run).is_some(), "{name}: fold of a non-empty run");
+        let iters = (budget / len).max(8);
+        let kernel_ns = time_fold(f, run, iters, 3, FoldPath::Kernel);
+        let inline_ns = time_fold(f, run, iters, 3, FoldPath::InlineDefault);
+        let default_ns = time_fold(f, run, iters, 3, FoldPath::OpaqueDefault);
+        let speedup = default_ns / kernel_ns.max(1e-12);
+        let speedup_vs_inline = inline_ns / kernel_ns.max(1e-12);
+        out.row(&[
+            name.to_string(),
+            len.to_string(),
+            format!("{kernel_ns:.3}"),
+            format!("{default_ns:.3}"),
+            format!("{inline_ns:.3}"),
+            format!("{speedup:.2}"),
+            format!("{speedup_vs_inline:.2}"),
+        ]);
+        eprintln!(
+            "  {name} @ {len}: kernel {kernel_ns:.2} ns/elem, default {default_ns:.2} \
+             ({speedup:.2}x), inline default {inline_ns:.2} ({speedup_vs_inline:.2}x)"
+        );
+        rows.push(KernelRow {
+            function: name,
+            run_len: len,
+            kernel_ns_per_elem: kernel_ns,
+            default_ns_per_elem: default_ns,
+            inline_default_ns_per_elem: inline_ns,
+            speedup,
+            speedup_vs_inline,
+            has_kernel: f.has_fold_kernel(),
+        });
+    }
+}
+
+struct PipeRow {
+    mode: &'static str,
+    tuples_per_sec: f64,
+    speedup_vs_per_tuple: f64,
+    fold_hits: u64,
+    fold_misses: u64,
+    batch_p50: u64,
+}
+
+fn make_keyed_elements(n: i64, keys: u64) -> Vec<StreamElement<(u64, i64)>> {
+    let mut v = Vec::with_capacity(n as usize + n as usize / 1000 + 1);
+    for i in 0..n {
+        v.push(StreamElement::Record { ts: i, value: (i as u64 % keys, (i % 101) - 50) });
+        if i % 1000 == 999 {
+            v.push(StreamElement::Watermark(i - 100));
+        }
+    }
+    v.push(StreamElement::Watermark(i64::MAX - 1));
+    v
+}
+
+fn keyed_factory(_partition: usize) -> Box<dyn WindowAggregator<Sum>> {
+    let mut op = WindowOperator::new(Sum, OperatorConfig::out_of_order(1_000));
+    op.add_query(Box::new(SlidingWindow::new(10_000, 1_000))).unwrap();
+    Box::new(op)
+}
+
+/// Best-of-`reps` per mode, with repetitions *interleaved* across modes
+/// (round-robin) so slow machine-level drift — CPU frequency, a noisy
+/// neighbor on a shared host — hits every mode equally instead of
+/// biasing whichever mode happened to run in the fast window. The
+/// mode-to-mode *ratios* are the figure; absolute numbers still drift.
+fn run_pipe_sweep(
+    elements: &[StreamElement<(u64, i64)>],
+    modes: &[Mode],
+    reps: usize,
+) -> Vec<PipelineReport<i64>> {
+    let mut best: Vec<Option<PipelineReport<i64>>> = modes.iter().map(|_| None).collect();
+    for _ in 0..reps {
+        for (slot, (_, cfg)) in best.iter_mut().zip(modes) {
+            let r = run_keyed(elements.iter().cloned(), cfg(), keyed_factory);
+            if slot.as_ref().is_none_or(|b| r.elapsed < b.elapsed) {
+                *slot = Some(r);
+            }
+        }
+    }
+    best.into_iter()
+        .map(|r| match r {
+            Some(r) => r,
+            None => unreachable!("at least one repetition"),
+        })
+        .collect()
+}
+
+fn main() {
+    let s = scale();
+    let budget = (40_000_000.0 * s).max(100_000.0) as usize;
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+
+    // Deterministic value pattern; modest magnitudes so avg/stddev stay
+    // well-conditioned at 16k elements.
+    let max_len = *RUN_LENS.last().unwrap_or(&4096);
+    let values: Vec<i64> = (0..max_len as i64).map(|i| (i * 37 + 11) % 1_001 - 500).collect();
+
+    let mut out = Output::new(
+        "fold",
+        &[
+            "function",
+            "run_len",
+            "kernel_ns_per_elem",
+            "default_ns_per_elem",
+            "inline_default_ns_per_elem",
+            "speedup",
+            "speedup_vs_inline",
+        ],
+    );
+    out.print_header();
+    let mut kernel_rows: Vec<KernelRow> = Vec::new();
+
+    bench_kernel(&CountAgg, "count", &values, budget, &mut kernel_rows, &mut out);
+    bench_kernel(&Sum, "sum", &values, budget, &mut kernel_rows, &mut out);
+    bench_kernel(&Avg, "avg", &values, budget, &mut kernel_rows, &mut out);
+    bench_kernel(&Min, "min", &values, budget, &mut kernel_rows, &mut out);
+    bench_kernel(&Max, "max", &values, budget, &mut kernel_rows, &mut out);
+    bench_kernel(&SampleStdDev, "stddev", &values, budget, &mut kernel_rows, &mut out);
+    out.finish();
+
+    // Pipeline sweep: adaptive batching vs per-tuple and fixed sizes under
+    // full-throttle load (records fed as fast as the source loop runs, so
+    // the 1 ms deadline almost never fires and adaptive chunks reach the
+    // target size).
+    let n = (2_000_000.0 * s).max(50_000.0) as i64;
+    let reps = if s < 0.1 { 2 } else { 5 };
+    let elements = make_keyed_elements(n, 64);
+    eprintln!("\npipeline sweep: {n} records, 64 keys, {cores} cores, reps {reps}");
+
+    let modes: [Mode; 4] = [
+        ("per_tuple", || PipelineConfig::with_parallelism(1).throughput_only().per_tuple()),
+        ("fixed_1", || PipelineConfig::with_parallelism(1).throughput_only().with_batch_size(1)),
+        ("fixed_4096", || {
+            PipelineConfig::with_parallelism(1).throughput_only().with_batch_size(4096)
+        }),
+        ("adaptive", || PipelineConfig::with_parallelism(1).throughput_only()),
+    ];
+
+    let reports = run_pipe_sweep(&elements, &modes, reps);
+    let base_tput = reports[0].throughput();
+    let base_count = reports[0].result_count;
+    let mut pipe_rows: Vec<PipeRow> = Vec::new();
+    for ((mode, _), report) in modes.iter().zip(&reports) {
+        assert_eq!(
+            report.result_count, base_count,
+            "{mode}: window count diverged from per-tuple baseline"
+        );
+        let speedup = report.throughput() / base_tput.max(1e-9);
+        eprintln!(
+            "  {mode}: {} tuples/s ({speedup:.2}x per-tuple), fold {}h/{}m, batches {}",
+            fmt_tput(report.throughput()),
+            report.fold_hits,
+            report.fold_misses,
+            report.batch_sizes.summary()
+        );
+        pipe_rows.push(PipeRow {
+            mode,
+            tuples_per_sec: report.throughput(),
+            speedup_vs_per_tuple: speedup,
+            fold_hits: report.fold_hits,
+            fold_misses: report.fold_misses,
+            batch_p50: report.batch_sizes.quantile(0.5),
+        });
+    }
+
+    write_json(cores, &kernel_rows, &pipe_rows);
+}
+
+/// Writes `BENCH_fold.json` at the repo root (no serde in the tree; the
+/// schema is flat, so hand-rolled JSON is fine).
+fn write_json(cores: usize, kernels: &[KernelRow], pipe: &[PipeRow]) {
+    let mut f = std::fs::File::create("BENCH_fold.json").expect("create BENCH_fold.json");
+    writeln!(f, "{{").unwrap();
+    writeln!(
+        f,
+        "  \"workload\": \"fold_slice kernel vs default lift/combine fold on contiguous runs; \
+         plus run_keyed sliding(10s,1s) sum over 64 keys comparing per-tuple, fixed and \
+         adaptive batching\","
+    )
+    .unwrap();
+    writeln!(
+        f,
+        "  \"note\": \"default = per-element lift/combine through non-inlinable calls (the \
+         dispatch-opaque shape; speedup is measured against it); inline_default = the same \
+         loop monomorphized+inlined, which LLVM auto-vectorizes for i64, so speedup_vs_inline \
+         ~= 1.0 by construction\","
+    )
+    .unwrap();
+    writeln!(f, "  \"cores\": {cores},").unwrap();
+    writeln!(f, "  \"run_lens\": [64, 512, 4096, 16384],").unwrap();
+    writeln!(f, "  \"kernels\": [").unwrap();
+    for (i, r) in kernels.iter().enumerate() {
+        let comma = if i + 1 == kernels.len() { "" } else { "," };
+        writeln!(
+            f,
+            "    {{\"function\": \"{}\", \"run_len\": {}, \"kernel_ns_per_elem\": {:.3}, \
+             \"default_ns_per_elem\": {:.3}, \"inline_default_ns_per_elem\": {:.3}, \
+             \"speedup\": {:.3}, \"speedup_vs_inline\": {:.3}, \"has_kernel\": {}}}{}",
+            r.function,
+            r.run_len,
+            r.kernel_ns_per_elem,
+            r.default_ns_per_elem,
+            r.inline_default_ns_per_elem,
+            r.speedup,
+            r.speedup_vs_inline,
+            r.has_kernel,
+            comma
+        )
+        .unwrap();
+    }
+    writeln!(f, "  ],").unwrap();
+    writeln!(f, "  \"pipeline\": [").unwrap();
+    for (i, r) in pipe.iter().enumerate() {
+        let comma = if i + 1 == pipe.len() { "" } else { "," };
+        writeln!(
+            f,
+            "    {{\"mode\": \"{}\", \"tuples_per_sec\": {:.0}, \"speedup_vs_per_tuple\": \
+             {:.3}, \"fold_hits\": {}, \"fold_misses\": {}, \"batch_p50\": {}}}{}",
+            r.mode,
+            r.tuples_per_sec,
+            r.speedup_vs_per_tuple,
+            r.fold_hits,
+            r.fold_misses,
+            r.batch_p50,
+            comma
+        )
+        .unwrap();
+    }
+    writeln!(f, "  ]").unwrap();
+    writeln!(f, "}}").unwrap();
+    eprintln!("wrote BENCH_fold.json");
+}

@@ -135,6 +135,7 @@ fn main() {
 /// Writes `BENCH_ooo.json` at the repo root (no serde in the tree; the
 /// schema is flat, so hand-rolled JSON is fine).
 fn write_json(rows: &[Row]) {
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     let mut f = std::fs::File::create("BENCH_ooo.json").expect("create BENCH_ooo.json");
     writeln!(f, "{{").unwrap();
     writeln!(
@@ -143,6 +144,7 @@ fn write_json(rows: &[Row]) {
          disorder sweep (delays 0-2s, watermarks every 500ms lagging 2s)\","
     )
     .unwrap();
+    writeln!(f, "  \"cores\": {cores},").unwrap();
     writeln!(f, "  \"ooo_percents\": [0, 5, 20, 50],").unwrap();
     writeln!(f, "  \"batch_sizes\": [64, 512],").unwrap();
     writeln!(f, "  \"results\": [").unwrap();

@@ -35,6 +35,34 @@ pub trait WindowAggregator<A: AggregateFunction>: Send {
         }
     }
 
+    /// Processes a batch delivered struct-of-arrays: parallel `times` /
+    /// `values` columns of equal length. Semantically identical to
+    /// [`process_batch`](WindowAggregator::process_batch) over the zipped
+    /// pairs; implementations that fold runs in bulk override it to keep
+    /// the contiguous values column flowing straight into their fold
+    /// kernel. The default re-materializes pairs and delegates, so
+    /// techniques that only optimized `process_batch` keep their fast
+    /// path.
+    fn process_batch_columns(
+        &mut self,
+        times: &[Time],
+        values: &[A::Input],
+        out: &mut Vec<WindowResult<A::Output>>,
+    ) {
+        debug_assert_eq!(times.len(), values.len(), "SoA batch length mismatch");
+        let batch: Vec<(Time, A::Input)> =
+            times.iter().copied().zip(values.iter().cloned()).collect();
+        self.process_batch(&batch, out);
+    }
+
+    /// Bulk-fold attribution counters as `(kernel_runs, fallback_runs)`:
+    /// how many folded runs went through a hand-written
+    /// [`AggregateFunction::fold_slice`] kernel versus the default
+    /// lift/combine loop. Techniques without bulk folding report zeros.
+    fn fold_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
+
     /// Processes a watermark: emits every window that ended at or before
     /// `wm` and evicts expired state.
     fn on_watermark(&mut self, wm: Time, out: &mut Vec<WindowResult<A::Output>>);

@@ -24,6 +24,14 @@ pub fn to_usize(n: u64) -> usize {
     usize::try_from(n).unwrap_or(usize::MAX)
 }
 
+/// Widens a buffer length into a tuple count (`u64`). Lossless on every
+/// supported target (`usize` is at most 64 bits).
+#[inline]
+pub fn to_u64(n: usize) -> u64 {
+    debug_assert!(u64::try_from(n).is_ok(), "length {n} overflows u64");
+    u64::try_from(n).unwrap_or(u64::MAX)
+}
+
 /// Offset of global slice index `g` from `base` as a dense index.
 /// Callers guarantee `g >= base`; the debug build asserts it.
 #[inline]
@@ -49,6 +57,8 @@ mod tests {
         assert_eq!(to_i64(4096), 4096);
         assert_eq!(to_usize(0), 0);
         assert_eq!(to_usize(1 << 40), 1usize << 40);
+        assert_eq!(to_u64(0), 0);
+        assert_eq!(to_u64(4096), 4096);
         assert_eq!(gidx(17, 10), 7);
         assert_eq!(gidx(-3, -8), 5);
         assert_eq!(idx32(u32::MAX), u32::MAX as usize);

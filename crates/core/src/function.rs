@@ -115,6 +115,64 @@ pub trait AggregateFunction: Clone + Send + 'static {
             (Some(a), Some(b)) => Some(self.combine(a, b)),
         }
     }
+
+    /// Folds an entire contiguous run of input values into one partial —
+    /// the bulk-fold kernel hook. Semantically identical to lifting and
+    /// combining each value left to right (the default does exactly that),
+    /// but implementations over primitive inputs override it with a tight
+    /// branch-free loop the compiler can auto-vectorize, collapsing the
+    /// per-element `lift` + `combine` overhead that dominates once the
+    /// slicing store is touched only once per run.
+    ///
+    /// The contract mirrors `combine`: values are folded in slice order, so
+    /// non-commutative functions stay correct as long as callers pass runs
+    /// in stream order.
+    fn fold_slice(&self, values: &[Self::Input]) -> Option<Self::Partial> {
+        default_fold_slice(self, values)
+    }
+
+    /// Whether [`Self::fold_slice`] is a hand-written kernel rather than the
+    /// default lift/combine loop. Callers holding tuples in
+    /// array-of-structs form use this to decide whether gathering values
+    /// into a contiguous scratch buffer pays for itself; observability
+    /// layers use it to attribute runs to the kernel or fallback path.
+    fn has_fold_kernel(&self) -> bool {
+        false
+    }
+}
+
+/// The reference lift/combine fold over a contiguous run — the default body
+/// of [`AggregateFunction::fold_slice`], exposed as a free function so
+/// equivalence tests and the `fold` benchmark can compare a kernel against
+/// the exact loop it replaces.
+pub fn default_fold_slice<A: AggregateFunction>(
+    f: &A,
+    values: &[A::Input],
+) -> Option<A::Partial> {
+    let mut acc: Option<A::Partial> = None;
+    for v in values {
+        let lifted = f.lift(v);
+        acc = Some(match acc {
+            None => lifted,
+            Some(a) => f.combine(a, &lifted),
+        });
+    }
+    acc
+}
+
+/// Minimum run length at which gathering array-of-structs tuples into a
+/// contiguous values buffer and calling a bulk kernel beats the plain
+/// per-element fold. Below this the gather's copy dominates the kernel's
+/// savings; above it the copy is one linear pass amortized over a
+/// vectorized fold.
+pub const FOLD_KERNEL_MIN_RUN: usize = 16;
+
+/// Whether a run of `len` tuples should be routed through the bulk
+/// [`AggregateFunction::fold_slice`] kernel (gathering values first when
+/// the caller's storage is array-of-structs). Centralizing the decision
+/// keeps the hit/miss accounting consistent across every fold site.
+pub fn kernel_eligible<A: AggregateFunction>(f: &A, len: usize) -> bool {
+    len >= FOLD_KERNEL_MIN_RUN && f.has_fold_kernel()
 }
 
 #[cfg(test)]
@@ -168,5 +226,53 @@ mod tests {
     #[test]
     fn default_invert_is_none() {
         assert_eq!(TestSum.invert(1, &2), None);
+    }
+
+    #[test]
+    fn default_fold_slice_matches_lift_all() {
+        let s = TestSum;
+        assert_eq!(s.fold_slice(&[1, 2, 3, 4]), Some(10));
+        assert_eq!(s.fold_slice(&[]), None);
+        assert_eq!(s.fold_slice(&[7]), s.lift_all([&7]));
+        assert!(!s.has_fold_kernel());
+    }
+
+    #[test]
+    fn kernel_eligibility_requires_kernel_and_length() {
+        // TestSum has no kernel: never eligible.
+        assert!(!kernel_eligible(&TestSum, 10_000));
+
+        #[derive(Clone)]
+        struct KernelSum;
+        impl AggregateFunction for KernelSum {
+            type Input = i64;
+            type Partial = i64;
+            type Output = i64;
+            fn lift(&self, v: &i64) -> i64 {
+                *v
+            }
+            fn combine(&self, a: i64, b: &i64) -> i64 {
+                a + b
+            }
+            fn lower(&self, p: &i64) -> i64 {
+                *p
+            }
+            fn properties(&self) -> FunctionProperties {
+                FunctionProperties {
+                    commutative: true,
+                    invertible: false,
+                    kind: FunctionKind::Distributive,
+                }
+            }
+            fn fold_slice(&self, values: &[i64]) -> Option<i64> {
+                (!values.is_empty()).then(|| values.iter().sum())
+            }
+            fn has_fold_kernel(&self) -> bool {
+                true
+            }
+        }
+        assert!(!kernel_eligible(&KernelSum, FOLD_KERNEL_MIN_RUN - 1));
+        assert!(kernel_eligible(&KernelSum, FOLD_KERNEL_MIN_RUN));
+        assert_eq!(KernelSum.fold_slice(&[1, 2, 3]), default_fold_slice(&KernelSum, &[1, 2, 3]));
     }
 }

@@ -135,6 +135,10 @@ pub struct KeyedStats {
     pub heap_wakeups: u64,
     /// Heap entries discarded as stale (key evicted or due time superseded).
     pub stale_wakeups: u64,
+    /// Per-key runs folded through a bulk `fold_slice` kernel.
+    pub fold_kernel_hits: u64,
+    /// Per-key runs folded through the default lift/combine loop.
+    pub fold_kernel_misses: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -486,10 +490,18 @@ impl<A: AggregateFunction> SharedKeyed<A> {
                 let slice = self.timeline.get(pos);
                 let n = in_order_run_len(tuples, i, ts, slice.end, usize::MAX);
                 debug_assert!(n >= 1);
-                let mut p = self.f.lift(&tuples[i].1);
-                for (_, v) in &tuples[i + 1..i + n] {
-                    p = self.f.combine(p, &self.f.lift(v));
+                // The per-key run commit goes through the shared bulk-fold
+                // routing: long runs gather into a contiguous buffer for
+                // the `fold_slice` kernel, short ones fold inline.
+                if crate::function::kernel_eligible(&self.f, n) {
+                    self.stats.fold_kernel_hits += 1;
+                } else {
+                    self.stats.fold_kernel_misses += 1;
                 }
+                let p = match crate::slice::fold_run(&self.f, &tuples[i..i + n]) {
+                    Some(p) => p,
+                    None => unreachable!("run has at least one tuple"),
+                };
                 st.add_at(self.timeline.base() + cast::to_i64(pos), p, &self.f);
                 st.t_first = st.t_first.min(ts);
                 st.t_last = tuples[i + n - 1].0;

@@ -86,13 +86,16 @@ pub use aggregator::{in_order_run_len, WindowAggregator};
 pub use characteristics::{RemovalStrategy, WorkloadCharacteristics};
 pub use element::StreamElement;
 pub use flatfat::FlatFat;
-pub use function::{AggregateFunction, FunctionKind, FunctionProperties};
+pub use function::{
+    default_fold_slice, kernel_eligible, AggregateFunction, FunctionKind, FunctionProperties,
+    FOLD_KERNEL_MIN_RUN,
+};
 pub use hash::{fx_hash_u64, FxBuildHasher, FxHashMap, FxHasher};
 pub use keyed::{KeyedConfig, KeyedStats, KeyedWindowOperator, NaiveKeyedOperator, PerKey};
 pub use mem::HeapSize;
 pub use operator::{OperatorConfig, OperatorStats, QueryError, SlicePartial, WindowOperator};
 pub use result::WindowResult;
-pub use slice::Slice;
+pub use slice::{fold_run, Slice};
 pub use store::{SliceStore, StorePolicy};
 pub use time::{Count, Measure, Range, StreamOrder, Time, Watermark, TIME_MAX, TIME_MIN};
 pub use timeline::{SliceMeta, Timeline};

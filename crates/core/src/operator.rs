@@ -116,31 +116,40 @@ pub struct OperatorStats {
     pub shifts: u64,
     pub windows_emitted: u64,
     pub updates_emitted: u64,
+    /// Bulk runs folded through a hand-written
+    /// [`AggregateFunction::fold_slice`] kernel.
+    pub fold_kernel_hits: u64,
+    /// Bulk runs folded through the default lift/combine loop (no kernel,
+    /// or the run was too short to amortize a gather).
+    pub fold_kernel_misses: u64,
 }
 
 /// One covering slice's worth of late tuples deferred during a batch:
-/// their pre-folded partial, extreme timestamps, and count, plus the
-/// slice's bounds so membership tests need no store lookup.
-struct LateGroup<P> {
+/// their buffered values (folded in bulk at flush time), extreme
+/// timestamps, plus the slice's bounds so membership tests need no store
+/// lookup.
+struct LateGroup<V> {
     idx: usize,
     start: Time,
     end: Time,
-    partial: Option<P>,
+    /// Values in arrival order, contiguous so the flush can feed them
+    /// straight into the bulk fold kernel. This path only runs for
+    /// commutative functions without tuple storage, so arrival-order
+    /// folding is unobservable.
+    values: Vec<V>,
     t_first: Time,
     t_last: Time,
-    n: usize,
 }
 
-impl<P: Clone> Clone for LateGroup<P> {
+impl<V: Clone> Clone for LateGroup<V> {
     fn clone(&self) -> Self {
         LateGroup {
             idx: self.idx,
             start: self.start,
             end: self.end,
-            partial: self.partial.clone(),
+            values: self.values.clone(),
             t_first: self.t_first,
             t_last: self.t_last,
-            n: self.n,
         }
     }
 }
@@ -175,6 +184,59 @@ impl<A: AggregateFunction> Clone for SlicePartial<A> {
             t_last: self.t_last,
             n: self.n,
         }
+    }
+}
+
+/// Read-only view over one ingestion batch, abstracting its memory
+/// layout: array-of-structs (`&[(Time, V)]`, the classic `process_batch`
+/// input) or struct-of-arrays (parallel `times` / `values` columns from
+/// the stream layer's columnar chunks). Batch processing is generic over
+/// the view, so both layouts share the run-detection and deferral logic
+/// while the SoA layout feeds bulk fold kernels without re-materializing
+/// tuple pairs.
+trait BatchView<V> {
+    fn len(&self) -> usize;
+    fn ts(&self, i: usize) -> Time;
+    fn value(&self, i: usize) -> &V;
+    /// Bulk-appends `[from, to)` onto the run buffer's columns.
+    fn extend_columns(&self, from: usize, to: usize, times: &mut Vec<Time>, values: &mut Vec<V>);
+}
+
+impl<V: Clone> BatchView<V> for &[(Time, V)] {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn ts(&self, i: usize) -> Time {
+        self[i].0
+    }
+    fn value(&self, i: usize) -> &V {
+        &self[i].1
+    }
+    fn extend_columns(&self, from: usize, to: usize, times: &mut Vec<Time>, values: &mut Vec<V>) {
+        times.extend(self[from..to].iter().map(|&(t, _)| t));
+        values.extend(self[from..to].iter().map(|(_, v)| v.clone()));
+    }
+}
+
+/// The struct-of-arrays batch view: parallel timestamp/value columns.
+struct ColumnsView<'a, V> {
+    times: &'a [Time],
+    values: &'a [V],
+}
+
+impl<V: Clone> BatchView<V> for ColumnsView<'_, V> {
+    fn len(&self) -> usize {
+        self.times.len()
+    }
+    fn ts(&self, i: usize) -> Time {
+        self.times[i]
+    }
+    fn value(&self, i: usize) -> &V {
+        &self.values[i]
+    }
+    fn extend_columns(&self, from: usize, to: usize, times: &mut Vec<Time>, values: &mut Vec<V>) {
+        times.extend_from_slice(&self.times[from..to]);
+        values.extend_from_slice(&self.values[from..to]);
     }
 }
 
@@ -222,18 +284,24 @@ pub struct WindowOperator<A: AggregateFunction> {
     /// `late_groups`. Always empty between calls (the allocation is
     /// reused).
     late_buf: Vec<(Time, A::Input)>,
-    /// Per-covering-slice partials of late tuples deferred within one
+    /// Per-covering-slice value buffers of late tuples deferred within one
     /// `process_batch_tuples` call (commutative functions without tuple
     /// storage: fold order is unobservable, so no sort is needed). The
     /// few entries double as the slice-lookup cache — late tuples cluster
     /// in the slices just behind the stream head. Always empty between
     /// calls.
-    late_groups: Vec<LateGroup<A::Partial>>,
+    late_groups: Vec<LateGroup<A::Input>>,
+    /// Recycled value buffers for `late_groups`, so steady-state batches
+    /// allocate nothing when deferring late tuples.
+    late_group_pool: Vec<Vec<A::Input>>,
     /// In-order tuples accumulated within one `process_batch_tuples` call
-    /// but not yet applied: deferring the store touch lets a run span
-    /// deferred late singles (the batch's in-order partition), so disorder
-    /// does not shorten runs. Always empty between calls.
-    run_buf: Vec<(Time, A::Input)>,
+    /// but not yet applied, stored struct-of-arrays: deferring the store
+    /// touch lets a run span deferred late singles (the batch's in-order
+    /// partition), so disorder does not shorten runs, and the values
+    /// column stays contiguous so the commit feeds the bulk fold kernel
+    /// directly. Always empty between calls.
+    run_times: Vec<Time>,
+    run_values: Vec<A::Input>,
     /// Indices into `queries` of context-aware windows (precomputed so the
     /// per-tuple notify loop touches only those).
     context_aware: Vec<usize>,
@@ -271,7 +339,9 @@ impl<A: AggregateFunction> WindowOperator<A> {
             stats: OperatorStats::default(),
             late_buf: Vec::new(),
             late_groups: Vec::new(),
-            run_buf: Vec::new(),
+            late_group_pool: Vec::new(),
+            run_times: Vec::new(),
+            run_values: Vec::new(),
             context_aware: Vec::new(),
             edges: ContextEdges::new(),
         }
@@ -851,9 +921,10 @@ impl<A: AggregateFunction> WindowOperator<A> {
     /// ingested as one run into the open slice with exact per-tuple
     /// semantics — consecutive in-order tuples that cross no slice edge,
     /// complete no window, and need no context notification — into
-    /// `run_buf` and returns its length. Returns 0 (buffering nothing)
-    /// when the tuple at `start` must take the per-tuple path.
-    fn take_run(&mut self, batch: &[(Time, A::Input)], start: usize) -> usize {
+    /// the run-buffer columns and returns its length. Returns 0
+    /// (buffering nothing) when the tuple at `start` must take the
+    /// per-tuple path.
+    fn take_run<B: BatchView<A::Input>>(&mut self, batch: &B, start: usize) -> usize {
         if self.store.is_empty() || self.chars.has_context_aware {
             return 0;
         }
@@ -868,7 +939,7 @@ impl<A: AggregateFunction> WindowOperator<A> {
         // before paying for any cap computation.
         let open_start = self.store.last_slice().map_or(TIME_MAX, |s| s.start());
         let mut prev = self.max_ts.max(open_start);
-        if batch[start].0 < prev {
+        if batch.ts(start) < prev {
             return 0;
         }
         // Count caps: stop before the next count edge cuts the open slice
@@ -882,7 +953,7 @@ impl<A: AggregateFunction> WindowOperator<A> {
         let needs_count =
             self.next_count_edge.is_some() || (in_order_emit && self.next_trigger_count.is_some());
         if needs_count {
-            let total = self.store.total_count() + self.run_buf.len() as Count;
+            let total = self.store.total_count() + self.run_times.len() as Count;
             if let Some(edge) = self.next_count_edge {
                 if total >= edge {
                     return 0;
@@ -917,26 +988,27 @@ impl<A: AggregateFunction> WindowOperator<A> {
         let mut n = 0;
         let fused_cap = cap.min(FUSED);
         while n < fused_cap {
-            let (ts, value) = &batch[start + n];
-            if *ts < prev || *ts >= bound {
+            let ts = batch.ts(start + n);
+            if ts < prev || ts >= bound {
                 break;
             }
-            prev = *ts;
-            self.run_buf.push((*ts, value.clone()));
+            prev = ts;
+            self.run_times.push(ts);
+            self.run_values.push(batch.value(start + n).clone());
             n += 1;
         }
         if n == FUSED && n < cap {
             let tail = start + n;
             let mut m = 0;
             while n + m < cap {
-                let ts = batch[tail + m].0;
+                let ts = batch.ts(tail + m);
                 if ts < prev || ts >= bound {
                     break;
                 }
                 prev = ts;
                 m += 1;
             }
-            self.run_buf.extend_from_slice(&batch[tail..tail + m]);
+            batch.extend_columns(tail, tail + m, &mut self.run_times, &mut self.run_values);
             n += m;
         }
         if n > 0 {
@@ -983,15 +1055,44 @@ impl<A: AggregateFunction> WindowOperator<A> {
     /// Must run before anything reads or restructures the store (late-run
     /// flushes, per-tuple fallbacks): slices keep their tuples sorted by
     /// timestamp, so buffered appends have to land before a late tuple is
-    /// merged below them.
+    /// merged below them. The buffer's values column is contiguous, so the
+    /// commit is a direct bulk-kernel fold — no gather.
     fn commit_in_order_run(&mut self) {
-        if self.run_buf.is_empty() {
+        if self.run_times.is_empty() {
             return;
         }
-        let mut buf = std::mem::take(&mut self.run_buf);
-        self.store.add_in_order_run(&buf);
-        buf.clear();
-        self.run_buf = buf; // keep the allocation for the next batch
+        crate::audit_assert!(
+            self.run_times.windows(2).all(|w| w[0] <= w[1]),
+            "in-order run buffer must be monotone"
+        );
+        crate::audit_assert!(
+            self.run_times.len() == self.run_values.len(),
+            "run buffer columns diverged: {} times vs {} values",
+            self.run_times.len(),
+            self.run_values.len()
+        );
+        self.count_fold(self.run_times.len());
+        let mut times = std::mem::take(&mut self.run_times);
+        let mut values = std::mem::take(&mut self.run_values);
+        self.store.add_in_order_run_columns(&times, &values);
+        times.clear();
+        values.clear();
+        self.run_times = times; // keep the allocations for the next batch
+        self.run_values = values;
+    }
+
+    /// Attributes one bulk-folded run of `len` values to the kernel or
+    /// fallback counter. Contiguous runs always go through
+    /// [`AggregateFunction::fold_slice`], so the only miss condition is
+    /// the function not providing a kernel; gathered (array-of-structs)
+    /// runs additionally miss below the gather threshold, mirroring
+    /// [`crate::function::kernel_eligible`].
+    fn count_fold(&mut self, len: usize) {
+        if self.f.has_fold_kernel() && len >= 1 {
+            self.stats.fold_kernel_hits += 1;
+        } else {
+            self.stats.fold_kernel_misses += 1;
+        }
     }
 
     /// Whether deferred late tuples can fold straight into per-slice
@@ -1003,13 +1104,14 @@ impl<A: AggregateFunction> WindowOperator<A> {
         self.f.properties().commutative && !self.store.keeps_tuples()
     }
 
-    /// Folds one deferred late tuple into its covering slice's pending
+    /// Buffers one deferred late tuple into its covering slice's pending
     /// group. The group list doubles as the slice-lookup cache: late
     /// tuples cluster in the few slices just behind the stream head, so
     /// scanning these entries (all in cache) almost always beats a fresh
-    /// binary search over the store.
+    /// binary search over the store. Values collect contiguously per
+    /// group and are folded in bulk at flush time — the late path's route
+    /// into the fold kernel.
     fn defer_into_group(&mut self, ts: Time, v: &A::Input) {
-        let lifted = self.f.lift(v);
         // `ts - start < end - start` as unsigned is the usual
         // single-compare interval test (a too-small ts wraps to a huge
         // unsigned value).
@@ -1018,10 +1120,9 @@ impl<A: AggregateFunction> WindowOperator<A> {
             .iter_mut()
             .find(|g| (ts.wrapping_sub(g.start) as u64) < (g.end - g.start) as u64)
         {
-            g.partial = Some(self.f.combine(g.partial.take().expect("partial present"), &lifted));
+            g.values.push(v.clone());
             g.t_first = g.t_first.min(ts);
             g.t_last = g.t_last.max(ts);
-            g.n += 1;
             return;
         }
         let created = self.stats.slices_created;
@@ -1036,14 +1137,15 @@ impl<A: AggregateFunction> WindowOperator<A> {
             }
         }
         let s = self.store.slice(idx);
+        let mut values = self.late_group_pool.pop().unwrap_or_default();
+        values.push(v.clone());
         self.late_groups.push(LateGroup {
             idx,
             start: s.start(),
             end: s.end(),
-            partial: Some(lifted),
+            values,
             t_first: ts,
             t_last: ts,
-            n: 1,
         });
     }
 
@@ -1078,8 +1180,21 @@ impl<A: AggregateFunction> WindowOperator<A> {
         if !self.late_groups.is_empty() {
             let mut groups = std::mem::take(&mut self.late_groups);
             for g in groups.drain(..) {
-                let p = g.partial.expect("partial present");
-                self.store.add_out_of_order_partial(g.idx, p, g.t_first, g.t_last, g.n);
+                let mut values = g.values;
+                self.count_fold(values.len());
+                if let Some(p) = self.f.fold_slice(&values) {
+                    self.store.add_out_of_order_partial(
+                        g.idx,
+                        p,
+                        g.t_first,
+                        g.t_last,
+                        values.len(),
+                    );
+                }
+                values.clear();
+                if self.late_group_pool.len() < 16 {
+                    self.late_group_pool.push(values); // recycle the buffer
+                }
             }
             self.late_groups = groups; // keep the allocation
         }
@@ -1130,6 +1245,45 @@ impl<A: AggregateFunction> WindowOperator<A> {
         batch: &[(Time, A::Input)],
         out: &mut Vec<WindowResult<A::Output>>,
     ) {
+        // Degenerate size-1 batches take the per-tuple entry point: run
+        // detection, run-buffer bookkeeping, and the end-of-batch commit
+        // are pure overhead on a single record (the old "batch 1 costs
+        // 0.6×" cliff in BENCH_batch.json).
+        if let [(ts, value)] = batch {
+            self.process_tuple(*ts, value.clone(), out);
+            return;
+        }
+        self.process_batch_view(&batch, out);
+    }
+
+    /// Columnar twin of [`WindowOperator::process_batch_tuples`]: the batch
+    /// arrives struct-of-arrays as parallel `times` / `values` columns
+    /// (the stream layer's chunk layout), so in-order runs stay contiguous
+    /// from the source straight into the bulk fold kernel without
+    /// re-materializing tuple pairs. Semantics are identical to the
+    /// tuple-pair entry point — both delegate to the same view-generic
+    /// loop.
+    pub fn process_batch_columns(
+        &mut self,
+        times: &[Time],
+        values: &[A::Input],
+        out: &mut Vec<WindowResult<A::Output>>,
+    ) {
+        debug_assert_eq!(times.len(), values.len(), "SoA batch length mismatch");
+        crate::audit_assert!(times.len() == values.len(), "SoA batch length mismatch");
+        // Same size-1 fallback as the tuple-pair entry point.
+        if let ([ts], [value]) = (times, values) {
+            self.process_tuple(*ts, value.clone(), out);
+            return;
+        }
+        self.process_batch_view(&ColumnsView { times, values }, out);
+    }
+
+    fn process_batch_view<B: BatchView<A::Input>>(
+        &mut self,
+        batch: &B,
+        out: &mut Vec<WindowResult<A::Output>>,
+    ) {
         let unsorted = self.defer_unsorted();
         let defer_ok = self.defer_config_ok();
         // Deferred-tuple stats accumulate in a local and land once per
@@ -1137,8 +1291,8 @@ impl<A: AggregateFunction> WindowOperator<A> {
         let mut late_n = 0u64;
         let mut i = 0;
         while i < batch.len() {
-            let (ts, value) = &batch[i];
-            if *ts < self.max_ts {
+            let ts = batch.ts(i);
+            if ts < self.max_ts {
                 // Late tuple: defer it, or flush and fall back. Testing
                 // lateness first (one comparison) keeps the data-dependent
                 // late singles off the run-detection path entirely. The
@@ -1146,13 +1300,13 @@ impl<A: AggregateFunction> WindowOperator<A> {
                 // only for `ts == watermark == TIME_MIN`, where the
                 // fallback is equally correct (nothing has been emitted
                 // yet, so there is nothing to revise).
-                if defer_ok && *ts > self.watermark && !self.store.is_empty() {
-                    debug_assert!(self.can_defer_late(*ts));
+                if defer_ok && ts > self.watermark && !self.store.is_empty() {
+                    debug_assert!(self.can_defer_late(ts));
                     late_n += 1;
                     if unsorted {
-                        self.defer_into_group(*ts, value);
+                        self.defer_into_group(ts, batch.value(i));
                     } else {
-                        self.late_buf.push((*ts, value.clone()));
+                        self.late_buf.push((ts, batch.value(i).clone()));
                     }
                 } else {
                     // A below-watermark straggler, count-measure query, or
@@ -1163,7 +1317,7 @@ impl<A: AggregateFunction> WindowOperator<A> {
                     if !self.store.is_empty() {
                         self.flush_late_runs();
                     }
-                    self.process_tuple(*ts, value.clone(), out);
+                    self.process_tuple(ts, batch.value(i).clone(), out);
                 }
                 i += 1;
                 continue;
@@ -1185,7 +1339,7 @@ impl<A: AggregateFunction> WindowOperator<A> {
             // slices and triggers nothing a deferred late tuple could
             // affect.
             self.commit_in_order_run();
-            self.process_tuple(*ts, value.clone(), out);
+            self.process_tuple(ts, batch.value(i).clone(), out);
             i += 1;
         }
         self.stats.tuples += late_n;
@@ -1330,7 +1484,9 @@ impl<A: AggregateFunction> Clone for WindowOperator<A> {
             stats: self.stats,
             late_buf: self.late_buf.clone(),
             late_groups: self.late_groups.clone(),
-            run_buf: self.run_buf.clone(),
+            late_group_pool: Vec::new(),
+            run_times: self.run_times.clone(),
+            run_values: self.run_values.clone(),
             context_aware: self.context_aware.clone(),
             edges: self.edges.clone(),
         }
@@ -1348,6 +1504,19 @@ impl<A: AggregateFunction> WindowAggregator<A> for WindowOperator<A> {
         out: &mut Vec<WindowResult<A::Output>>,
     ) {
         self.process_batch_tuples(batch, out);
+    }
+
+    fn process_batch_columns(
+        &mut self,
+        times: &[Time],
+        values: &[A::Input],
+        out: &mut Vec<WindowResult<A::Output>>,
+    ) {
+        WindowOperator::process_batch_columns(self, times, values, out);
+    }
+
+    fn fold_stats(&self) -> (u64, u64) {
+        (self.stats.fold_kernel_hits, self.stats.fold_kernel_misses)
     }
 
     fn on_watermark(&mut self, wm: Time, out: &mut Vec<WindowResult<A::Output>>) {

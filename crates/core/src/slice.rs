@@ -34,8 +34,17 @@ pub struct Slice<A: AggregateFunction> {
 }
 
 /// Folds a run of tuples into one partial in stream order; `None` for an
-/// empty run.
-fn fold_run<A: AggregateFunction>(f: &A, run: &[(Time, A::Input)]) -> Option<A::Partial> {
+/// empty run. Runs long enough to amortize a values gather
+/// ([`crate::function::FOLD_KERNEL_MIN_RUN`]) are routed through the bulk
+/// [`AggregateFunction::fold_slice`] kernel: one linear copy into a
+/// contiguous buffer, then a vectorized fold. Everything else — short runs
+/// and functions without a kernel — takes the per-element lift/combine
+/// loop, so the routing never costs more than the code it replaced.
+pub fn fold_run<A: AggregateFunction>(f: &A, run: &[(Time, A::Input)]) -> Option<A::Partial> {
+    if crate::function::kernel_eligible(f, run.len()) {
+        let values: Vec<A::Input> = run.iter().map(|(_, v)| v.clone()).collect();
+        return f.fold_slice(&values);
+    }
     let mut acc: Option<A::Partial> = None;
     for (_, v) in run {
         let lifted = f.lift(v);
@@ -169,6 +178,38 @@ impl<A: AggregateFunction> Slice<A> {
         self.n_tuples += run.len();
         if let Some(tuples) = &mut self.tuples {
             tuples.extend_from_slice(run);
+        }
+    }
+
+    /// Columnar twin of [`Slice::add_run`]: the run arrives as parallel
+    /// `times` / `values` slices (struct-of-arrays), so the values are
+    /// already contiguous and feed [`AggregateFunction::fold_slice`]
+    /// directly — no gather, no re-materialization. Caller guarantees are
+    /// identical to `add_run` plus `times.len() == values.len()`.
+    pub fn add_run_columns(&mut self, f: &A, times: &[Time], values: &[A::Input]) {
+        debug_assert_eq!(times.len(), values.len(), "SoA run length mismatch");
+        let (Some(&first_ts), Some(&last_ts)) = (times.first(), times.last()) else {
+            return;
+        };
+        debug_assert!(first_ts >= self.t_last || self.is_empty(), "run {first_ts} not in order");
+        debug_assert!(
+            self.range.contains(first_ts) && self.range.contains(last_ts),
+            "run [{first_ts}, {last_ts}] outside slice {}",
+            self.range
+        );
+        debug_assert!(times.windows(2).all(|w| w[0] <= w[1]), "run not sorted");
+        let Some(p) = f.fold_slice(values) else {
+            return;
+        };
+        self.agg = Some(match self.agg.take() {
+            None => p,
+            Some(a) => f.combine(a, &p),
+        });
+        self.t_first = self.t_first.min(first_ts);
+        self.t_last = self.t_last.max(last_ts);
+        self.n_tuples += times.len();
+        if let Some(tuples) = &mut self.tuples {
+            tuples.extend(times.iter().copied().zip(values.iter().cloned()));
         }
     }
 
@@ -600,6 +641,28 @@ mod tests {
         s.add_in_order(&f, 7, 3);
         s.add_out_of_order(&f, 5, 2); // same ts as first tuple, arrived later
         assert_eq!(s.aggregate(), Some(&vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn columnar_run_matches_tuple_run() {
+        let f = SumI64;
+        for keep in [false, true] {
+            let run: Vec<(Time, i64)> = (0..40).map(|i| (i * 2, i * 3 + 1)).collect();
+            let (times, values): (Vec<Time>, Vec<i64>) = run.iter().copied().unzip();
+            let mut a: Slice<SumI64> = Slice::new(Range::new(0, 100), keep);
+            let mut b = a.clone();
+            a.add_run(&f, &run);
+            b.add_run_columns(&f, &times, &values);
+            assert_eq!(a.aggregate(), b.aggregate());
+            assert_eq!(a.len(), b.len());
+            assert_eq!(a.t_first(), b.t_first());
+            assert_eq!(a.t_last(), b.t_last());
+            assert_eq!(a.tuples(), b.tuples());
+        }
+        // Empty columns are a no-op.
+        let mut s: Slice<SumI64> = Slice::new(Range::new(0, 100), false);
+        s.add_run_columns(&f, &[], &[]);
+        assert!(s.is_empty());
     }
 
     #[test]

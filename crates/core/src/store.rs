@@ -241,6 +241,19 @@ impl<A: AggregateFunction> SliceStore<A> {
         self.refresh_leaf(idx);
     }
 
+    /// Columnar twin of [`SliceStore::add_in_order_run`]: the run arrives
+    /// as parallel `times` / `values` columns, so the contiguous values
+    /// feed the bulk fold kernel directly (see [`Slice::add_run_columns`]).
+    pub fn add_in_order_run_columns(&mut self, times: &[Time], values: &[A::Input]) {
+        if times.is_empty() {
+            return;
+        }
+        let idx = self.slices.len() - 1;
+        let slice = self.slices.back_mut().expect("add_in_order_run_columns on empty store");
+        slice.add_run_columns(&self.f, times, values);
+        self.refresh_leaf(idx);
+    }
+
     /// Index of the slice whose time range contains `ts` (time-tiled
     /// stores).
     pub fn covering_index(&self, ts: Time) -> Option<usize> {

@@ -1,0 +1,382 @@
+//! Latency-bounded adaptive batching and the struct-of-arrays record
+//! chunk.
+//!
+//! Sources pack records into [`RecordChunk`]s — separate `times` /
+//! `values` columns — so a worker can hand the operator's bulk-fold
+//! kernel a contiguous primitive value slice without re-materializing
+//! `(time, value)` pairs. [`ChunkBuilder`] decides where chunk boundaries
+//! fall: accumulate until either a target size or a deadline relative to
+//! the chunk's first record, whichever comes first.
+//!
+//! ## Why a wall-clock deadline is event-time-safe
+//!
+//! Chunking is pure transport: results are driven by event-time
+//! watermarks and punctuations, and every source flushes its pending
+//! chunk *before* broadcasting either, so window contents, emission
+//! points, and emission order are identical for every possible chunking.
+//! The deadline therefore only bounds how long a record can sit in a
+//! half-full buffer (ingestion latency); it can never change an answer.
+//! That is also why the wall clock lives here in `gss-stream` and not in
+//! `gss-core` — the operator itself stays event-time-only (enforced by
+//! the `no-wallclock` lint), and the clock is injectable so tests drive
+//! the deadline deterministically.
+
+use std::time::{Duration, Instant};
+
+use gss_core::Time;
+
+/// How sources pack records into chunks and how workers feed them to the
+/// operator. Replaces the old fixed `batch_size`/`batched` knob pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Batching {
+    /// One `process` call per record at the operator (the pre-batching
+    /// behavior). Records still ride the channels in chunks of `chunk`
+    /// for transport.
+    PerTuple { chunk: usize },
+    /// Fixed-size chunks fed through the batched ingestion path.
+    Fixed(usize),
+    /// Accumulate until `target` records or until `max_delay` has passed
+    /// since the chunk's first record, whichever comes first. High-rate
+    /// streams get full `target`-sized chunks (batched-throughput
+    /// regime); low-rate streams get small chunks within `max_delay`
+    /// (latency regime) — no tuning knob to misconfigure.
+    Adaptive { target: usize, max_delay: Duration },
+}
+
+impl Batching {
+    /// Default adaptive target: matches the plateau of the batch-size
+    /// sweep in `BENCH_batch.json` (throughput is flat past ~4096).
+    pub const DEFAULT_TARGET: usize = 4096;
+    /// Default adaptive deadline.
+    pub const DEFAULT_MAX_DELAY: Duration = Duration::from_millis(1);
+
+    /// The transport chunk-size ceiling of this mode (capacity hint).
+    pub fn chunk_target(&self) -> usize {
+        match *self {
+            Batching::PerTuple { chunk } => chunk,
+            Batching::Fixed(n) => n,
+            Batching::Adaptive { target, .. } => target,
+        }
+    }
+
+    /// Whether the operator should ingest per tuple.
+    pub fn is_per_tuple(&self) -> bool {
+        matches!(self, Batching::PerTuple { .. })
+    }
+}
+
+impl Default for Batching {
+    fn default() -> Self {
+        Batching::Adaptive { target: Self::DEFAULT_TARGET, max_delay: Self::DEFAULT_MAX_DELAY }
+    }
+}
+
+/// A chunk of records in struct-of-arrays layout: parallel `times` /
+/// `values` columns of equal length. The values column is contiguous, so
+/// in-order runs flow straight into
+/// [`AggregateFunction::fold_slice`](gss_core::AggregateFunction::fold_slice)
+/// kernels with zero gather.
+#[derive(Debug, Clone)]
+pub struct RecordChunk<V> {
+    times: Vec<Time>,
+    values: Vec<V>,
+}
+
+impl<V> RecordChunk<V> {
+    pub fn with_capacity(n: usize) -> Self {
+        RecordChunk { times: Vec::with_capacity(n), values: Vec::with_capacity(n) }
+    }
+
+    #[inline]
+    pub fn push(&mut self, ts: Time, value: V) {
+        self.times.push(ts);
+        self.values.push(value);
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    #[inline]
+    pub fn times(&self) -> &[Time] {
+        &self.times
+    }
+
+    #[inline]
+    pub fn values(&self) -> &[V] {
+        &self.values
+    }
+
+    /// Audit-build invariant: the columns must stay aligned. Called at
+    /// every hand-off point (chunk receipt in workers).
+    pub fn check(&self) {
+        gss_core::audit_assert!(
+            self.times.len() == self.values.len(),
+            "SoA chunk columns diverged: {} times vs {} values",
+            self.times.len(),
+            self.values.len()
+        );
+    }
+}
+
+/// Consuming iteration yields the zipped pairs — the per-tuple path.
+impl<V> IntoIterator for RecordChunk<V> {
+    type Item = (Time, V);
+    type IntoIter = std::iter::Zip<std::vec::IntoIter<Time>, std::vec::IntoIter<V>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.times.into_iter().zip(self.values)
+    }
+}
+
+/// Clock injection point for the adaptive deadline. Production uses
+/// `Instant::now`; tests substitute a deterministic clock.
+pub type ClockFn = fn() -> Instant;
+
+/// Accumulates records into [`RecordChunk`]s under a [`Batching`] policy.
+///
+/// [`push`](ChunkBuilder::push) returns a ready chunk when the target
+/// size is reached or (adaptive mode) the deadline since the chunk's
+/// first record has passed; [`take`](ChunkBuilder::take) flushes whatever
+/// is pending — sources call it before broadcasting a watermark or
+/// punctuation and at end of stream, which is what keeps chunk boundaries
+/// semantically invisible (see the module docs).
+pub struct ChunkBuilder<V> {
+    mode: Batching,
+    target: usize,
+    clock: ClockFn,
+    chunk: RecordChunk<V>,
+    deadline: Option<Instant>,
+    /// Chunk length at which the deadline is next polled (adaptive mode).
+    next_check: usize,
+}
+
+impl<V> ChunkBuilder<V> {
+    pub fn new(mode: Batching) -> Self {
+        Self::with_clock(mode, Instant::now)
+    }
+
+    pub fn with_clock(mode: Batching, clock: ClockFn) -> Self {
+        let target = mode.chunk_target().max(1);
+        ChunkBuilder {
+            mode,
+            target,
+            clock,
+            chunk: RecordChunk::with_capacity(target),
+            deadline: None,
+            next_check: 0,
+        }
+    }
+
+    /// While the chunk holds fewer than this many records the deadline is
+    /// polled on every push — the low-rate regime, where the latency
+    /// bound is the whole point and a clock read per record is noise.
+    pub const CLOCK_CHECK_SMALL: usize = 8;
+    /// Upper bound on how many pushes a single deadline poll may skip. A
+    /// clock read costs tens of nanoseconds — on par with the whole
+    /// per-record fold — so polling every push in adaptive mode would
+    /// forfeit most of the batching win.
+    pub const CLOCK_CHECK_STRIDE: usize = 64;
+
+    /// Adds one record; returns a chunk ready to ship when full or
+    /// past-deadline. The deadline poll is rate-amortized: the clock is
+    /// read once when a chunk starts (arming the deadline), on every push
+    /// while the chunk is small ([`CLOCK_CHECK_SMALL`](Self::CLOCK_CHECK_SMALL)),
+    /// and afterwards each read schedules the next one by estimating how
+    /// many pushes fit into the time left before the deadline (capped at
+    /// [`CLOCK_CHECK_STRIDE`](Self::CLOCK_CHECK_STRIDE)). A slow stream
+    /// therefore flushes at the first push past the deadline, while a
+    /// full-throttle one pays ~1 clock read per 64 records; if the rate
+    /// collapses mid-chunk the overshoot is bounded by the skipped pushes'
+    /// inter-arrival gaps, and a pull-driven source has no timer thread to
+    /// do better — watermarks and end-of-stream always flush regardless.
+    #[inline]
+    pub fn push(&mut self, ts: Time, value: V) -> Option<RecordChunk<V>> {
+        if self.chunk.is_empty() {
+            if let Batching::Adaptive { max_delay, .. } = self.mode {
+                self.deadline = Some((self.clock)() + max_delay);
+                self.next_check = 2;
+            }
+        }
+        self.chunk.push(ts, value);
+        let len = self.chunk.len();
+        if len >= self.target {
+            return self.take();
+        }
+        if let Some(deadline) = self.deadline {
+            if len < Self::CLOCK_CHECK_SMALL || len >= self.next_check {
+                let now = (self.clock)();
+                if now >= deadline {
+                    return self.take();
+                }
+                self.next_check = len + self.poll_skip(deadline - now, len);
+            }
+        }
+        None
+    }
+
+    /// How many pushes the next deadline poll may skip: the pushes that
+    /// fit into `remaining` time at the rate observed so far
+    /// (`len` pushes over `max_delay - remaining`), clamped to
+    /// [1, [`CLOCK_CHECK_STRIDE`](Self::CLOCK_CHECK_STRIDE)].
+    #[inline]
+    fn poll_skip(&self, remaining: Duration, len: usize) -> usize {
+        let Batching::Adaptive { max_delay, .. } = self.mode else {
+            return Self::CLOCK_CHECK_STRIDE;
+        };
+        let remaining_ns = remaining.as_nanos();
+        let elapsed_ns = max_delay.as_nanos().saturating_sub(remaining_ns);
+        if elapsed_ns == 0 {
+            return Self::CLOCK_CHECK_STRIDE;
+        }
+        let fit = (len as u128).saturating_mul(remaining_ns) / elapsed_ns;
+        (fit as usize).clamp(1, Self::CLOCK_CHECK_STRIDE)
+    }
+
+    /// Flushes the pending chunk, if any.
+    pub fn take(&mut self) -> Option<RecordChunk<V>> {
+        self.deadline = None;
+        if self.chunk.is_empty() {
+            return None;
+        }
+        Some(std::mem::replace(&mut self.chunk, RecordChunk::with_capacity(self.target)))
+    }
+
+    /// Records currently buffered.
+    pub fn pending(&self) -> usize {
+        self.chunk.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::OnceLock;
+
+    // A deterministic clock: a process-wide base Instant plus an atomic
+    // nanosecond offset the test advances by hand. `ClockFn` is a plain
+    // fn pointer, so state has to live in statics — tests that *advance*
+    // the shared clock serialize on `CLOCK_MUTEX` to keep each other's
+    // deadlines stable.
+    static BASE: OnceLock<Instant> = OnceLock::new();
+    static OFFSET_NS: AtomicU64 = AtomicU64::new(0);
+    static CLOCK_MUTEX: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn fake_now() -> Instant {
+        *BASE.get_or_init(Instant::now) + Duration::from_nanos(OFFSET_NS.load(Ordering::SeqCst))
+    }
+
+    fn advance(d: Duration) {
+        OFFSET_NS.fetch_add(d.as_nanos() as u64, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn fixed_mode_flushes_at_target() {
+        let mut b = ChunkBuilder::with_clock(Batching::Fixed(4), fake_now);
+        assert!(b.push(1, 10).is_none());
+        assert!(b.push(2, 20).is_none());
+        assert!(b.push(3, 30).is_none());
+        let chunk = b.push(4, 40).expect("fourth push fills the chunk");
+        assert_eq!(chunk.times(), &[1, 2, 3, 4]);
+        assert_eq!(chunk.values(), &[10, 20, 30, 40]);
+        assert_eq!(b.pending(), 0);
+        assert!(b.take().is_none());
+    }
+
+    #[test]
+    fn per_tuple_mode_still_chunks_transport() {
+        let mut b = ChunkBuilder::with_clock(Batching::PerTuple { chunk: 2 }, fake_now);
+        assert!(b.push(1, 1).is_none());
+        assert_eq!(b.push(2, 2).expect("chunked at 2").len(), 2);
+    }
+
+    #[test]
+    fn adaptive_flushes_on_target_without_clock_pressure() {
+        let mode = Batching::Adaptive { target: 3, max_delay: Duration::from_secs(3600) };
+        let mut b = ChunkBuilder::with_clock(mode, fake_now);
+        assert!(b.push(1, 1).is_none());
+        assert!(b.push(2, 2).is_none());
+        assert_eq!(b.push(3, 3).expect("target reached").len(), 3);
+    }
+
+    #[test]
+    fn adaptive_flushes_on_deadline() {
+        let _clock = CLOCK_MUTEX.lock().unwrap_or_else(|e| e.into_inner());
+        let mode = Batching::Adaptive { target: 1_000_000, max_delay: Duration::from_millis(5) };
+        let mut b = ChunkBuilder::with_clock(mode, fake_now);
+        assert!(b.push(1, 1).is_none());
+        advance(Duration::from_millis(2));
+        assert!(b.push(2, 2).is_none(), "deadline not yet reached");
+        advance(Duration::from_millis(4));
+        let chunk = b.push(3, 3).expect("deadline passed");
+        assert_eq!(chunk.len(), 3, "the tripping record rides the flushed chunk");
+        // The next chunk re-arms its deadline from its own first record.
+        assert!(b.push(4, 4).is_none());
+        advance(Duration::from_millis(6));
+        assert_eq!(b.push(5, 5).expect("second deadline").len(), 2);
+    }
+
+    #[test]
+    fn adaptive_deadline_is_amortized_past_the_small_regime() {
+        let _clock = CLOCK_MUTEX.lock().unwrap_or_else(|e| e.into_inner());
+        const STRIDE: usize = ChunkBuilder::<i64>::CLOCK_CHECK_STRIDE;
+        let mode = Batching::Adaptive { target: 1_000_000, max_delay: Duration::from_millis(5) };
+        let mut b = ChunkBuilder::with_clock(mode, fake_now);
+        // Fill past the small regime, off stride alignment.
+        for i in 0..(STRIDE as i64 + 36) {
+            assert!(b.push(i, i).is_none());
+        }
+        advance(Duration::from_millis(6));
+        // Deadline has passed, but the clock is only polled at the next
+        // scheduled check: pushes up to there ride along, and the flush
+        // comes within one stride of pushes.
+        let mut flushed = None;
+        let mut extra = 0;
+        while flushed.is_none() {
+            extra += 1;
+            flushed = b.push(1_000 + extra, 0);
+            assert!(extra <= STRIDE as i64, "flush must come within one stride");
+        }
+        let chunk = flushed.expect("deadline flush");
+        assert!(chunk.len() > STRIDE + 36, "the skipped pushes ride the flushed chunk");
+    }
+
+    #[test]
+    fn take_flushes_partial_chunks() {
+        let mut b = ChunkBuilder::with_clock(Batching::Fixed(100), fake_now);
+        b.push(7, 70);
+        let chunk = b.take().expect("partial flush");
+        assert_eq!(chunk.len(), 1);
+        chunk.check();
+    }
+
+    #[test]
+    fn default_is_adaptive() {
+        assert_eq!(
+            Batching::default(),
+            Batching::Adaptive {
+                target: Batching::DEFAULT_TARGET,
+                max_delay: Batching::DEFAULT_MAX_DELAY
+            }
+        );
+        assert_eq!(Batching::default().chunk_target(), 4096);
+        assert!(!Batching::default().is_per_tuple());
+        assert!(Batching::PerTuple { chunk: 8 }.is_per_tuple());
+    }
+
+    #[test]
+    fn chunk_iterates_as_pairs() {
+        let mut c = RecordChunk::with_capacity(2);
+        c.push(1, "a");
+        c.push(2, "b");
+        let pairs: Vec<(Time, &str)> = c.into_iter().collect();
+        assert_eq!(pairs, vec![(1, "a"), (2, "b")]);
+    }
+}

@@ -5,6 +5,7 @@
 //! partition — the parallelization model of Flink/Storm-style systems that
 //! the paper assumes (Section 5.3) and measures in Section 6.4.
 
+pub mod batching;
 pub mod builder;
 pub mod metrics;
 pub mod parallel;
@@ -12,8 +13,9 @@ pub mod pipeline;
 pub mod source;
 pub mod watermark;
 
+pub use batching::{Batching, ChunkBuilder, RecordChunk};
 pub use builder::{KeyedPipeline, Pipeline};
-pub use metrics::LatencyHistogram;
+pub use metrics::{BatchSizeHistogram, LatencyHistogram};
 pub use parallel::{parallel_eligible, run_parallel};
 pub use pipeline::{
     partition_of, process_cpu_time, run_keyed, run_per_key, PipelineConfig, PipelineReport,

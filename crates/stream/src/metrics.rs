@@ -13,6 +13,29 @@ const SUB_BUCKET_BITS: u32 = 4; // 16 linear sub-buckets per octave
 const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
 const OCTAVES: usize = 40; // covers 1ns .. ~1100s
 
+/// Log bucket index of a value (shared by both histograms).
+fn bucket_of(n: u64) -> usize {
+    if n < SUB_BUCKETS as u64 {
+        return n as usize;
+    }
+    let octave = 63 - n.leading_zeros() as usize; // floor(log2 n)
+    let shift = octave - SUB_BUCKET_BITS as usize;
+    let sub = ((n >> shift) as usize) & (SUB_BUCKETS - 1);
+    let idx = (octave - SUB_BUCKET_BITS as usize + 1) * SUB_BUCKETS + sub;
+    idx.min(OCTAVES * SUB_BUCKETS - 1)
+}
+
+/// Representative (lower-bound) value of a bucket.
+fn bucket_floor(idx: usize) -> u64 {
+    let octave = idx / SUB_BUCKETS;
+    let sub = (idx % SUB_BUCKETS) as u64;
+    if octave == 0 {
+        return sub;
+    }
+    let shift = octave - 1;
+    ((SUB_BUCKETS as u64) + sub) << shift
+}
+
 /// Fixed-size log-bucketed histogram of nanosecond values.
 #[derive(Clone)]
 pub struct LatencyHistogram {
@@ -49,28 +72,6 @@ impl LatencyHistogram {
         }
     }
 
-    fn bucket_of(ns: u64) -> usize {
-        if ns < SUB_BUCKETS as u64 {
-            return ns as usize;
-        }
-        let octave = 63 - ns.leading_zeros() as usize; // floor(log2 ns)
-        let shift = octave - SUB_BUCKET_BITS as usize;
-        let sub = ((ns >> shift) as usize) & (SUB_BUCKETS - 1);
-        let idx = (octave - SUB_BUCKET_BITS as usize + 1) * SUB_BUCKETS + sub;
-        idx.min(OCTAVES * SUB_BUCKETS - 1)
-    }
-
-    /// Representative (lower-bound) value of a bucket.
-    fn bucket_floor(idx: usize) -> u64 {
-        let octave = idx / SUB_BUCKETS;
-        let sub = (idx % SUB_BUCKETS) as u64;
-        if octave == 0 {
-            return sub;
-        }
-        let shift = octave - 1;
-        ((SUB_BUCKETS as u64) + sub) << shift
-    }
-
     /// Records one latency sample.
     pub fn record(&mut self, latency: Duration) {
         let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
@@ -78,7 +79,7 @@ impl LatencyHistogram {
     }
 
     pub fn record_ns(&mut self, ns: u64) {
-        self.counts[Self::bucket_of(ns)] += 1;
+        self.counts[bucket_of(ns)] += 1;
         self.total += 1;
         self.sum_ns += ns as u128;
         self.max_ns = self.max_ns.max(ns);
@@ -119,7 +120,7 @@ impl LatencyHistogram {
         for (idx, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                let v = Self::bucket_floor(idx).clamp(self.min_ns.min(self.max_ns), self.max_ns);
+                let v = bucket_floor(idx).clamp(self.min_ns.min(self.max_ns), self.max_ns);
                 return Duration::from_nanos(v);
             }
         }
@@ -146,6 +147,129 @@ impl LatencyHistogram {
             self.quantile(0.5),
             self.quantile(0.99),
             self.max()
+        )
+    }
+}
+
+/// Log-bucketed histogram of achieved batch sizes: how many records each
+/// chunk actually carried when the source flushed it. Under adaptive
+/// batching the distribution is the diagnostic — a mode at the target
+/// size means the stream is fast enough to fill chunks, a spread of small
+/// sizes means the latency deadline (or a watermark) is doing the
+/// flushing. Same bucket layout as [`LatencyHistogram`], so the relative
+/// error is ~6 % and the footprint fixed.
+#[derive(Clone)]
+pub struct BatchSizeHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    max: u64,
+    min: u64,
+}
+
+impl std::fmt::Debug for BatchSizeHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BatchSizeHistogram({})", self.summary())
+    }
+}
+
+impl Default for BatchSizeHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BatchSizeHistogram {
+    pub fn new() -> Self {
+        BatchSizeHistogram {
+            counts: vec![0; OCTAVES * SUB_BUCKETS],
+            total: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    /// Records one flushed chunk of `size` records.
+    pub fn record(&mut self, size: usize) {
+        let n = gss_core::cast::to_u64(size);
+        self.counts[bucket_of(n)] += 1;
+        self.total += 1;
+        self.sum += n as u128;
+        self.max = self.max.max(n);
+        self.min = self.min.min(n);
+    }
+
+    /// Number of chunks recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Total records across all recorded chunks.
+    pub fn records(&self) -> u64 {
+        self.sum.min(u64::MAX as u128) as u64
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Mean chunk size.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.total as f64
+    }
+
+    /// Chunk size at quantile `q` in `[0, 1]` (bucket lower bound).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_floor(idx).clamp(self.min.min(self.max), self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one (for per-partition metrics).
+    pub fn merge(&mut self, other: &BatchSizeHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+
+    /// One-line summary: `chunks=.. mean=.. p50=.. p99=.. max=..`.
+    pub fn summary(&self) -> String {
+        format!(
+            "chunks={} mean={:.1} p50={} p99={} max={}",
+            self.total,
+            self.mean(),
+            self.quantile(0.5),
+            self.quantile(0.99),
+            self.max
         )
     }
 }
@@ -235,5 +359,45 @@ mod tests {
         let s = h.summary();
         assert!(s.contains("n=1"));
         assert!(s.contains("mean="));
+    }
+
+    #[test]
+    fn batch_size_histogram_tracks_chunks() {
+        let mut h = BatchSizeHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        for size in [1usize, 1, 4096, 4096, 4096, 4096] {
+            h.record(size);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.records(), 2 + 4 * 4096);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 4096);
+        assert!((h.mean() - (2.0 + 4.0 * 4096.0) / 6.0).abs() < 1e-9);
+        // Small sizes land in exact buckets; 4096 within ~6 %.
+        assert_eq!(h.quantile(0.0), 1);
+        let p99 = h.quantile(0.99) as f64;
+        assert!((p99 - 4096.0).abs() / 4096.0 <= 0.0626, "p99={p99}");
+    }
+
+    #[test]
+    fn batch_size_merge_equals_combined() {
+        let mut a = BatchSizeHistogram::new();
+        let mut b = BatchSizeHistogram::new();
+        let mut c = BatchSizeHistogram::new();
+        for i in 1..500usize {
+            if i % 2 == 0 {
+                a.record(i);
+            } else {
+                b.record(i);
+            }
+            c.record(i);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        assert_eq!(a.records(), c.records());
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), c.quantile(q));
+        }
     }
 }

@@ -55,11 +55,12 @@ use std::time::Instant;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use gss_core::{
     AggregateFunction, ContextClass, Measure, OperatorConfig, Query, QueryId, SlicePartial,
-    StreamElement, StreamOrder, Time, Timeline, WindowFunction, WindowOperator, WindowResult,
-    TIME_MAX, TIME_MIN,
+    StreamElement, StreamOrder, Time, Timeline, WindowAggregator, WindowFunction, WindowOperator,
+    WindowResult, TIME_MAX, TIME_MIN,
 };
 
-use crate::metrics::LatencyHistogram;
+use crate::batching::{ChunkBuilder, RecordChunk};
+use crate::metrics::{BatchSizeHistogram, LatencyHistogram};
 use crate::pipeline::{process_cpu_time, PipelineConfig, PipelineReport};
 
 /// Worker-side flush threshold, in timeline slices plus buffered
@@ -102,9 +103,11 @@ enum MergeMsg<A: AggregateFunction> {
     Watermark(Time),
 }
 
-/// Work sent from the driver to one worker.
+/// Work sent from the driver to one worker. Records travel as a
+/// struct-of-arrays [`RecordChunk`] so the worker can fold same-slice
+/// spans straight off the contiguous values column.
 enum ParChunk<V> {
-    Records(Vec<(Time, V)>),
+    Records(RecordChunk<V>),
     Watermark(Time),
 }
 
@@ -155,6 +158,10 @@ struct WorkerSlicer<A: AggregateFunction> {
     stragglers: Vec<SlicePartial<A>>,
     slices_created: u64,
     dropped_late: u64,
+    /// Same-slice spans folded through a hand-written `fold_slice` kernel
+    /// vs the default lift/combine loop.
+    fold_hits: u64,
+    fold_misses: u64,
 }
 
 impl<A: AggregateFunction> WorkerSlicer<A> {
@@ -176,6 +183,8 @@ impl<A: AggregateFunction> WorkerSlicer<A> {
             stragglers: Vec::new(),
             slices_created: 0,
             dropped_late: 0,
+            fold_hits: 0,
+            fold_misses: 0,
         }
     }
 
@@ -212,43 +221,104 @@ impl<A: AggregateFunction> WorkerSlicer<A> {
         self.fold(ts, &value);
     }
 
-    fn fold(&mut self, ts: Time, value: &A::Input) {
-        let pos = match self.cache {
-            Some((start, end, g)) if ts >= start && ts < end => (g - self.timeline.base()) as usize,
-            _ => {
-                let old_base = self.timeline.base();
-                let old_len = self.timeline.len();
-                let pos =
-                    self.timeline.ensure_covering(ts, &self.queries, &mut self.slices_created);
-                // Mirror the timeline's growth into the accumulator ring
-                // so positions stay aligned.
-                let front = (old_base - self.timeline.base()) as usize;
-                let back = self.timeline.len() - old_len - front;
-                for _ in 0..front {
-                    self.accs.push_front(None);
-                }
-                for _ in 0..back {
-                    self.accs.push_back(None);
-                }
-                let meta = self.timeline.get(pos);
-                self.cache = Some((meta.start, meta.end, self.timeline.base() + pos as i64));
-                pos
+    /// Resolves the slice covering `ts` — cache hit or timeline growth —
+    /// returning `(start, end, position)` in the accumulator ring.
+    fn locate(&mut self, ts: Time) -> (Time, Time, usize) {
+        if let Some((start, end, g)) = self.cache {
+            if ts >= start && ts < end {
+                return (start, end, (g - self.timeline.base()) as usize);
             }
-        };
-        let lifted = self.f.lift(value);
+        }
+        let old_base = self.timeline.base();
+        let old_len = self.timeline.len();
+        let pos = self.timeline.ensure_covering(ts, &self.queries, &mut self.slices_created);
+        // Mirror the timeline's growth into the accumulator ring so
+        // positions stay aligned.
+        let front = (old_base - self.timeline.base()) as usize;
+        let back = self.timeline.len() - old_len - front;
+        for _ in 0..front {
+            self.accs.push_front(None);
+        }
+        for _ in 0..back {
+            self.accs.push_back(None);
+        }
+        let meta = self.timeline.get(pos);
+        self.cache = Some((meta.start, meta.end, self.timeline.base() + pos as i64));
+        (meta.start, meta.end, pos)
+    }
+
+    /// Combines a pre-folded partial covering `n` records into the
+    /// accumulator at ring position `pos`.
+    fn add_acc(&mut self, pos: usize, partial: A::Partial, t_first: Time, t_last: Time, n: u64) {
         let slot = &mut self.accs[pos];
         match slot.take() {
             None => {
-                *slot = Some(Acc { partial: lifted, t_first: ts, t_last: ts, n: 1 });
+                *slot = Some(Acc { partial, t_first, t_last, n });
                 self.filled += 1;
             }
             Some(mut acc) => {
-                acc.partial = self.f.combine(acc.partial, &lifted);
-                acc.t_first = acc.t_first.min(ts);
-                acc.t_last = acc.t_last.max(ts);
-                acc.n += 1;
+                acc.partial = self.f.combine(acc.partial, &partial);
+                acc.t_first = acc.t_first.min(t_first);
+                acc.t_last = acc.t_last.max(t_last);
+                acc.n += n;
                 *slot = Some(acc);
             }
+        }
+    }
+
+    fn fold(&mut self, ts: Time, value: &A::Input) {
+        let (_, _, pos) = self.locate(ts);
+        let lifted = self.f.lift(value);
+        self.add_acc(pos, lifted, ts, ts, 1);
+    }
+
+    /// Ingests a whole SoA chunk, folding each maximal same-slice span of
+    /// on-time records through [`AggregateFunction::fold_slice`] on the
+    /// contiguous values column — one combine per span instead of one
+    /// per record. Stragglers and too-late records take the per-record
+    /// [`ingest`](WorkerSlicer::ingest) path. Sound because parallel
+    /// eligibility requires a commutative aggregate: slice membership,
+    /// not intra-slice order, determines the result.
+    fn ingest_chunk(&mut self, chunk: &RecordChunk<A::Input>) {
+        chunk.check();
+        let times = chunk.times();
+        let values = chunk.values();
+        let mut i = 0;
+        while i < times.len() {
+            let ts = times[i];
+            if self.wm != TIME_MIN && ts <= self.wm {
+                self.ingest(ts, values[i].clone());
+                i += 1;
+                continue;
+            }
+            let (start, end, pos) = self.locate(ts);
+            let (mut t_first, mut t_last) = (ts, ts);
+            let mut j = i + 1;
+            while j < times.len() {
+                let t = times[j];
+                // A slice can straddle the watermark, so staying inside
+                // `[start, end)` does not imply on-time: stragglers break
+                // the span too.
+                if t < start || t >= end || (self.wm != TIME_MIN && t <= self.wm) {
+                    break;
+                }
+                t_first = t_first.min(t);
+                t_last = t_last.max(t);
+                j += 1;
+            }
+            // Contiguous spans always go through `fold_slice`; a miss
+            // means the aggregate has no hand-written kernel.
+            if self.f.has_fold_kernel() {
+                self.fold_hits += 1;
+            } else {
+                self.fold_misses += 1;
+            }
+            let partial = match self.f.fold_slice(&values[i..j]) {
+                Some(p) => p,
+                None => unreachable!("span holds at least one record"),
+            };
+            self.add_acc(pos, partial, t_first, t_last, (j - i) as u64);
+            i = j;
         }
     }
 
@@ -283,22 +353,21 @@ impl<A: AggregateFunction> WorkerSlicer<A> {
 }
 
 /// One worker thread: fold records into per-slice partials, flush + ack
-/// on every watermark. Returns `(records, queue-wait histogram)`.
+/// on every watermark. Returns `(records, queue-wait histogram,
+/// fold hits, fold misses)`.
 fn worker_loop<A: AggregateFunction>(
     rx: Receiver<ParChunk<A::Input>>,
     tx: Sender<(usize, MergeMsg<A>)>,
     me: usize,
     mut slicer: WorkerSlicer<A>,
-) -> (u64, LatencyHistogram) {
+) -> (u64, LatencyHistogram, u64, u64) {
     let mut wait = LatencyHistogram::new();
     let mut records = 0u64;
     for chunk in rx.iter() {
         match chunk {
-            ParChunk::Records(tuples) => {
-                records += tuples.len() as u64;
-                for (ts, value) in tuples {
-                    slicer.ingest(ts, value);
-                }
+            ParChunk::Records(chunk) => {
+                records += chunk.len() as u64;
+                slicer.ingest_chunk(&chunk);
                 if slicer.timeline.len() + slicer.stragglers.len() >= FLUSH_SLICE_CAP {
                     slicer.flush(&tx, me, &mut wait);
                 }
@@ -317,7 +386,7 @@ fn worker_loop<A: AggregateFunction>(
     }
     // End of stream: ship whatever is still pending.
     slicer.flush(&tx, me, &mut wait);
-    (records, wait)
+    (records, wait, slicer.fold_hits, slicer.fold_misses)
 }
 
 /// Applies every message that is ready under the epoch barrier: data at
@@ -442,7 +511,6 @@ where
         return run_sequential(elements, cfg, f, windows, op_cfg);
     }
     let workers = cfg.parallelism.max(1);
-    let batch = cfg.batch_size.max(1);
     let cpu_before = process_cpu_time();
     let start = Instant::now();
     let mut report = PipelineReport::empty();
@@ -485,22 +553,22 @@ where
         // Driver: deal record chunks round-robin, broadcast watermarks
         // in stream order. O(1) work per chunk keeps the single-threaded
         // driver off the critical path.
-        let mut buf: Vec<(Time, A::Input)> = Vec::with_capacity(batch);
+        let mut builder: ChunkBuilder<A::Input> = ChunkBuilder::new(cfg.batching);
+        let mut sizes = BatchSizeHistogram::new();
         let mut next = 0usize;
         for element in elements {
             match element {
                 StreamElement::Record { ts, value } => {
-                    buf.push((ts, value));
-                    if buf.len() >= batch {
-                        let full = std::mem::replace(&mut buf, Vec::with_capacity(batch));
-                        senders[next].send(ParChunk::Records(full)).expect("worker hung up");
+                    if let Some(chunk) = builder.push(ts, value) {
+                        sizes.record(chunk.len());
+                        senders[next].send(ParChunk::Records(chunk)).expect("worker hung up");
                         next = (next + 1) % workers;
                     }
                 }
                 StreamElement::Watermark(wm) => {
-                    if !buf.is_empty() {
-                        let full = std::mem::replace(&mut buf, Vec::with_capacity(batch));
-                        senders[next].send(ParChunk::Records(full)).expect("worker hung up");
+                    if let Some(chunk) = builder.take() {
+                        sizes.record(chunk.len());
+                        senders[next].send(ParChunk::Records(chunk)).expect("worker hung up");
                         next = (next + 1) % workers;
                     }
                     for tx in &senders {
@@ -514,15 +582,19 @@ where
                 StreamElement::Punctuation(_) => {}
             }
         }
-        if !buf.is_empty() {
-            senders[next].send(ParChunk::Records(buf)).expect("worker hung up");
+        if let Some(chunk) = builder.take() {
+            sizes.record(chunk.len());
+            senders[next].send(ParChunk::Records(chunk)).expect("worker hung up");
         }
         drop(senders);
+        report.batch_sizes = sizes;
 
         for h in handles {
-            let (records, wait) = h.join().expect("worker panicked");
+            let (records, wait, hits, misses) = h.join().expect("worker panicked");
             report.records += records;
             report.send_wait.merge(&wait);
+            report.fold_hits += hits;
+            report.fold_misses += misses;
         }
         let (results, count) = merge.join().expect("merge stage panicked");
         report.result_count = count;
@@ -556,26 +628,25 @@ where
     for w in &windows {
         op.add_query(w.clone_box()).expect("incompatible query mix");
     }
-    let batch = cfg.batch_size.max(1);
-    let mut buf: Vec<(Time, A::Input)> = Vec::with_capacity(batch);
+    let per_tuple = cfg.batching.is_per_tuple();
+    let mut builder: ChunkBuilder<A::Input> = ChunkBuilder::new(cfg.batching);
+    let mut sizes = BatchSizeHistogram::new();
     let mut scratch: Vec<WindowResult<A::Output>> = Vec::new();
 
-    fn drain_buf<A: AggregateFunction>(
+    fn drain_chunk<A: AggregateFunction>(
         op: &mut WindowOperator<A>,
-        buf: &mut Vec<(Time, A::Input)>,
-        batched: bool,
+        chunk: RecordChunk<A::Input>,
+        per_tuple: bool,
         scratch: &mut Vec<WindowResult<A::Output>>,
     ) {
-        if buf.is_empty() {
-            return;
-        }
-        if batched {
-            op.process_batch_tuples(buf, scratch);
-            buf.clear();
-        } else {
-            for (ts, v) in buf.drain(..) {
+        // Size-1 chunks take the per-record entry point (run detection is
+        // pure overhead on a single record).
+        if per_tuple || chunk.len() == 1 {
+            for (ts, v) in chunk {
                 op.process_tuple(ts, v, scratch);
             }
+        } else {
+            op.process_batch_columns(chunk.times(), chunk.values(), scratch);
         }
     }
 
@@ -583,17 +654,23 @@ where
         match element {
             StreamElement::Record { ts, value } => {
                 report.records += 1;
-                buf.push((ts, value));
-                if buf.len() >= batch {
-                    drain_buf(&mut op, &mut buf, cfg.batched, &mut scratch);
+                if let Some(chunk) = builder.push(ts, value) {
+                    sizes.record(chunk.len());
+                    drain_chunk(&mut op, chunk, per_tuple, &mut scratch);
                 }
             }
             StreamElement::Watermark(wm) => {
-                drain_buf(&mut op, &mut buf, cfg.batched, &mut scratch);
+                if let Some(chunk) = builder.take() {
+                    sizes.record(chunk.len());
+                    drain_chunk(&mut op, chunk, per_tuple, &mut scratch);
+                }
                 op.process_watermark(wm, &mut scratch);
             }
             StreamElement::Punctuation(ts) => {
-                drain_buf(&mut op, &mut buf, cfg.batched, &mut scratch);
+                if let Some(chunk) = builder.take() {
+                    sizes.record(chunk.len());
+                    drain_chunk(&mut op, chunk, per_tuple, &mut scratch);
+                }
                 op.process_punctuation(ts, &mut scratch);
             }
         }
@@ -606,11 +683,18 @@ where
             }
         }
     }
-    drain_buf(&mut op, &mut buf, cfg.batched, &mut scratch);
+    if let Some(chunk) = builder.take() {
+        sizes.record(chunk.len());
+        drain_chunk(&mut op, chunk, per_tuple, &mut scratch);
+    }
     report.result_count += scratch.len() as u64;
     if cfg.collect_results {
         report.results.extend(scratch.drain(..).map(|r| (0usize, r)));
     }
+    let (fold_hits, fold_misses) = WindowAggregator::fold_stats(&op);
+    report.fold_hits = fold_hits;
+    report.fold_misses = fold_misses;
+    report.batch_sizes = sizes;
 
     report.elapsed = start.elapsed();
     report.cpu_time = process_cpu_time().saturating_sub(cpu_before);
@@ -813,6 +897,26 @@ mod tests {
         // In-order streams emit as tuples cross window ends — no
         // watermarks needed.
         assert_eq!(report.result_count, 3);
+    }
+
+    #[test]
+    fn parallel_report_carries_fold_and_batch_metrics() {
+        let elements = stream_with_watermarks(500, 64);
+        let report = run_parallel(
+            elements.iter().cloned(),
+            PipelineConfig::with_parallelism(2).with_batch_size(64),
+            SumI64,
+            tumbling(10),
+            OperatorConfig::out_of_order(30),
+        );
+        assert_eq!(report.parallel_workers, 2);
+        // SumI64 (testsupport) has no fold kernel, so every span is a
+        // miss — but spans were folded, and every chunk was recorded.
+        assert_eq!(report.fold_hits, 0);
+        assert!(report.fold_misses > 0, "spans must be counted");
+        assert!(!report.batch_sizes.is_empty());
+        assert_eq!(report.batch_sizes.records(), 500);
+        assert!(report.batch_sizes.max() <= 64);
     }
 
     #[test]

@@ -14,25 +14,22 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, Sender};
 use gss_core::{AggregateFunction, PerKey, StreamElement, Time, WindowAggregator, WindowResult};
 
-use crate::metrics::LatencyHistogram;
+use crate::batching::{Batching, ChunkBuilder, RecordChunk};
+use crate::metrics::{BatchSizeHistogram, LatencyHistogram};
 
 /// Runtime configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct PipelineConfig {
     /// Number of parallel operator instances (degree of parallelism).
     pub parallelism: usize,
-    /// Bounded channel capacity per partition (backpressure), in batches.
+    /// Bounded channel capacity per partition (backpressure), in chunks.
     pub channel_capacity: usize,
-    /// Records per channel batch (amortizes channel overhead, like network
-    /// buffers in distributed engines). Watermarks flush pending batches
-    /// to preserve ordering.
-    pub batch_size: usize,
-    /// Feed whole record chunks to the operator's
-    /// [`WindowAggregator::process_batch`] (the batched ingestion fast
-    /// path) instead of one `process` call per record. Results are
-    /// identical; only the per-record overhead changes. On by default;
-    /// disable to measure the per-tuple path.
-    pub batched: bool,
+    /// How sources pack records into channel chunks and how workers feed
+    /// them to the operator (see [`Batching`]). The default is
+    /// latency-bounded adaptive batching; watermarks and punctuations
+    /// always flush pending chunks first, so every mode produces
+    /// identical results.
+    pub batching: Batching,
     /// Collect emitted window results (disable for pure throughput runs —
     /// results are counted either way).
     pub collect_results: bool,
@@ -43,8 +40,7 @@ impl Default for PipelineConfig {
         PipelineConfig {
             parallelism: 1,
             channel_capacity: 256,
-            batch_size: 512,
-            batched: true,
+            batching: Batching::default(),
             collect_results: true,
         }
     }
@@ -55,15 +51,30 @@ impl PipelineConfig {
         PipelineConfig { parallelism: parallelism.max(1), ..Default::default() }
     }
 
+    /// Fixed-size chunks of `batch_size` records. Composes with
+    /// [`per_tuple`](PipelineConfig::per_tuple) in either order: the
+    /// per-tuple flag controls the operator path, the size the transport
+    /// chunking.
     pub fn with_batch_size(mut self, batch_size: usize) -> Self {
-        self.batch_size = batch_size.max(1);
+        let n = batch_size.max(1);
+        self.batching = match self.batching {
+            Batching::PerTuple { .. } => Batching::PerTuple { chunk: n },
+            _ => Batching::Fixed(n),
+        };
+        self
+    }
+
+    /// Latency-bounded adaptive batching: chunks flush at `target`
+    /// records or after `max_delay`, whichever comes first.
+    pub fn adaptive(mut self, target: usize, max_delay: Duration) -> Self {
+        self.batching = Batching::Adaptive { target: target.max(1), max_delay };
         self
     }
 
     /// Process records one `process` call at a time (the pre-batching
     /// behavior; chunks still ride the channels).
     pub fn per_tuple(mut self) -> Self {
-        self.batched = false;
+        self.batching = Batching::PerTuple { chunk: self.batching.chunk_target().max(1) };
         self
     }
 
@@ -74,11 +85,12 @@ impl PipelineConfig {
 }
 
 /// A unit of work sent to a partition worker: a chunk of in-partition
-/// records, or a broadcast watermark/punctuation. Records travel as bare
-/// `(time, value)` pairs so workers can hand the whole chunk to
-/// [`WindowAggregator::process_batch`] without repacking.
+/// records, or a broadcast watermark/punctuation. Records travel as a
+/// struct-of-arrays [`RecordChunk`] so workers can hand the whole chunk
+/// to [`WindowAggregator::process_batch_columns`] — contiguous values
+/// column, zero repacking.
 enum Chunk<V> {
-    Records(Vec<(Time, V)>),
+    Records(RecordChunk<V>),
     Watermark(Time),
     Punctuation(Time),
 }
@@ -107,6 +119,19 @@ pub struct PipelineReport<O> {
     /// the run went through a sequential operator (including the
     /// ineligible-workload fallback of `run_parallel`).
     pub parallel_workers: usize,
+    /// Folded runs that went through a hand-written
+    /// [`AggregateFunction::fold_slice`](gss_core::AggregateFunction::fold_slice)
+    /// kernel, summed across partitions/workers.
+    pub fold_hits: u64,
+    /// Folded runs that fell back to the default lift/combine loop
+    /// (no kernel for the aggregate, or a gathered run below the kernel
+    /// threshold).
+    pub fold_misses: u64,
+    /// Achieved batch-size distribution: the records each chunk actually
+    /// carried when the source flushed it. Under adaptive batching this
+    /// shows which regime the run was in (target-filled vs
+    /// deadline-flushed).
+    pub batch_sizes: BatchSizeHistogram,
 }
 
 impl<O> PipelineReport<O> {
@@ -140,6 +165,9 @@ impl<O> PipelineReport<O> {
             cpu_time: Duration::ZERO,
             send_wait: LatencyHistogram::new(),
             parallel_workers: 0,
+            fold_hits: 0,
+            fold_misses: 0,
+            batch_sizes: BatchSizeHistogram::new(),
         }
     }
 }
@@ -225,7 +253,6 @@ where
     let cpu_before = process_cpu_time();
     let start = Instant::now();
     let mut report = PipelineReport::empty();
-    let batch = cfg.batch_size.max(1);
     std::thread::scope(|scope| {
         let mut senders: Vec<Sender<Chunk<A::Input>>> = Vec::with_capacity(p);
         let mut handles = Vec::with_capacity(p);
@@ -234,7 +261,7 @@ where
             senders.push(tx);
             let mut op = make_operator(i);
             let collect = cfg.collect_results;
-            let batched = cfg.batched;
+            let per_tuple = cfg.batching.is_per_tuple();
             handles.push(scope.spawn(move || {
                 let mut results = Vec::new();
                 let mut scratch: Vec<WindowResult<A::Output>> = Vec::new();
@@ -242,14 +269,24 @@ where
                 let mut count = 0u64;
                 for chunk in rx.iter() {
                     match chunk {
-                        Chunk::Records(tuples) => {
-                            records += tuples.len() as u64;
-                            if batched {
-                                op.process_batch(&tuples, &mut scratch);
-                            } else {
-                                for (ts, value) in tuples {
+                        Chunk::Records(chunk) => {
+                            chunk.check();
+                            records += chunk.len() as u64;
+                            // Size-1 chunks take the plain per-record
+                            // entry point: the batched path's run
+                            // detection is pure overhead on a single
+                            // record (the old "batch 1 costs 0.6×"
+                            // cliff).
+                            if per_tuple || chunk.len() == 1 {
+                                for (ts, value) in chunk {
                                     op.process(ts, value, &mut scratch);
                                 }
+                            } else {
+                                op.process_batch_columns(
+                                    chunk.times(),
+                                    chunk.values(),
+                                    &mut scratch,
+                                );
                             }
                         }
                         Chunk::Watermark(wm) => op.on_watermark(wm, &mut scratch),
@@ -262,19 +299,22 @@ where
                         scratch.clear();
                     }
                 }
-                (results, count, records)
+                let (fold_hits, fold_misses) = op.fold_stats();
+                (results, count, records, fold_hits, fold_misses)
             }));
         }
         // Source: partition records into per-partition chunks; broadcast
         // watermarks, flushing chunks first to preserve ordering.
-        let mut buffers: Vec<Vec<(Time, A::Input)>> =
-            (0..p).map(|_| Vec::with_capacity(batch)).collect();
-        let flush_all = |buffers: &mut Vec<Vec<(Time, A::Input)>>,
+        let mut builders: Vec<ChunkBuilder<A::Input>> =
+            (0..p).map(|_| ChunkBuilder::new(cfg.batching)).collect();
+        let mut sizes = BatchSizeHistogram::new();
+        let flush_all = |builders: &mut Vec<ChunkBuilder<A::Input>>,
+                         sizes: &mut BatchSizeHistogram,
                          senders: &[Sender<Chunk<A::Input>>]| {
-            for (buf, tx) in buffers.iter_mut().zip(senders) {
-                if !buf.is_empty() {
-                    tx.send(Chunk::Records(std::mem::replace(buf, Vec::with_capacity(batch))))
-                        .expect("worker hung up");
+            for (builder, tx) in builders.iter_mut().zip(senders) {
+                if let Some(chunk) = builder.take() {
+                    sizes.record(chunk.len());
+                    tx.send(Chunk::Records(chunk)).expect("worker hung up");
                 }
             }
         };
@@ -282,32 +322,34 @@ where
             match element {
                 StreamElement::Record { ts, value: (key, v) } => {
                     let dst = partition_of(key, p);
-                    buffers[dst].push((ts, v));
-                    if buffers[dst].len() >= batch {
-                        let full = std::mem::replace(&mut buffers[dst], Vec::with_capacity(batch));
-                        senders[dst].send(Chunk::Records(full)).expect("worker hung up");
+                    if let Some(chunk) = builders[dst].push(ts, v) {
+                        sizes.record(chunk.len());
+                        senders[dst].send(Chunk::Records(chunk)).expect("worker hung up");
                     }
                 }
                 StreamElement::Watermark(wm) => {
-                    flush_all(&mut buffers, &senders);
+                    flush_all(&mut builders, &mut sizes, &senders);
                     for tx in &senders {
                         tx.send(Chunk::Watermark(wm)).expect("worker hung up");
                     }
                 }
                 StreamElement::Punctuation(ts) => {
-                    flush_all(&mut buffers, &senders);
+                    flush_all(&mut builders, &mut sizes, &senders);
                     for tx in &senders {
                         tx.send(Chunk::Punctuation(ts)).expect("worker hung up");
                     }
                 }
             }
         }
-        flush_all(&mut buffers, &senders);
+        flush_all(&mut builders, &mut sizes, &senders);
         drop(senders);
+        report.batch_sizes = sizes;
         for (i, h) in handles.into_iter().enumerate() {
-            let (results, count, records) = h.join().expect("worker panicked");
+            let (results, count, records, hits, misses) = h.join().expect("worker panicked");
             report.result_count += count;
             report.records += records;
+            report.fold_hits += hits;
+            report.fold_misses += misses;
             report.results.extend(results.into_iter().map(|r| (i, r)));
         }
     });
@@ -576,6 +618,64 @@ mod tests {
         assert!(!norm(&a).is_empty());
         assert_eq!(norm(&a), norm(&b), "shared keyed must be parallelism-invariant");
         assert_eq!(norm(&a), norm(&c), "shared keyed must match the naive baseline");
+    }
+
+    #[test]
+    fn report_carries_fold_stats_and_batch_sizes() {
+        let report = run_keyed(
+            make_elements(2000, 4),
+            PipelineConfig::default().with_batch_size(128),
+            slicing_factory,
+        );
+        // SumI64 (testsupport) has no fold kernel, so every folded run is
+        // a miss — but runs *were* folded, and every chunk was recorded.
+        assert_eq!(report.fold_hits, 0);
+        assert!(report.fold_misses > 0, "batched runs must be counted");
+        assert!(!report.batch_sizes.is_empty());
+        assert_eq!(report.batch_sizes.records(), 2000);
+        assert!(report.batch_sizes.max() <= 128);
+    }
+
+    #[test]
+    fn adaptive_batching_matches_fixed_results() {
+        let adaptive = run_keyed(
+            make_elements(2000, 8),
+            PipelineConfig::default().adaptive(256, Duration::from_millis(1)),
+            slicing_factory,
+        );
+        let fixed = run_keyed(
+            make_elements(2000, 8),
+            PipelineConfig::default().with_batch_size(256),
+            slicing_factory,
+        );
+        let norm = |r: &PipelineReport<i64>| {
+            let mut m: Vec<(usize, i64, i64, i64)> =
+                r.results.iter().map(|(p, w)| (*p, w.range.start, w.range.end, w.value)).collect();
+            m.sort_unstable();
+            m
+        };
+        assert_eq!(adaptive.records, fixed.records);
+        assert_eq!(norm(&adaptive), norm(&fixed));
+        assert_eq!(adaptive.batch_sizes.records(), 2000);
+    }
+
+    #[test]
+    fn size_one_chunks_flow_through_per_record_path() {
+        // with_batch_size(1) ships singleton chunks; the worker must
+        // route them through `process` and still match batched results.
+        let one = run_keyed(
+            make_elements(500, 4),
+            PipelineConfig::default().with_batch_size(1),
+            slicing_factory,
+        );
+        let big = run_keyed(
+            make_elements(500, 4),
+            PipelineConfig::default().with_batch_size(512),
+            slicing_factory,
+        );
+        assert_eq!(one.records, big.records);
+        assert_eq!(one.result_count, big.result_count);
+        assert_eq!(one.batch_sizes.max(), 1);
     }
 
     #[test]

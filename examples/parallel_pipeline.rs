@@ -29,7 +29,11 @@ fn factory(_partition: usize) -> Box<dyn WindowAggregator<Sum>> {
 fn main() {
     let n: i64 = 2_000_000;
     println!("sliding 10s/1s sum over {n} records, 64 keys\n");
-    println!("{:>12} {:>16} {:>12} {:>10}", "parallelism", "throughput", "windows", "cpu");
+    println!(
+        "{:>12} {:>16} {:>12} {:>10} {:>14}",
+        "parallelism", "throughput", "windows", "cpu", "fold kernel"
+    );
+    let mut last_batch_sizes = None;
     for p in [1, 2, 4, 8] {
         let report = run_keyed(
             make_elements(n, 64),
@@ -40,13 +44,21 @@ fn main() {
             .cpu_utilization()
             .map_or_else(|| "n/a".to_string(), |u| format!("{:.0}%", u * 100.0));
         println!(
-            "{:>12} {:>13.2} M/s {:>12} {:>10}",
+            "{:>12} {:>13.2} M/s {:>12} {:>10} {:>7}h {:>4}m",
             p,
             report.throughput() / 1e6,
             report.result_count,
-            cpu
+            cpu,
+            report.fold_hits,
+            report.fold_misses
         );
+        last_batch_sizes = Some(report.batch_sizes.clone());
     }
+    if let Some(sizes) = last_batch_sizes {
+        println!("\nachieved batch sizes (adaptive, p=8): {}", sizes.summary());
+    }
+    println!("\nfold kernel h/m: bulk-folded runs that hit a hand-written fold_slice");
+    println!("kernel vs. the default lift/combine fallback");
     println!("\neach key's windows are complete and correct within its partition;");
     println!("global aggregates would combine per-key results downstream");
 }

@@ -4,7 +4,19 @@
 //! — same windows, same values, same order — across random batch sizes,
 //! in-order and out-of-order inputs, lazy and eager stores, and
 //! context-free, context-aware, and count-based queries.
+//!
+//! The second block pins the bulk-fold kernels and the chunked pipeline:
+//! `fold_slice` must be bit-identical to the default lift/combine fold
+//! for every aggregate, and the keyed/parallel pipelines must agree
+//! across per-tuple, fixed, and adaptive batching modes. Under
+//! `--features audit` these drives also exercise the struct-of-arrays
+//! chunk invariants (column length agreement, run monotonicity) asserted
+//! inside the library.
 
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use general_stream_slicing::core::default_fold_slice;
 use general_stream_slicing::prelude::*;
 use proptest::prelude::*;
 
@@ -371,6 +383,305 @@ proptest! {
             for r in (l + 1..=n).step_by(3) {
                 prop_assert_eq!(eager.query(l, r), deferred.query(l, r), "query {}..{}", l, r);
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bulk-fold kernels and chunked pipeline equivalence.
+
+/// Sorted, Debug-normalized keyed pipeline output: one entry per emitted
+/// window result, tagged with its partition. Debug formatting gives a
+/// total, exact comparison across output types (f64 included: the kernels
+/// are bit-identical by contract, so even float results must match).
+type KeyedOut = Vec<(usize, QueryId, Time, Time, String)>;
+
+fn keyed_cfg(mode: usize, batch: usize) -> PipelineConfig {
+    let base = PipelineConfig::with_parallelism(3);
+    match mode {
+        0 => base.per_tuple().with_batch_size(batch.max(16)),
+        1 => base.with_batch_size(batch),
+        // A far-future deadline keeps the adaptive run deterministic: it
+        // chunks exactly like `Fixed(batch)` while still exercising the
+        // adaptive bookkeeping.
+        _ => base.adaptive(batch, Duration::from_secs(3600)),
+    }
+}
+
+fn run_keyed_mode<A>(
+    f: &A,
+    elements: &[StreamElement<(u64, A::Input)>],
+    length: i64,
+    slide: i64,
+    lateness: Time,
+    cfg: PipelineConfig,
+) -> KeyedOut
+where
+    A: AggregateFunction<Input = i64> + 'static,
+    A::Output: Send + std::fmt::Debug,
+{
+    let report = run_keyed(elements.iter().cloned(), cfg, |_partition| {
+        let mut op = WindowOperator::new(
+            f.clone(),
+            OperatorConfig {
+                order: StreamOrder::OutOfOrder,
+                allowed_lateness: lateness,
+                ..OperatorConfig::default()
+            },
+        );
+        op.add_query(Box::new(TumblingWindow::new(length))).unwrap();
+        op.add_query(Box::new(SlidingWindow::new(length.max(slide), slide))).unwrap();
+        Box::new(op)
+    });
+    let mut out: KeyedOut = report
+        .results
+        .iter()
+        .map(|(p, r)| (*p, r.query, r.range.start, r.range.end, format!("{:?}", r.value)))
+        .collect();
+    out.sort();
+    out
+}
+
+/// Batched (fixed and adaptive) keyed runs must match; when `exact` (an
+/// integer-partial aggregate, where every fold tree yields the same
+/// bits), the per-tuple operator path must match them too.
+#[allow(clippy::too_many_arguments)]
+fn check_keyed_modes<A>(
+    f: &A,
+    name: &str,
+    elements: &[StreamElement<(u64, i64)>],
+    length: i64,
+    slide: i64,
+    lateness: Time,
+    batch: usize,
+    exact: bool,
+) where
+    A: AggregateFunction<Input = i64> + 'static,
+    A::Output: Send + std::fmt::Debug,
+{
+    let fixed = run_keyed_mode(f, elements, length, slide, lateness, keyed_cfg(1, batch));
+    let adaptive = run_keyed_mode(f, elements, length, slide, lateness, keyed_cfg(2, batch));
+    assert_eq!(fixed, adaptive, "{name}: adaptive batching diverged from fixed at batch {batch}");
+    if exact {
+        let per_tuple = run_keyed_mode(f, elements, length, slide, lateness, keyed_cfg(0, batch));
+        assert_eq!(fixed, per_tuple, "{name}: batched diverged from per-tuple at batch {batch}");
+    }
+}
+
+/// Final (last-emitted) value per window, Debug-normalized.
+type Finals = BTreeMap<(QueryId, Time, Time), String>;
+
+fn sequential_finals<A>(
+    f: &A,
+    elements: &[StreamElement<i64>],
+    length: i64,
+    lateness: Time,
+) -> Finals
+where
+    A: AggregateFunction<Input = i64> + 'static,
+    A::Output: std::fmt::Debug,
+{
+    let mut op = WindowOperator::new(
+        f.clone(),
+        OperatorConfig {
+            order: StreamOrder::OutOfOrder,
+            allowed_lateness: lateness,
+            ..OperatorConfig::default()
+        },
+    );
+    op.add_query(Box::new(SlidingWindow::new(length, length / 2))).unwrap();
+    let mut out = Vec::new();
+    let mut finals = Finals::new();
+    for e in elements {
+        match e {
+            StreamElement::Record { ts, value } => op.process(*ts, *value, &mut out),
+            StreamElement::Watermark(wm) => op.on_watermark(*wm, &mut out),
+            _ => {}
+        }
+        for r in out.drain(..) {
+            finals.insert((r.query, r.range.start, r.range.end), format!("{:?}", r.value));
+        }
+    }
+    finals
+}
+
+fn parallel_finals<A>(
+    f: &A,
+    elements: &[StreamElement<i64>],
+    length: i64,
+    lateness: Time,
+    cfg: PipelineConfig,
+) -> Finals
+where
+    A: AggregateFunction<Input = i64> + 'static,
+    A::Output: Send + std::fmt::Debug,
+{
+    let report = run_parallel(
+        elements.iter().cloned(),
+        cfg,
+        f.clone(),
+        vec![Box::new(SlidingWindow::new(length, length / 2))],
+        OperatorConfig {
+            order: StreamOrder::OutOfOrder,
+            allowed_lateness: lateness,
+            ..OperatorConfig::default()
+        },
+    );
+    let mut finals = Finals::new();
+    for (_, r) in &report.results {
+        finals.insert((r.query, r.range.start, r.range.end), format!("{:?}", r.value));
+    }
+    finals
+}
+
+fn check_parallel_modes<A>(
+    f: &A,
+    name: &str,
+    elements: &[StreamElement<i64>],
+    length: i64,
+    lateness: Time,
+    batch: usize,
+    workers: usize,
+) where
+    A: AggregateFunction<Input = i64> + 'static,
+    A::Output: Send + std::fmt::Debug,
+{
+    let seq = sequential_finals(f, elements, length, lateness);
+    for mode in 0..3 {
+        let cfg = match mode {
+            0 => {
+                PipelineConfig::with_parallelism(workers).per_tuple().with_batch_size(batch.max(16))
+            }
+            1 => PipelineConfig::with_parallelism(workers).with_batch_size(batch),
+            _ => {
+                PipelineConfig::with_parallelism(workers).adaptive(batch, Duration::from_secs(3600))
+            }
+        };
+        let par = parallel_finals(f, elements, length, lateness, cfg);
+        assert_eq!(
+            seq, par,
+            "{name}: parallel finals diverged from sequential (mode {mode}, batch {batch}, \
+             {workers} workers)"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every aggregate's `fold_slice` — kernel or default — must be
+    /// bit-identical to the reference lift/combine fold, including the
+    /// f64 moments kernel (which folds in stream order for exactly this
+    /// reason) and the empty run.
+    #[test]
+    fn fold_slice_matches_default_fold_for_every_function(
+        values in prop::collection::vec(-1_000i64..1_000, 0..300),
+    ) {
+        macro_rules! check {
+            ($f:expr, $name:expr) => {{
+                let f = $f;
+                let kernel = f.fold_slice(&values).map(|p| format!("{:?}", f.lower(&p)));
+                let reference =
+                    default_fold_slice(&f, &values).map(|p| format!("{:?}", f.lower(&p)));
+                prop_assert_eq!(kernel, reference, "{} diverged from the default fold", $name);
+            }};
+        }
+        check!(CountAgg, "count");
+        check!(Sum, "sum");
+        check!(SumNoInvert, "sum-no-invert");
+        check!(Avg, "avg");
+        check!(Min, "min");
+        check!(Max, "max");
+        check!(SampleStdDev, "sample-stddev");
+        check!(PopulationStdDev, "population-stddev");
+        check!(GeometricMean, "geometric-mean");
+        prop_assert!(
+            Sum.has_fold_kernel() && Min.has_fold_kernel() && Max.has_fold_kernel(),
+            "sum/min/max must carry hand-written kernels"
+        );
+        prop_assert!(
+            !GeometricMean.has_fold_kernel(),
+            "geometric mean stays on the default fold by design"
+        );
+    }
+
+    /// Keyed pipeline grid: functions × batch sizes × disorder. Fixed and
+    /// adaptive batching must agree bit-for-bit for every function; the
+    /// per-tuple operator path must agree for integer-partial functions
+    /// (float fold trees legitimately differ across ingestion paths, but
+    /// not across chunkings).
+    #[test]
+    fn keyed_pipeline_batching_modes_agree(
+        raw in prop::collection::vec((0i64..2_000, -50i64..50), 1..150),
+        fraction in 0u8..50,
+        batch_i in 0usize..3,
+        func_i in 0usize..5,
+        length in 2i64..50,
+        slide in 1i64..25,
+        seed in 0u64..500,
+    ) {
+        let batch = [1usize, 64, 512][batch_i];
+        let lateness = 200;
+        let tuples = sorted(&raw);
+        let arrivals = make_out_of_order(
+            &tuples,
+            OooConfig { fraction_percent: fraction, max_delay: 100, seed, ..Default::default() },
+        );
+        let mut keyed: Vec<StreamElement<(u64, i64)>> =
+            with_watermarks(&arrivals, 50, 100)
+                .iter()
+                .map(|e| match e {
+                    StreamElement::Record { ts, value } => {
+                        StreamElement::Record { ts: *ts, value: (ts.unsigned_abs() % 8, *value) }
+                    }
+                    StreamElement::Watermark(wm) => StreamElement::Watermark(*wm),
+                    StreamElement::Punctuation(p) => StreamElement::Punctuation(*p),
+                })
+                .collect();
+        keyed.push(StreamElement::Watermark(i64::MAX - 1));
+        match func_i {
+            0 => check_keyed_modes(&Sum, "sum", &keyed, length, slide, lateness, batch, true),
+            1 => check_keyed_modes(&Min, "min", &keyed, length, slide, lateness, batch, true),
+            2 => check_keyed_modes(&Avg, "avg", &keyed, length, slide, lateness, batch, true),
+            3 => check_keyed_modes(&CountAgg, "count", &keyed, length, slide, lateness, batch, true),
+            _ => check_keyed_modes(
+                &SampleStdDev, "stddev", &keyed, length, slide, lateness, batch, false,
+            ),
+        }
+    }
+
+    /// Parallel pipeline grid: the two-stage worker/merge path (with its
+    /// span-folding ingestion) must reach the same final window values as
+    /// one sequential per-tuple operator, for every batching mode and
+    /// batch size, under disorder. Integer-partial functions only: the
+    /// parallel combine tree is shaped by worker interleaving, so float
+    /// outputs are not bit-stable across runs by construction.
+    #[test]
+    fn parallel_pipeline_matches_sequential_finals(
+        raw in prop::collection::vec((0i64..2_000, -50i64..50), 1..150),
+        fraction in 0u8..40,
+        batch_i in 0usize..3,
+        func_i in 0usize..4,
+        length in 4i64..60,
+        workers in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        let batch = [1usize, 64, 512][batch_i];
+        let lateness = 200;
+        let tuples = sorted(&raw);
+        let arrivals = make_out_of_order(
+            &tuples,
+            OooConfig { fraction_percent: fraction, max_delay: 100, seed, ..Default::default() },
+        );
+        let mut elements = with_watermarks(&arrivals, 50, 100);
+        elements.push(StreamElement::Watermark(i64::MAX - 1));
+        match func_i {
+            0 => check_parallel_modes(&Sum, "sum", &elements, length, lateness, batch, workers),
+            1 => check_parallel_modes(&Min, "min", &elements, length, lateness, batch, workers),
+            2 => check_parallel_modes(&Avg, "avg", &elements, length, lateness, batch, workers),
+            _ => check_parallel_modes(
+                &CountAgg, "count", &elements, length, lateness, batch, workers,
+            ),
         }
     }
 }
