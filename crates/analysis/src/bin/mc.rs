@@ -1,18 +1,27 @@
 //! Model-checker driver: exhaustively explores the parallel merge
-//! protocol over a matrix of workload shapes, then validates checker
-//! sensitivity by confirming that two deliberately broken protocol
-//! mutants are caught.
+//! protocol and the key-sharded emission protocol over a matrix of
+//! workload shapes, then validates checker sensitivity by confirming
+//! that deliberately broken protocol mutants are caught.
 //!
-//! Exit codes: `0` all configs pass and both mutants are caught, `1`
+//! Exit codes: `0` all configs pass and every mutant is caught, `1`
 //! a real-protocol violation was found or a mutant slipped through.
 
 use gss_analysis::mc::{check, McConfig, Protocol};
+use gss_analysis::sharded::{check as check_sharded, ShardMcConfig, ShardProtocol};
 
 fn main() {
     std::process::exit(run());
 }
 
 fn run() -> i32 {
+    let intra = run_intra_query();
+    if intra != 0 {
+        return intra;
+    }
+    run_sharded()
+}
+
+fn run_intra_query() -> i32 {
     let mut configs = 0u64;
     let mut states = 0u64;
     let mut transitions = 0u64;
@@ -92,6 +101,94 @@ fn run() -> i32 {
     println!(
         "mc: OK — {configs} configurations exhaustively explored \
          ({states} states, {transitions} transitions), 2 mutants caught"
+    );
+    0
+}
+
+/// The key-sharded merge protocol (`run_sharded_keyed`): per-shard
+/// emission shipping, broadcast watermark acks, and epoch-barrier
+/// release at the merge stage.
+fn run_sharded() -> i32 {
+    let mut configs = 0u64;
+    let mut states = 0u64;
+    let mut transitions = 0u64;
+    for shards in 1..=3 {
+        for epochs in 1..=3 {
+            for ships_per_epoch in 0..=2 {
+                for tail_emits in [false, true] {
+                    for regressive_wm in [false, true] {
+                        let cfg = ShardMcConfig {
+                            shards,
+                            epochs,
+                            ships_per_epoch,
+                            tail_emits,
+                            regressive_wm,
+                            protocol: ShardProtocol::EpochBarrier,
+                        };
+                        match check_sharded(&cfg) {
+                            Ok(rep) => {
+                                configs += 1;
+                                states += rep.states;
+                                transitions += rep.transitions;
+                                println!(
+                                    "mc[shard]: ok  s={shards} e={epochs} ship={ships_per_epoch} \
+                                     tail={} regr={} — {} states, {} transitions, \
+                                     {} emissions, {} epochs closed",
+                                    flag(tail_emits),
+                                    flag(regressive_wm),
+                                    rep.states,
+                                    rep.transitions,
+                                    rep.emissions,
+                                    rep.epochs_closed
+                                );
+                            }
+                            Err(v) => {
+                                eprintln!(
+                                    "mc[shard]: FAILED  s={shards} e={epochs} \
+                                     ship={ships_per_epoch} tail={} regr={}",
+                                    flag(tail_emits),
+                                    flag(regressive_wm)
+                                );
+                                eprintln!("{v}");
+                                return 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Sensitivity for the sharded checker: all three mutants must trip
+    // the specific invariant they were built to break.
+    for (protocol, name, invariant) in [
+        (ShardProtocol::AnyAck, "any-ack epoch close", "epoch-complete release"),
+        (ShardProtocol::EagerRelease, "eager release", "epoch-ordered release"),
+        (ShardProtocol::DropStaged, "drop staged", "exactly-once release"),
+    ] {
+        let mut cfg = ShardMcConfig::new(2, 2);
+        cfg.protocol = protocol;
+        match check_sharded(&cfg) {
+            Err(v) if v.invariant == invariant => {
+                println!("mc[shard]: mutant `{name}` caught ({} trace steps)", v.trace.len());
+            }
+            Err(v) => {
+                eprintln!(
+                    "mc[shard]: FAILED — mutant `{name}` tripped `{}` instead of `{invariant}`",
+                    v.invariant
+                );
+                return 1;
+            }
+            Ok(_) => {
+                eprintln!("mc[shard]: FAILED — mutant `{name}` passed; checker is not sensitive");
+                return 1;
+            }
+        }
+    }
+
+    println!(
+        "mc[shard]: OK — {configs} configurations exhaustively explored \
+         ({states} states, {transitions} transitions), 3 mutants caught"
     );
     0
 }

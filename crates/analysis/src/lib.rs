@@ -8,8 +8,9 @@
 //!   FxHash in hot paths, no wall-clock in event-time code), with an
 //!   audited-exception file at `analysis/lint.allow`. Run via the
 //!   `lint` binary (`cargo lint`).
-//! * **Model checker** ([`mc`]): exhaustive explicit-state exploration
-//!   of the parallel worker/merge protocol's interleavings. Run via the
+//! * **Model checkers** ([`mc`], [`sharded`]): exhaustive explicit-state
+//!   exploration of the parallel worker/merge protocol's interleavings
+//!   and of the key-sharded emission/epoch-barrier protocol. Run via the
 //!   `mc` binary (`cargo mc`).
 //! * The **invariant-audit build** lives in the checked crates
 //!   themselves behind the workspace-wide `audit` feature; this crate
@@ -20,6 +21,7 @@ pub mod lexer;
 pub mod mc;
 pub mod rules;
 pub mod scope;
+pub mod sharded;
 pub mod walk;
 
 #[cfg(test)]

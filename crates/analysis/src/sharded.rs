@@ -1,0 +1,521 @@
+//! An explicit-state model checker for the key-sharded merge protocol
+//! (`gss_stream::run_sharded_keyed`, PR 7).
+//!
+//! Like the intra-query model in [`crate::mc`], this exists because the
+//! development container has one core: the sharded protocol's races can
+//! never surface at runtime, so its guarantees are checked by exhaustive
+//! exploration. The model mirrors the shipped protocol:
+//!
+//! * **Shards** each produce a fixed FIFO script: per watermark epoch,
+//!   zero or more `Emits` batches (key-tagged window results, shipped at
+//!   the cap or right before the ack) followed by one `Ack(w)` per
+//!   broadcast watermark — ship then ack, every broadcast acked. Tail
+//!   emissions (records or punctuation after the last watermark) ship
+//!   with no trailing ack.
+//! * The **merge stage** keeps one FIFO queue per shard and *stages*
+//!   consumed `Emits` per shard. The output epoch closes only when
+//!   **every** queue front is an ack (the epoch barrier): the watermark
+//!   advances to the agreed value and the staged emissions are
+//!   *released* — appended to the output — together. Remaining staged
+//!   messages at end of stream are released as the closing epoch.
+//!
+//! The explored nondeterminism is the arrival interleaving of shard
+//! messages and the merge stage's lag behind arrivals, both explored
+//! exhaustively with memoization over `(delivered, consumed, released,
+//! watermark, output)` states; the merge transition runs the
+//! deterministic fixpoint of the real loop.
+//!
+//! ## Checked invariants
+//!
+//! 1. **Ack agreement / watermark monotonicity** — at every barrier all
+//!    acked fronts agree (FIFO broadcast); regressive watermarks are
+//!    acked but ignored and release nothing new.
+//! 2. **Epoch-complete release** — when the watermark advances to `W`,
+//!    every `Emits` batch that precedes `Ack(W)` in *any* shard's script
+//!    has been consumed **and released**: the output epoch is complete.
+//! 3. **Epoch-ordered, exactly-once release** — every emission is
+//!    released exactly once, at exactly its own epoch's barrier (tail
+//!    emissions: exactly at end of stream), so the output is globally
+//!    watermark-ordered.
+//!
+//! To validate that the checker can fail, [`ShardProtocol`] carries
+//! three mutants: [`ShardProtocol::AnyAck`] (close the epoch on the
+//! first ack — breaks invariant 2), [`ShardProtocol::EagerRelease`]
+//! (release emissions on arrival instead of at the barrier — breaks
+//! invariant 3), and [`ShardProtocol::DropStaged`] (forget staged
+//! emissions at the barrier — breaks exactly-once). All three must be
+//! caught; the real [`ShardProtocol::EpochBarrier`] must pass.
+
+use std::collections::HashSet;
+
+/// Model time; watermarks are small integers.
+type Wm = i64;
+const WM_MIN: Wm = i64::MIN;
+/// Epoch marker for tail emissions (after the last watermark): released
+/// only by the end-of-stream drain, never at a barrier.
+const TAIL: Wm = i64::MAX;
+
+/// One shard→merge message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Msg {
+    /// A shipped batch of emission ids.
+    Emits(Vec<u32>),
+    /// Watermark ack: everything this shard emitted up to the watermark
+    /// has been shipped in earlier messages.
+    Ack(Wm),
+}
+
+/// Which merge rule to model check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardProtocol {
+    /// The shipped rule: release staged emissions and advance only when
+    /// every queue front is an ack.
+    EpochBarrier,
+    /// Mutant: close the epoch as soon as any front acks. A lagging
+    /// shard's emissions miss their epoch — breaks completeness.
+    AnyAck,
+    /// Mutant: release each batch the moment it is consumed instead of
+    /// staging until the barrier — breaks watermark ordering.
+    EagerRelease,
+    /// Mutant: discard staged batches at the barrier — breaks
+    /// exactly-once release.
+    DropStaged,
+}
+
+/// A model configuration: the protocol plus the workload shape.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardMcConfig {
+    pub shards: usize,
+    pub epochs: usize,
+    /// `Emits` batches each shard ships per epoch (0 = idle shard that
+    /// only acks — keys hashed elsewhere).
+    pub ships_per_epoch: usize,
+    /// Ship one batch after the final ack (records/punctuation past the
+    /// last watermark), released by the end-of-stream drain.
+    pub tail_emits: bool,
+    /// Broadcast a regressive watermark after epoch 0 (acked by every
+    /// shard, ignored by the merge stage, releases nothing).
+    pub regressive_wm: bool,
+    pub protocol: ShardProtocol,
+}
+
+impl ShardMcConfig {
+    pub fn new(shards: usize, epochs: usize) -> Self {
+        ShardMcConfig {
+            shards,
+            epochs,
+            ships_per_epoch: 1,
+            tail_emits: false,
+            regressive_wm: false,
+            protocol: ShardProtocol::EpochBarrier,
+        }
+    }
+}
+
+/// Exploration statistics of a passing run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardMcReport {
+    /// Distinct states visited.
+    pub states: u64,
+    /// Transitions taken (including ones into memoized states).
+    pub transitions: u64,
+    /// Epochs closed (watermark advances) along any single execution.
+    pub epochs_closed: u64,
+    /// Total emissions generated by the scripts.
+    pub emissions: u64,
+}
+
+/// An invariant violation with the interleaving that produced it.
+#[derive(Debug, Clone)]
+pub struct ShardMcViolation {
+    pub invariant: &'static str,
+    pub detail: String,
+    /// Scheduler choices from the initial state to the violation.
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for ShardMcViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "invariant violated: {} — {}", self.invariant, self.detail)?;
+        writeln!(f, "interleaving:")?;
+        for (i, step) in self.trace.iter().enumerate() {
+            writeln!(f, "  {:>3}. {step}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+fn wm_of_epoch(e: usize) -> Wm {
+    10 * (e as Wm + 1)
+}
+
+/// Builds each shard's message script; returns the scripts and each
+/// emission id's epoch watermark ([`TAIL`] for post-final-ack ships).
+fn build_scripts(cfg: &ShardMcConfig) -> (Vec<Vec<Msg>>, Vec<Wm>) {
+    let mut epoch_of: Vec<Wm> = Vec::new();
+    let mut scripts = Vec::with_capacity(cfg.shards);
+    for _s in 0..cfg.shards {
+        let mut script = Vec::new();
+        for e in 0..cfg.epochs {
+            for _ in 0..cfg.ships_per_epoch {
+                let id = epoch_of.len() as u32;
+                epoch_of.push(wm_of_epoch(e));
+                script.push(Msg::Emits(vec![id]));
+            }
+            script.push(Msg::Ack(wm_of_epoch(e)));
+            if cfg.regressive_wm && e == 0 {
+                // Broadcasts arrive in stream order; a regressive one is
+                // still acked (and must release nothing).
+                script.push(Msg::Ack(wm_of_epoch(0) - 7));
+            }
+        }
+        if cfg.tail_emits {
+            let id = epoch_of.len() as u32;
+            epoch_of.push(TAIL);
+            script.push(Msg::Emits(vec![id]));
+        }
+        scripts.push(script);
+    }
+    (scripts, epoch_of)
+}
+
+/// The explored state: per-shard delivery and consumption progress, the
+/// per-shard release frontier (consumed index at the last release), the
+/// merge watermark, and the released output sequence. The output rides
+/// the state because release points are path-dependent — it is exactly
+/// what the invariants constrain.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct State {
+    delivered: Vec<u16>,
+    consumed: Vec<u16>,
+    released_upto: Vec<u16>,
+    wm: Wm,
+    out: Vec<u32>,
+    epochs_closed: u64,
+}
+
+struct Explorer<'a> {
+    cfg: &'a ShardMcConfig,
+    scripts: &'a [Vec<Msg>],
+    /// Epoch watermark of each emission id ([`TAIL`] for tail ships).
+    epoch_of: &'a [Wm],
+    seen: HashSet<State>,
+    trace: Vec<String>,
+    report: ShardMcReport,
+}
+
+impl<'a> Explorer<'a> {
+    fn front(&self, st: &State, s: usize) -> Option<&'a Msg> {
+        let (c, d) = (st.consumed[s] as usize, st.delivered[s] as usize);
+        (c < d).then(|| &self.scripts[s][c])
+    }
+
+    fn violation(&self, invariant: &'static str, detail: String) -> ShardMcViolation {
+        ShardMcViolation { invariant, detail, trace: self.trace.clone() }
+    }
+
+    /// Releases every staged (consumed but unreleased) batch of every
+    /// shard. `barrier_wm` is the watermark of the closing epoch, or
+    /// `None` for the end-of-stream drain. Checks epoch-ordered release.
+    fn release_staged(
+        &mut self,
+        st: &mut State,
+        barrier_wm: Option<Wm>,
+    ) -> Result<(), ShardMcViolation> {
+        for s in 0..self.cfg.shards {
+            let from = st.released_upto[s] as usize;
+            let to = st.consumed[s] as usize;
+            for msg in self.scripts[s].iter().take(to).skip(from) {
+                let Msg::Emits(ids) = msg else { continue };
+                for &id in ids {
+                    let own = self.epoch_of[id as usize];
+                    let ok = match barrier_wm {
+                        // A barrier releases exactly its own epoch.
+                        Some(w) => own == w,
+                        // The drain releases exactly the tail.
+                        None => own == TAIL,
+                    };
+                    if !(ok || self.cfg.protocol != ShardProtocol::EpochBarrier) {
+                        // Structural for the real protocol; reachable
+                        // only through a bug in the model itself.
+                        return Err(self.violation(
+                            "epoch-ordered release",
+                            format!("emission {id} (epoch wm {own}) released at {barrier_wm:?}"),
+                        ));
+                    }
+                    if !ok {
+                        return Err(self.violation(
+                            "epoch-ordered release",
+                            format!(
+                                "emission {id} (epoch wm {own}) released at {}",
+                                barrier_wm.map_or("end of stream".to_string(), |w| w.to_string())
+                            ),
+                        ));
+                    }
+                    if self.cfg.protocol != ShardProtocol::DropStaged {
+                        st.out.push(id);
+                    }
+                    self.trace.push(format!("merge: release emission {id} from shard {s}"));
+                }
+            }
+            st.released_upto[s] = st.consumed[s];
+        }
+        Ok(())
+    }
+
+    /// Runs the merge stage to fixpoint: consumes every front `Emits`
+    /// (staging, or releasing under the eager mutant), then closes the
+    /// epoch while the barrier rule is met. Deterministic given the
+    /// queues; invariants are checked along the way.
+    fn apply_ready(&mut self, st: &mut State) -> Result<(), ShardMcViolation> {
+        loop {
+            let mut progressed = false;
+            for s in 0..self.cfg.shards {
+                while let Some(Msg::Emits(ids)) = self.front(st, s) {
+                    let ids = ids.clone();
+                    st.consumed[s] += 1;
+                    progressed = true;
+                    self.trace.push(format!("merge: stage shard {s} batch {ids:?}"));
+                    if self.cfg.protocol == ShardProtocol::EagerRelease {
+                        // Mutant: skip the barrier and release on arrival.
+                        for &id in &ids {
+                            let own = self.epoch_of[id as usize];
+                            if own != st.wm {
+                                return Err(self.violation(
+                                    "epoch-ordered release",
+                                    format!(
+                                        "emission {id} (epoch wm {own}) released eagerly at \
+                                         watermark {}",
+                                        st.wm
+                                    ),
+                                ));
+                            }
+                            st.out.push(id);
+                        }
+                        st.released_upto[s] = st.consumed[s];
+                    }
+                }
+            }
+            // Barrier rule.
+            let acked: Vec<(usize, Wm)> = (0..self.cfg.shards)
+                .filter_map(|s| match self.front(st, s) {
+                    Some(Msg::Ack(v)) => Some((s, *v)),
+                    _ => None,
+                })
+                .collect();
+            let fire = match self.cfg.protocol {
+                ShardProtocol::AnyAck => !acked.is_empty(),
+                _ => acked.len() == self.cfg.shards,
+            };
+            if fire {
+                progressed = true;
+                let wm = acked.iter().map(|&(_, v)| v).min().unwrap_or(WM_MIN);
+                for &(s, v) in &acked {
+                    st.consumed[s] += 1;
+                    self.trace.push(format!("merge: pop ack({v}) from shard {s}"));
+                    if v != wm && self.cfg.protocol != ShardProtocol::AnyAck {
+                        return Err(self.violation(
+                            "ack agreement",
+                            format!("barrier acks disagree: {v} vs {wm} (FIFO broadcast broken)"),
+                        ));
+                    }
+                }
+                if wm > st.wm {
+                    st.wm = wm;
+                    st.epochs_closed += 1;
+                    self.trace.push(format!("merge: barrier — watermark {wm}, release epoch"));
+                    self.release_staged(st, Some(wm))?;
+                    self.check_epoch_complete(st, wm)?;
+                } else {
+                    // Regressive/duplicate watermark: acked, ignored; a
+                    // correct run has nothing new staged to release.
+                    self.release_staged(st, Some(wm))?;
+                }
+            }
+            if !progressed {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Invariant 2: when the watermark advances to `wm`, every `Emits`
+    /// batch preceding `Ack(wm)` in any shard's script must have been
+    /// consumed and released — the output epoch is complete.
+    fn check_epoch_complete(&mut self, st: &State, wm: Wm) -> Result<(), ShardMcViolation> {
+        for (s, script) in self.scripts.iter().enumerate() {
+            let Some(ack_idx) = script.iter().position(|m| *m == Msg::Ack(wm)) else {
+                continue;
+            };
+            if (st.released_upto[s] as usize) < ack_idx {
+                return Err(self.violation(
+                    "epoch-complete release",
+                    format!(
+                        "epoch {wm} closed but shard {s} released only \
+                         {}/{} messages (ack at index {ack_idx})",
+                        st.released_upto[s],
+                        script.len()
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_terminal(&mut self, st: &State) -> Result<(), ShardMcViolation> {
+        for s in 0..self.cfg.shards {
+            if st.consumed[s] as usize != self.scripts[s].len() {
+                return Err(self.violation(
+                    "exactly-once release",
+                    format!("shard {s}'s queue did not drain at end of stream"),
+                ));
+            }
+        }
+        let mut counts = vec![0u8; self.epoch_of.len()];
+        for &id in &st.out {
+            counts[id as usize] = counts[id as usize].saturating_add(1);
+        }
+        if let Some(id) = counts.iter().position(|&c| c != 1) {
+            return Err(self.violation(
+                "exactly-once release",
+                format!("emission {id} released {} times by end of stream", counts[id]),
+            ));
+        }
+        // Globally watermark-ordered output: released epochs never
+        // interleave or regress.
+        let epochs: Vec<Wm> = st.out.iter().map(|&id| self.epoch_of[id as usize]).collect();
+        if epochs.windows(2).any(|w| w[0] > w[1]) {
+            return Err(self
+                .violation("epoch-ordered release", format!("output epochs regress: {epochs:?}")));
+        }
+        self.report.epochs_closed = self.report.epochs_closed.max(st.epochs_closed);
+        Ok(())
+    }
+
+    /// DFS over scheduler choices from `st`.
+    fn explore(&mut self, st: State) -> Result<(), ShardMcViolation> {
+        if !self.seen.insert(st.clone()) {
+            return Ok(());
+        }
+        self.report.states += 1;
+        let mut terminal = true;
+        for s in 0..self.cfg.shards {
+            if (st.delivered[s] as usize) < self.scripts[s].len() {
+                terminal = false;
+                self.report.transitions += 1;
+                let mut next = st.clone();
+                next.delivered[s] += 1;
+                let depth = self.trace.len();
+                self.trace.push(format!("deliver shard {s} message #{}", next.delivered[s]));
+                // The merge stage may lag arbitrarily behind arrivals:
+                // explore both the eager schedule (apply_ready now) and
+                // the lagged one (deliver more first).
+                let step = self.trace.len();
+                let mut processed = next.clone();
+                self.apply_ready(&mut processed)?;
+                self.explore(processed)?;
+                self.trace.truncate(step);
+                self.trace.push("merge lags".to_string());
+                self.explore(next)?;
+                self.trace.truncate(depth);
+            }
+        }
+        if terminal {
+            // Drain: the real merge loop runs apply_ready after the
+            // channel closes, then releases the staged tail.
+            let mut fin = st.clone();
+            let depth = self.trace.len();
+            self.apply_ready(&mut fin)?;
+            self.release_staged(&mut fin, None)?;
+            self.check_terminal(&fin)?;
+            self.trace.truncate(depth);
+        }
+        Ok(())
+    }
+}
+
+/// Exhaustively explores every interleaving of `cfg`; returns statistics
+/// or the first invariant violation found.
+pub fn check(cfg: &ShardMcConfig) -> Result<ShardMcReport, ShardMcViolation> {
+    let (scripts, epoch_of) = build_scripts(cfg);
+    let mut ex = Explorer {
+        cfg,
+        scripts: &scripts,
+        epoch_of: &epoch_of,
+        seen: HashSet::new(),
+        trace: Vec::new(),
+        report: ShardMcReport { emissions: epoch_of.len() as u64, ..ShardMcReport::default() },
+    };
+    let init = State {
+        delivered: vec![0; cfg.shards],
+        consumed: vec![0; cfg.shards],
+        released_upto: vec![0; cfg.shards],
+        wm: WM_MIN,
+        out: Vec::new(),
+        epochs_closed: 0,
+    };
+    ex.explore(init)?;
+    Ok(ex.report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_barrier_passes_small_configs() {
+        for shards in 1..=3 {
+            for epochs in 1..=3 {
+                let cfg = ShardMcConfig::new(shards, epochs);
+                let rep = check(&cfg).unwrap_or_else(|v| panic!("{v}"));
+                assert!(rep.states > 0);
+                assert_eq!(rep.epochs_closed, epochs as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_ship_tail_and_regressive_pass() {
+        let mut cfg = ShardMcConfig::new(2, 2);
+        cfg.ships_per_epoch = 2;
+        cfg.tail_emits = true;
+        cfg.regressive_wm = true;
+        let rep = check(&cfg).unwrap_or_else(|v| panic!("{v}"));
+        // 2 shards × (2 epochs × 2 ships + 1 tail) emissions.
+        assert_eq!(rep.emissions, 2 * (2 * 2 + 1));
+        assert_eq!(rep.epochs_closed, 2);
+    }
+
+    #[test]
+    fn idle_shards_only_ack() {
+        let mut cfg = ShardMcConfig::new(2, 2);
+        cfg.ships_per_epoch = 0;
+        let rep = check(&cfg).unwrap_or_else(|v| panic!("{v}"));
+        assert_eq!(rep.emissions, 0);
+        assert_eq!(rep.epochs_closed, 2);
+    }
+
+    #[test]
+    fn any_ack_mutant_is_caught() {
+        let mut cfg = ShardMcConfig::new(2, 2);
+        cfg.protocol = ShardProtocol::AnyAck;
+        let v = check(&cfg).expect_err("any-ack epoch close must violate completeness");
+        assert_eq!(v.invariant, "epoch-complete release");
+        assert!(!v.trace.is_empty(), "violation must carry its interleaving");
+    }
+
+    #[test]
+    fn eager_release_mutant_is_caught() {
+        let mut cfg = ShardMcConfig::new(2, 1);
+        cfg.protocol = ShardProtocol::EagerRelease;
+        let v = check(&cfg).expect_err("eager release must violate epoch ordering");
+        assert_eq!(v.invariant, "epoch-ordered release");
+    }
+
+    #[test]
+    fn drop_staged_mutant_is_caught() {
+        let mut cfg = ShardMcConfig::new(2, 1);
+        cfg.protocol = ShardProtocol::DropStaged;
+        let v = check(&cfg).expect_err("dropping staged emissions must violate exactly-once");
+        assert_eq!(v.invariant, "exactly-once release");
+    }
+}

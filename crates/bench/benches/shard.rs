@@ -1,0 +1,106 @@
+//! Criterion microbenchmark: key-sharded keyed execution
+//! (`run_sharded_keyed`) vs the single-threaded keyed operator,
+//! sliding-window sum over an in-order keyed stream, at 1/2/4 shards.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use gss_aggregates::Sum;
+use gss_core::{
+    KeyedConfig, KeyedWindowOperator, PerKey, StreamElement, Time, WindowAggregator, WindowResult,
+};
+use gss_stream::{run_sharded_keyed, PipelineConfig};
+use gss_windows::SlidingWindow;
+
+const TUPLES: usize = 200_000;
+const LATENESS: i64 = 500;
+const KEYS: u64 = 10_000;
+const BATCH: usize = 512;
+
+fn shared_op() -> Box<dyn WindowAggregator<PerKey<Sum>>> {
+    let windows: Vec<Box<dyn gss_core::WindowFunction>> =
+        vec![Box::new(SlidingWindow::new(1_000, 250))];
+    Box::new(KeyedWindowOperator::new(
+        Sum,
+        windows,
+        KeyedConfig::default().with_allowed_lateness(LATENESS),
+    ))
+}
+
+fn make_elements() -> Vec<StreamElement<(u64, i64)>> {
+    let mut v = Vec::with_capacity(TUPLES + TUPLES / 1_000 + 2);
+    for i in 0..TUPLES {
+        let ts = i as Time;
+        v.push(StreamElement::Record { ts, value: (i as u64 % KEYS, (i % 101) as i64 - 50) });
+        if i % 1_000 == 999 {
+            v.push(StreamElement::Watermark(ts - LATENESS));
+        }
+    }
+    v.push(StreamElement::Watermark(i64::MAX - 1));
+    v
+}
+
+fn bench_shard(c: &mut Criterion) {
+    let elements = make_elements();
+
+    let mut group = c.benchmark_group("shard");
+    group.throughput(Throughput::Elements(TUPLES as u64));
+    group.sample_size(10);
+
+    group.bench_function("single-threaded", |b| {
+        b.iter_batched(
+            || elements.clone(),
+            |elements| {
+                let mut op = shared_op();
+                let mut out: Vec<WindowResult<(u64, i64)>> = Vec::new();
+                let mut buf: Vec<(Time, (u64, i64))> = Vec::with_capacity(BATCH);
+                let mut count = 0usize;
+                for e in &elements {
+                    match e {
+                        StreamElement::Record { ts, value } => {
+                            buf.push((*ts, *value));
+                            if buf.len() >= BATCH {
+                                op.process_batch(&buf, &mut out);
+                                buf.clear();
+                            }
+                        }
+                        StreamElement::Watermark(wm) => {
+                            if !buf.is_empty() {
+                                op.process_batch(&buf, &mut out);
+                                buf.clear();
+                            }
+                            op.on_watermark(*wm, &mut out);
+                        }
+                        StreamElement::Punctuation(_) => {}
+                    }
+                    count += out.len();
+                    out.clear();
+                }
+                count
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    for shards in [1usize, 2, 4] {
+        group.bench_function(format!("shards-{shards}"), |b| {
+            b.iter_batched(
+                || elements.clone(),
+                |elements| {
+                    run_sharded_keyed(
+                        elements,
+                        PipelineConfig::with_parallelism(shards)
+                            .with_batch_size(BATCH)
+                            .throughput_only(),
+                        |_shard| shared_op(),
+                    )
+                    .result_count
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard);
+criterion_main!(benches);

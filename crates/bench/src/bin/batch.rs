@@ -19,7 +19,7 @@ use std::io::Write as _;
 use gss_aggregates::Sum;
 use gss_bench::{
     as_elements, build, concurrent_tumbling_queries, fmt_tput, run, run_batched,
-    run_best_interleaved, Output, Technique,
+    run_best_interleaved, BenchJson, Output, Technique,
 };
 use gss_core::StreamOrder;
 use gss_data::{FootballConfig, FootballGenerator};
@@ -155,15 +155,12 @@ fn main() {
     write_json(&rows);
 }
 
-/// Writes `BENCH_batch.json` at the repo root (no serde in the tree; the
-/// schema is flat, so hand-rolled JSON is fine).
+/// Writes `BENCH_batch.json` at the repo root via the shared
+/// [`BenchJson`] preamble (`workload` + `cores`).
 fn write_json(rows: &[Row]) {
-    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-    let mut f = std::fs::File::create("BENCH_batch.json").expect("create BENCH_batch.json");
-    writeln!(f, "{{").unwrap();
-    writeln!(f, "  \"workload\": \"fig8-style tumbling sum over football stream (in-order)\",")
-        .unwrap();
-    writeln!(f, "  \"cores\": {cores},").unwrap();
+    let mut j =
+        BenchJson::create("batch", "fig8-style tumbling sum over football stream (in-order)");
+    let f = j.file();
     writeln!(f, "  \"batch_sizes\": [1, 64, 512, 4096],").unwrap();
     writeln!(f, "  \"results\": [").unwrap();
     for (i, r) in rows.iter().enumerate() {
@@ -185,6 +182,5 @@ fn write_json(rows: &[Row]) {
         .unwrap();
     }
     writeln!(f, "  ]").unwrap();
-    writeln!(f, "}}").unwrap();
-    eprintln!("wrote BENCH_batch.json");
+    j.finish();
 }

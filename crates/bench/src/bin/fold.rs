@@ -42,7 +42,7 @@ use std::io::Write as _;
 use std::time::Instant;
 
 use gss_aggregates::{Avg, CountAgg, Max, Min, SampleStdDev, Sum};
-use gss_bench::{fmt_tput, Output};
+use gss_bench::{fmt_tput, BenchJson, Output};
 use gss_core::{
     default_fold_slice, AggregateFunction, OperatorConfig, StreamElement, WindowAggregator,
     WindowOperator,
@@ -297,21 +297,19 @@ fn main() {
         });
     }
 
-    write_json(cores, &kernel_rows, &pipe_rows);
+    write_json(&kernel_rows, &pipe_rows);
 }
 
-/// Writes `BENCH_fold.json` at the repo root (no serde in the tree; the
-/// schema is flat, so hand-rolled JSON is fine).
-fn write_json(cores: usize, kernels: &[KernelRow], pipe: &[PipeRow]) {
-    let mut f = std::fs::File::create("BENCH_fold.json").expect("create BENCH_fold.json");
-    writeln!(f, "{{").unwrap();
-    writeln!(
-        f,
-        "  \"workload\": \"fold_slice kernel vs default lift/combine fold on contiguous runs; \
+/// Writes `BENCH_fold.json` at the repo root via the shared
+/// [`BenchJson`] preamble (`workload` + `cores`).
+fn write_json(kernels: &[KernelRow], pipe: &[PipeRow]) {
+    let mut j = BenchJson::create(
+        "fold",
+        "fold_slice kernel vs default lift/combine fold on contiguous runs; \
          plus run_keyed sliding(10s,1s) sum over 64 keys comparing per-tuple, fixed and \
-         adaptive batching\","
-    )
-    .unwrap();
+         adaptive batching",
+    );
+    let f = j.file();
     writeln!(
         f,
         "  \"note\": \"default = per-element lift/combine through non-inlinable calls (the \
@@ -320,7 +318,6 @@ fn write_json(cores: usize, kernels: &[KernelRow], pipe: &[PipeRow]) {
          ~= 1.0 by construction\","
     )
     .unwrap();
-    writeln!(f, "  \"cores\": {cores},").unwrap();
     writeln!(f, "  \"run_lens\": [64, 512, 4096, 16384],").unwrap();
     writeln!(f, "  \"kernels\": [").unwrap();
     for (i, r) in kernels.iter().enumerate() {
@@ -361,6 +358,5 @@ fn write_json(cores: usize, kernels: &[KernelRow], pipe: &[PipeRow]) {
         .unwrap();
     }
     writeln!(f, "  ]").unwrap();
-    writeln!(f, "}}").unwrap();
-    eprintln!("wrote BENCH_fold.json");
+    j.finish();
 }

@@ -26,7 +26,7 @@ use std::io::Write as _;
 use std::time::Instant;
 
 use gss_aggregates::Sum;
-use gss_bench::{fmt_tput, Output};
+use gss_bench::{fmt_tput, BenchJson, Output};
 use gss_core::{
     KeyedConfig, KeyedWindowOperator, NaiveKeyedOperator, PerKey, StreamElement, Time,
     WindowAggregator, WindowResult,
@@ -288,17 +288,15 @@ fn main() {
     write_json(&tput_rows, &wm_rows);
 }
 
-/// Writes `BENCH_keyed.json` at the repo root (no serde in the tree; the
-/// schema is flat, so hand-rolled JSON is fine).
+/// Writes `BENCH_keyed.json` at the repo root via the shared
+/// [`BenchJson`] preamble (`workload` + `cores`).
 fn write_json(tput: &[TputRow], wm: &[WmRow]) {
-    let mut f = std::fs::File::create("BENCH_keyed.json").expect("create BENCH_keyed.json");
-    writeln!(f, "{{").unwrap();
-    writeln!(
-        f,
-        "  \"workload\": \"sliding(1s, 250ms) sum, in-order keyed stream, watermarks every \
-         1s lagging 500ms, batch 512; shared keyed operator vs naive map of per-key operators\","
-    )
-    .unwrap();
+    let mut j = BenchJson::create(
+        "keyed",
+        "sliding(1s, 250ms) sum, in-order keyed stream, watermarks every \
+         1s lagging 500ms, batch 512; shared keyed operator vs naive map of per-key operators",
+    );
+    let f = j.file();
     writeln!(f, "  \"throughput\": [").unwrap();
     for (i, r) in tput.iter().enumerate() {
         let comma = if i + 1 == tput.len() { "" } else { "," };
@@ -322,6 +320,5 @@ fn write_json(tput: &[TputRow], wm: &[WmRow]) {
         .unwrap();
     }
     writeln!(f, "  ]").unwrap();
-    writeln!(f, "}}").unwrap();
-    eprintln!("wrote BENCH_keyed.json");
+    j.finish();
 }

@@ -27,8 +27,8 @@ use std::io::Write as _;
 
 use gss_aggregates::Sum;
 use gss_bench::{
-    build_slicing, concurrent_tumbling_queries, fmt_tput, run, run_batched, run_best, Output,
-    RunReport,
+    build_slicing, concurrent_tumbling_queries, fmt_tput, run, run_batched, run_best, BenchJson,
+    Output, RunReport,
 };
 use gss_core::{StorePolicy, StreamOrder};
 use gss_data::{make_out_of_order, with_watermarks, FootballConfig, FootballGenerator, OooConfig};
@@ -132,19 +132,15 @@ fn main() {
     write_json(&rows);
 }
 
-/// Writes `BENCH_ooo.json` at the repo root (no serde in the tree; the
-/// schema is flat, so hand-rolled JSON is fine).
+/// Writes `BENCH_ooo.json` at the repo root via the shared
+/// [`BenchJson`] preamble (`workload` + `cores`).
 fn write_json(rows: &[Row]) {
-    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
-    let mut f = std::fs::File::create("BENCH_ooo.json").expect("create BENCH_ooo.json");
-    writeln!(f, "{{").unwrap();
-    writeln!(
-        f,
-        "  \"workload\": \"fig11-style 20 tumbling windows over football stream, \
-         disorder sweep (delays 0-2s, watermarks every 500ms lagging 2s)\","
-    )
-    .unwrap();
-    writeln!(f, "  \"cores\": {cores},").unwrap();
+    let mut j = BenchJson::create(
+        "ooo",
+        "fig11-style 20 tumbling windows over football stream, \
+         disorder sweep (delays 0-2s, watermarks every 500ms lagging 2s)",
+    );
+    let f = j.file();
     writeln!(f, "  \"ooo_percents\": [0, 5, 20, 50],").unwrap();
     writeln!(f, "  \"batch_sizes\": [64, 512],").unwrap();
     writeln!(f, "  \"results\": [").unwrap();
@@ -167,6 +163,5 @@ fn write_json(rows: &[Row]) {
         .unwrap();
     }
     writeln!(f, "  ]").unwrap();
-    writeln!(f, "}}").unwrap();
-    eprintln!("wrote BENCH_ooo.json");
+    j.finish();
 }

@@ -24,7 +24,7 @@ use std::io::Write as _;
 use std::time::Instant;
 
 use gss_aggregates::Sum;
-use gss_bench::{fmt_tput, Output};
+use gss_bench::{fmt_tput, machine_cores, BenchJson, Output};
 use gss_core::{
     OperatorConfig, QueryId, StorePolicy, StreamElement, Time, WindowFunction, WindowOperator,
     WindowResult,
@@ -175,7 +175,7 @@ fn main() {
     let s = scale();
     let n = (2_000_000.0 * s).max(10_000.0) as usize;
     let reps = if s < 0.1 { 2 } else { 3 };
-    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let cores = machine_cores();
     let mut worker_counts = vec![1usize, 2, 4];
     if cores >= 8 {
         worker_counts.push(8);
@@ -229,22 +229,21 @@ fn main() {
     }
 
     out.finish();
-    write_json(n, cores, &rows);
+    write_json(n, &rows);
 }
 
-/// Writes `BENCH_par.json` at the repo root (no serde in the tree; the
-/// schema is flat, so hand-rolled JSON is fine).
-fn write_json(n: usize, cores: usize, rows: &[Row]) {
-    let mut f = std::fs::File::create("BENCH_par.json").expect("create BENCH_par.json");
-    writeln!(f, "{{").unwrap();
-    writeln!(
-        f,
-        "  \"workload\": \"sliding(1s, 250ms) sum, in-order stream of {n} records, watermarks \
-         every 1s lagging 500ms; two-stage run_parallel vs one sequential operator (workers=0), \
-         best of N reps, final window results asserted equal\","
-    )
-    .unwrap();
-    writeln!(f, "  \"cores\": {cores},").unwrap();
+/// Writes `BENCH_par.json` at the repo root via the shared
+/// [`BenchJson`] preamble (`workload` + `cores`).
+fn write_json(n: usize, rows: &[Row]) {
+    let mut j = BenchJson::create(
+        "par",
+        &format!(
+            "sliding(1s, 250ms) sum, in-order stream of {n} records, watermarks \
+             every 1s lagging 500ms; two-stage run_parallel vs one sequential operator \
+             (workers=0), best of N reps, final window results asserted equal"
+        ),
+    );
+    let f = j.file();
     writeln!(f, "  \"rows\": [").unwrap();
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };
@@ -263,6 +262,5 @@ fn write_json(n: usize, cores: usize, rows: &[Row]) {
         .unwrap();
     }
     writeln!(f, "  ]").unwrap();
-    writeln!(f, "}}").unwrap();
-    eprintln!("wrote BENCH_par.json");
+    j.finish();
 }

@@ -446,6 +446,50 @@ impl Output {
     }
 }
 
+/// Logical cores visible to this process. Every `BENCH_*.json` records
+/// it so scaling claims can be read in context: on a 1-core container a
+/// flat-to-declining parallel curve is the expected shape, not a bug.
+pub fn machine_cores() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
+
+/// Incremental writer for the `BENCH_<name>.json` summaries at the repo
+/// root (no serde in the tree; the schemas are flat, so hand-rolled JSON
+/// is fine). Opens the object and writes the shared preamble —
+/// `workload` and `cores` — so no bin can forget to record the machine
+/// width its numbers came from; the bin streams its own sections through
+/// [`BenchJson::file`] and closes the object with [`BenchJson::finish`].
+pub struct BenchJson {
+    f: std::fs::File,
+    path: String,
+}
+
+impl BenchJson {
+    /// Creates `BENCH_<name>.json` and writes `workload` + `cores`.
+    /// `workload` must not contain characters needing JSON escapes.
+    pub fn create(name: &str, workload: &str) -> Self {
+        let path = format!("BENCH_{name}.json");
+        let mut f = std::fs::File::create(&path).unwrap_or_else(|e| panic!("create {path}: {e}"));
+        writeln!(f, "{{").expect("write json");
+        writeln!(f, "  \"workload\": \"{workload}\",").expect("write json");
+        writeln!(f, "  \"cores\": {},", machine_cores()).expect("write json");
+        BenchJson { f, path }
+    }
+
+    /// The underlying file, for the bin-specific sections. Lines written
+    /// here continue the top-level object, so the last section must not
+    /// end with a comma.
+    pub fn file(&mut self) -> &mut std::fs::File {
+        &mut self.f
+    }
+
+    /// Closes the JSON object and reports the path.
+    pub fn finish(mut self) {
+        writeln!(self.f, "}}").expect("write json");
+        eprintln!("wrote {}", self.path);
+    }
+}
+
 /// Human-readable throughput.
 pub fn fmt_tput(tps: f64) -> String {
     if tps >= 1e6 {

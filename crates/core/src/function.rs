@@ -145,10 +145,7 @@ pub trait AggregateFunction: Clone + Send + 'static {
 /// of [`AggregateFunction::fold_slice`], exposed as a free function so
 /// equivalence tests and the `fold` benchmark can compare a kernel against
 /// the exact loop it replaces.
-pub fn default_fold_slice<A: AggregateFunction>(
-    f: &A,
-    values: &[A::Input],
-) -> Option<A::Partial> {
+pub fn default_fold_slice<A: AggregateFunction>(f: &A, values: &[A::Input]) -> Option<A::Partial> {
     let mut acc: Option<A::Partial> = None;
     for v in values {
         let lifted = f.lift(v);

@@ -149,6 +149,12 @@ pub struct KeyedStats {
 /// to the shared [`Timeline`], plus the scalar trigger bookkeeping the
 /// reference operator keeps per stream.
 struct KeyState<A: AggregateFunction> {
+    /// Timeline generation the ring's global indices were issued under
+    /// (see [`Timeline::generation`]): a mismatch means the timeline was
+    /// rebuilt from empty since this key's last touch and every slot
+    /// must be dropped, because the surviving indices would be misread
+    /// under the new anchor.
+    generation: u64,
     /// Global slice index of `partials[0]`.
     first: i64,
     /// `partials[i]` aggregates this key's tuples in global slice
@@ -176,6 +182,7 @@ struct KeyState<A: AggregateFunction> {
 impl<A: AggregateFunction> KeyState<A> {
     fn new() -> Self {
         KeyState {
+            generation: 0,
             first: 0,
             partials: VecDeque::new(),
             t_first: TIME_MAX,
@@ -186,9 +193,21 @@ impl<A: AggregateFunction> KeyState<A> {
         }
     }
 
-    /// Drops ring slots whose global index fell below the timeline base
-    /// (their slices were evicted).
-    fn trim_to(&mut self, base: i64) {
+    /// Drops ring slots whose backing slices were evicted: all of them if
+    /// the timeline regrew from empty since this key's last touch (the
+    /// index↔time anchor moved, so surviving slots would be misread —
+    /// possibly *inside* live windows, since the new base can sit below
+    /// the stale indices), otherwise just the slots whose global index
+    /// fell below the timeline base. Either drop is lossless: eviction
+    /// only covers slices no still-fireable window or update can reach.
+    fn trim_to(&mut self, timeline: &Timeline) {
+        if self.generation != timeline.generation() {
+            self.generation = timeline.generation();
+            self.partials.clear();
+            self.first = timeline.base();
+            return;
+        }
+        let base = timeline.base();
         while self.first < base && !self.partials.is_empty() {
             self.partials.pop_front();
             self.first += 1;
@@ -473,7 +492,7 @@ impl<A: AggregateFunction> SharedKeyed<A> {
                 e.insert(KeyState::new())
             }
         };
-        st.trim_to(self.timeline.base());
+        st.trim_to(&self.timeline);
         catch_up_emitted(st, self.watermark, self.max_extent);
         let old_due = st.due;
 
@@ -502,6 +521,9 @@ impl<A: AggregateFunction> SharedKeyed<A> {
                     Some(p) => p,
                     None => unreachable!("run has at least one tuple"),
                 };
+                // `ensure_covering` may have rebirthed an empty timeline,
+                // starting a new generation this key must sync to.
+                st.trim_to(&self.timeline);
                 st.add_at(self.timeline.base() + cast::to_i64(pos), p, &self.f);
                 st.t_first = st.t_first.min(ts);
                 st.t_last = tuples[i + n - 1].0;
@@ -522,6 +544,7 @@ impl<A: AggregateFunction> SharedKeyed<A> {
                     &self.queries,
                     &mut self.stats.slices_created,
                 );
+                st.trim_to(&self.timeline);
                 let g = self.timeline.base() + cast::to_i64(pos);
                 st.add_at(g, self.f.lift(&tuples[i].1), &self.f);
                 st.t_first = st.t_first.min(ts);
@@ -588,7 +611,7 @@ impl<A: AggregateFunction> SharedKeyed<A> {
             }
             st.due = None;
             self.stats.heap_wakeups += 1;
-            st.trim_to(self.timeline.base());
+            st.trim_to(&self.timeline);
             // Catch the floor up over watermarks skipped while heap-gated
             // (`self.watermark` is still the previous watermark here).
             catch_up_emitted(st, self.watermark, self.max_extent);
@@ -877,6 +900,17 @@ impl<A: AggregateFunction> WindowAggregator<PerKey<A>> for NaiveKeyedOperator<A>
                 .sum::<usize>()
     }
 
+    fn fold_stats(&self) -> (u64, u64) {
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for (_, (_, op)) in self.keys.iter() {
+            let (h, m) = WindowAggregator::fold_stats(op);
+            hits += h;
+            misses += m;
+        }
+        (hits, misses)
+    }
+
     fn name(&self) -> &'static str {
         "Naive keyed (map of operators)"
     }
@@ -998,6 +1032,13 @@ impl<A: AggregateFunction> WindowAggregator<PerKey<A>> for KeyedWindowOperator<A
         match &self.inner {
             KeyedInner::Shared(s) => s.memory_bytes(),
             KeyedInner::Fallback(n) => n.memory_bytes(),
+        }
+    }
+
+    fn fold_stats(&self) -> (u64, u64) {
+        match &self.inner {
+            KeyedInner::Shared(s) => (s.stats.fold_kernel_hits, s.stats.fold_kernel_misses),
+            KeyedInner::Fallback(n) => WindowAggregator::fold_stats(n),
         }
     }
 
@@ -1259,5 +1300,48 @@ mod tests {
             assert_eq!(sorted(out), vec![(0, 100, 110, 2, 7, false), (0, 500, 510, 1, 1, false)]);
         }
         assert_eq!(shared.stats().dropped_late, 1);
+    }
+
+    /// Regression: eviction can empty the shared timeline, and the next
+    /// tuple then re-anchors the global index↔time map at its own
+    /// timestamp ([`Timeline::generation`]). A key holding ring slots
+    /// from the old anchor must drop them — before the generation check,
+    /// a backward extension below the stale indices (key 3's ts=500
+    /// here) let them survive `trim_to` and re-emerge as phantom
+    /// partials at unrelated times inside live windows.
+    #[test]
+    fn timeline_rebirth_invalidates_stale_key_rings() {
+        let windows = || vec![tumbling(10)];
+        let cfg = KeyedConfig::default().with_allowed_lateness(0);
+        let mut shared = KeyedWindowOperator::new(SumI64, windows(), cfg);
+        assert!(shared.is_shared());
+        let mut naive = NaiveKeyedOperator::new(SumI64, windows(), cfg);
+
+        let mut results = Vec::new();
+        for op in [&mut shared as &mut dyn WindowAggregator<PerKey<SumI64>>, &mut naive] {
+            let mut out = Vec::new();
+            // Key 1 fires [100, 110); the watermark then evicts the whole
+            // timeline (boundary 200 - 0 - 10 = 190).
+            op.process(100, (1, 5), &mut out);
+            op.on_watermark(200, &mut out);
+            // Key 2 rebirths the timeline anchored at 1000; key 3 (new,
+            // so not key-late) extends it backward past key 1's stale
+            // global indices; key 1 returns in order.
+            op.process(1_000, (2, 3), &mut out);
+            op.process(500, (3, 2), &mut out);
+            op.process(1_005, (1, 7), &mut out);
+            op.on_watermark(2_000, &mut out);
+            results.push(sorted(out));
+        }
+        assert_eq!(results[0], results[1], "shared path diverged from naive after rebirth");
+        assert_eq!(
+            results[0],
+            vec![
+                (0, 100, 110, 1, 5, false),
+                (0, 500, 510, 3, 2, false),
+                (0, 1_000, 1_010, 1, 7, false),
+                (0, 1_000, 1_010, 2, 3, false),
+            ]
+        );
     }
 }

@@ -93,7 +93,9 @@ pub use function::{
 pub use hash::{fx_hash_u64, FxBuildHasher, FxHashMap, FxHasher};
 pub use keyed::{KeyedConfig, KeyedStats, KeyedWindowOperator, NaiveKeyedOperator, PerKey};
 pub use mem::HeapSize;
-pub use operator::{OperatorConfig, OperatorStats, QueryError, SlicePartial, WindowOperator};
+pub use operator::{
+    merge_partials_tree, OperatorConfig, OperatorStats, QueryError, SlicePartial, WindowOperator,
+};
 pub use result::WindowResult;
 pub use slice::{fold_run, Slice};
 pub use store::{SliceStore, StorePolicy};

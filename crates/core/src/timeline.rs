@@ -11,7 +11,10 @@
 //!
 //! Slices are addressed by a *global index* (`base + position`) that stays
 //! stable across front eviction, so consumers holding dense rings of
-//! per-slice state need no fixups when the timeline advances.
+//! per-slice state need no fixups when the timeline advances. Stability
+//! holds only within one [`Timeline::generation`]: once eviction empties
+//! the timeline, the next slice re-anchors the index↔time map at its own
+//! timestamp, and indices from the previous generation must be discarded.
 //!
 //! [`WindowFunction::has_static_edges`]: crate::window::WindowFunction::has_static_edges
 
@@ -37,6 +40,12 @@ pub struct Timeline {
     /// Global index of `slices[0]`. Increases on eviction, decreases when
     /// a late tuple forces a prepend.
     base: i64,
+    /// Bumped every time the timeline regrows from empty. Global indices
+    /// are only comparable *within* one generation: an empty timeline has
+    /// lost its anchor, so the next slice re-anchors the index↔time map
+    /// wherever its timestamp lands. Consumers caching per-slice state
+    /// keyed by global index must drop it when the generation changes.
+    generation: u64,
 }
 
 impl Timeline {
@@ -51,6 +60,13 @@ impl Timeline {
     /// Global index of the slice at position 0.
     pub fn base(&self) -> i64 {
         self.base
+    }
+
+    /// The current anchor generation. Global indices obtained under a
+    /// different generation are meaningless against this timeline (see
+    /// the field docs); consumers must discard state keyed by them.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Slice metadata at `position` (an index into the live span, not a
@@ -101,6 +117,10 @@ impl Timeline {
         slices_created: &mut u64,
     ) -> usize {
         if self.slices.is_empty() {
+            // Rebirth: the first slice anchors the index↔time map anew,
+            // at whatever `base` eviction left behind — the old numbering
+            // no longer means anything, so start a new generation.
+            self.generation += 1;
             let start = Self::union_prev_edge(queries, ts);
             let end = Self::union_next_edge(queries, ts);
             self.slices.push_back(SliceMeta { start, end });
@@ -306,6 +326,31 @@ mod tests {
         assert_eq!(t.base(), 0);
         let pos = t.ensure_covering(17, &qs, &mut c);
         assert_eq!(t.get(pos), span);
+    }
+
+    #[test]
+    fn rebirth_bumps_generation_and_reanchors_indices() {
+        let qs = queries();
+        let mut t = Timeline::default();
+        let mut c = 0u64;
+        t.ensure_covering(17, &qs, &mut c);
+        let gen = t.generation();
+        // Growth and partial eviction keep the anchor.
+        t.ensure_covering(42, &qs, &mut c);
+        t.evict_to(20);
+        assert_eq!(t.generation(), gen);
+        let id_42 = t.base() + t.pos_covering(42).unwrap() as i64;
+        // Evicting to empty loses the anchor; the regrown timeline may
+        // reuse old indices for different times, so the generation bumps.
+        t.evict_to(TIME_MAX);
+        assert!(t.is_empty());
+        assert_eq!(t.generation(), gen, "emptying alone keeps the generation");
+        let pos = t.ensure_covering(1_000, &qs, &mut c);
+        assert!(t.generation() > gen, "rebirth must start a new generation");
+        let id_1000 = t.base() + pos as i64;
+        // The stale index for 42 now sits below the new anchor entirely
+        // by accident of eviction order — the point is it is meaningless.
+        assert_ne!(id_42, id_1000);
     }
 
     #[test]

@@ -10,6 +10,7 @@ pub mod builder;
 pub mod metrics;
 pub mod parallel;
 pub mod pipeline;
+pub mod sharded;
 pub mod source;
 pub mod watermark;
 
@@ -20,6 +21,7 @@ pub use parallel::{parallel_eligible, run_parallel};
 pub use pipeline::{
     partition_of, process_cpu_time, run_keyed, run_per_key, PipelineConfig, PipelineReport,
 };
+pub use sharded::{run_sharded_keyed, shard_of};
 pub use source::{
     filter_records, key_by, map_records, punctuate_every, IteratorSource, PunctuateEvery,
 };

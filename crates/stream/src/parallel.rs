@@ -26,14 +26,36 @@
 //!   the message level only, so every straggler still revises its
 //!   windows exactly once. Tuples below `watermark - allowed_lateness`
 //!   are dropped, mirroring the sequential operator.
-//! * The merge stage keeps one FIFO queue per worker. Data messages at
-//!   queue fronts apply immediately via
-//!   [`WindowOperator::merge_parallel_partials`]; the global watermark
-//!   advances — triggering and emission — only when **every** queue front
-//!   is a watermark ack (the *epoch barrier*), at which point all
-//!   partials that precede the watermark in any worker's stream have been
-//!   applied. The operator advances to the minimum of the acked values,
-//!   which equals the broadcast value since acks ride FIFO channels.
+//! * The merge stage keeps one FIFO queue per worker. Straggler partials
+//!   at queue fronts (at or below the authoritative watermark) apply
+//!   immediately via [`WindowOperator::add_parallel_partial`] so their
+//!   update emissions land in the right epoch; on-time partials are
+//!   *staged* per worker. The global watermark advances — triggering and
+//!   emission — only when **every** queue front is a watermark ack (the
+//!   *epoch barrier*): the staged lists are first combined pairwise in a
+//!   **merge tree** ([`merge_partials_tree`], O(S·log N) combines for S
+//!   slices and N workers instead of O(S·N) store touches), applied in
+//!   one [`WindowOperator::merge_parallel_partials`] call, and then the
+//!   operator advances to the minimum of the acked values, which equals
+//!   the broadcast value since acks ride FIFO channels. Staging is
+//!   invisible to emissions: an on-time partial's slice lies strictly
+//!   above the watermark, so no already-fired window (`end <= wm`) can
+//!   query it before the barrier applies it.
+//!
+//! ## In-order streams
+//!
+//! In-order configs emit per tuple, not per watermark, so the driver
+//! *synthesizes* the missing watermarks: after dealing a full
+//! round-robin round of chunks it broadcasts `max_ts - 1` (every future
+//! record of a non-decreasing stream has `ts >= max_ts`, so nothing is
+//! ever a straggler against a synthesized watermark), and after the last
+//! chunk it broadcasts `max_ts`, which fires exactly the windows
+//! (`end <= max_ts`) the sequential per-tuple sweep would have fired.
+//! Workers hold records with `ts < wm` (strict — a record at exactly the
+//! watermark is on time for every unfired window) and never drop them:
+//! the in-order eviction horizon is the watermark itself. Explicit
+//! watermarks and punctuation (which the in-order operator treats as a
+//! trigger sweep) broadcast as watermark rounds too.
 //!
 //! Final window aggregates are exactly those of a sequential run. Late
 //! *update* emissions (`is_update == true`) carry the same multiplicity;
@@ -44,9 +66,8 @@
 //! and every final — agrees).
 //!
 //! Ineligible workloads — count measures, context-aware windows
-//! (sessions, punctuation), non-commutative functions, forced tuple
-//! storage, or in-order configs (which emit per tuple, not per
-//! watermark) — fall back to one sequential operator on the calling
+//! (sessions, punctuation), non-commutative functions, or forced tuple
+//! storage — fall back to one sequential operator on the calling
 //! thread; [`PipelineReport::parallel_workers`] reports which path ran.
 
 use std::collections::VecDeque;
@@ -54,9 +75,9 @@ use std::time::Instant;
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use gss_core::{
-    AggregateFunction, ContextClass, Measure, OperatorConfig, Query, QueryId, SlicePartial,
-    StreamElement, StreamOrder, Time, Timeline, WindowAggregator, WindowFunction, WindowOperator,
-    WindowResult, TIME_MAX, TIME_MIN,
+    merge_partials_tree, AggregateFunction, ContextClass, Measure, OperatorConfig, Query, QueryId,
+    SlicePartial, StreamElement, StreamOrder, Time, Timeline, WindowAggregator, WindowFunction,
+    WindowOperator, WindowResult, TIME_MAX, TIME_MIN,
 };
 
 use crate::batching::{ChunkBuilder, RecordChunk};
@@ -73,11 +94,12 @@ const FLUSH_SLICE_CAP: usize = 4096;
 ///
 /// Requires: at least one query; a commutative aggregate (partials
 /// combine in worker-arrival order, not stream order); no forced tuple
-/// storage (partials carry no tuples to re-slice); every window
+/// storage (partials carry no tuples to re-slice); and every window
 /// time-measure, context-free, and static-edged (slice boundaries
-/// derivable without coordination); and an out-of-order config (emission
-/// driven by watermarks, which the merge stage reproduces — in-order
-/// streams emit per tuple).
+/// derivable without coordination). Both stream orders qualify:
+/// out-of-order configs ship their explicit watermarks through the epoch
+/// barrier, and in-order configs (which emit per tuple) get watermarks
+/// synthesized by the driver (see the module docs).
 pub fn parallel_eligible<A: AggregateFunction>(
     f: &A,
     windows: &[Box<dyn WindowFunction>],
@@ -86,7 +108,6 @@ pub fn parallel_eligible<A: AggregateFunction>(
     !windows.is_empty()
         && f.properties().commutative
         && !op_cfg.force_tuple_storage
-        && op_cfg.order == StreamOrder::OutOfOrder
         && windows.iter().all(|w| {
             w.measure() == Measure::Time
                 && w.context() == ContextClass::ContextFree
@@ -114,7 +135,7 @@ enum ParChunk<V> {
 /// Sends with backpressure accounting: the fast path is a non-blocking
 /// `try_send`; when the merge stage's queue is full the blocking fallback
 /// is timed, so the recorded latency *is* the queue wait.
-fn send_timed<T>(tx: &Sender<T>, msg: T, wait: &mut LatencyHistogram) {
+pub(crate) fn send_timed<T>(tx: &Sender<T>, msg: T, wait: &mut LatencyHistogram) {
     match tx.try_send(msg) {
         Ok(()) => wait.record_ns(0),
         Err(TrySendError::Full(v)) => {
@@ -140,6 +161,11 @@ struct WorkerSlicer<A: AggregateFunction> {
     f: A,
     queries: Vec<Query>,
     lateness: Time,
+    /// Declared order of the source stream: decides the straggler rule
+    /// (strict `<` for in-order, `<=` for out-of-order) and whether
+    /// too-late records drop (never on in-order streams, whose only
+    /// sub-watermark records sit at synthesized `max_ts - 1` rounds).
+    order: StreamOrder,
     /// Last broadcast watermark this worker acked.
     wm: Time,
     timeline: Timeline,
@@ -165,7 +191,7 @@ struct WorkerSlicer<A: AggregateFunction> {
 }
 
 impl<A: AggregateFunction> WorkerSlicer<A> {
-    fn new(f: A, windows: &[Box<dyn WindowFunction>], lateness: Time) -> Self {
+    fn new(f: A, windows: &[Box<dyn WindowFunction>], lateness: Time, order: StreamOrder) -> Self {
         let queries = windows
             .iter()
             .enumerate()
@@ -175,6 +201,7 @@ impl<A: AggregateFunction> WorkerSlicer<A> {
             f,
             queries,
             lateness,
+            order,
             wm: TIME_MIN,
             timeline: Timeline::default(),
             accs: VecDeque::new(),
@@ -188,14 +215,25 @@ impl<A: AggregateFunction> WorkerSlicer<A> {
         }
     }
 
+    /// Whether `ts` sits below this worker's acked watermark and must
+    /// leave the fold fast path (straggler or drop). Strict for in-order
+    /// streams: a record at exactly the watermark is on time for every
+    /// window that has not fired (all have `end > wm`), and the
+    /// sequential in-order operator adds it without an update emission.
+    fn below_watermark(&self, ts: Time) -> bool {
+        self.wm != TIME_MIN && if self.order.is_in_order() { ts < self.wm } else { ts <= self.wm }
+    }
+
     fn ingest(&mut self, ts: Time, value: A::Input) {
         if self.wm != TIME_MIN {
-            // Same drop rule as the sequential operator.
-            if ts < self.wm - self.lateness {
+            // Same drop rule as the sequential operator. In-order streams
+            // never drop: their eviction horizon is the watermark itself,
+            // and synthesized watermarks trail every unseen record.
+            if !self.order.is_in_order() && ts < self.wm - self.lateness {
                 self.dropped_late += 1;
                 return;
             }
-            if ts <= self.wm {
+            if self.below_watermark(ts) {
                 // Straggler at or below the acked watermark: buffer it as
                 // its own partial (one update emission per straggler at
                 // the merge stage) and let it ride the next flush instead
@@ -286,7 +324,7 @@ impl<A: AggregateFunction> WorkerSlicer<A> {
         let mut i = 0;
         while i < times.len() {
             let ts = times[i];
-            if self.wm != TIME_MIN && ts <= self.wm {
+            if self.below_watermark(ts) {
                 self.ingest(ts, values[i].clone());
                 i += 1;
                 continue;
@@ -299,7 +337,7 @@ impl<A: AggregateFunction> WorkerSlicer<A> {
                 // A slice can straddle the watermark, so staying inside
                 // `[start, end)` does not imply on-time: stragglers break
                 // the span too.
-                if t < start || t >= end || (self.wm != TIME_MIN && t <= self.wm) {
+                if t < start || t >= end || self.below_watermark(t) {
                     break;
                 }
                 t_first = t_first.min(t);
@@ -389,28 +427,48 @@ fn worker_loop<A: AggregateFunction>(
     (records, wait, slicer.fold_hits, slicer.fold_misses)
 }
 
-/// Applies every message that is ready under the epoch barrier: data at
-/// queue fronts applies freely; a watermark round applies only once all
-/// workers have acked one.
+/// Applies every message that is ready under the epoch barrier.
+///
+/// Stragglers at queue fronts (at or below the authoritative watermark)
+/// apply immediately — their update emissions belong to the current
+/// epoch and only fired windows (`end <= wm`) can see them. On-time
+/// partials are staged per worker; a watermark round, ready only once
+/// all workers have acked, first combines the staged lists through the
+/// pairwise [`merge_partials_tree`] — one store touch per slice instead
+/// of one per `(worker, slice)` — then applies and triggers. Staging
+/// cannot change any emission: an on-time partial's slice lies strictly
+/// above the watermark, so no window fired before the barrier covers it.
 fn apply_ready<A: AggregateFunction>(
+    f: &A,
     queues: &mut [VecDeque<MergeMsg<A>>],
+    staged: &mut [Vec<SlicePartial<A>>],
     op: &mut WindowOperator<A>,
     out: &mut Vec<WindowResult<A::Output>>,
 ) {
     loop {
         let mut progressed = false;
-        for q in queues.iter_mut() {
+        for (w, q) in queues.iter_mut().enumerate() {
             while matches!(q.front(), Some(MergeMsg::Partials(_))) {
                 let Some(MergeMsg::Partials(parts)) = q.pop_front() else { unreachable!() };
-                op.merge_parallel_partials(parts, out);
+                let wm = op.current_watermark();
+                for p in parts {
+                    if wm != TIME_MIN && p.t_first <= wm {
+                        // The straggler branch of `add_parallel_partial`
+                        // flushes eager repairs itself before emitting.
+                        op.add_parallel_partial(p, out);
+                    } else {
+                        staged[w].push(p);
+                    }
+                }
                 progressed = true;
             }
         }
         if queues.iter().all(|q| matches!(q.front(), Some(MergeMsg::Watermark(_)))) {
             // All acks in: every partial preceding the watermark in any
-            // worker's stream has been applied above, so triggering is
-            // safe. Watermarks are broadcast in stream order over FIFO
-            // channels, so the fronts agree; min is defensive.
+            // worker's stream has been staged or applied above, so
+            // triggering is safe once the staged lists land. Watermarks
+            // are broadcast in stream order over FIFO channels, so the
+            // fronts agree; min is defensive.
             let mut wm = TIME_MAX;
             for q in queues.iter_mut() {
                 let Some(MergeMsg::Watermark(w)) = q.pop_front() else { unreachable!() };
@@ -420,6 +478,8 @@ fn apply_ready<A: AggregateFunction>(
                 );
                 wm = wm.min(w);
             }
+            let lists: Vec<Vec<SlicePartial<A>>> = staged.iter_mut().map(std::mem::take).collect();
+            op.merge_parallel_partials(merge_partials_tree(f, lists), out);
             op.process_watermark(wm, out);
             progressed = true;
         }
@@ -434,10 +494,12 @@ fn apply_ready<A: AggregateFunction>(
 fn merge_loop<A: AggregateFunction>(
     rx: Receiver<(usize, MergeMsg<A>)>,
     mut op: WindowOperator<A>,
+    f: &A,
     workers: usize,
     collect: bool,
 ) -> (Vec<WindowResult<A::Output>>, u64) {
     let mut queues: Vec<VecDeque<MergeMsg<A>>> = (0..workers).map(|_| VecDeque::new()).collect();
+    let mut staged: Vec<Vec<SlicePartial<A>>> = (0..workers).map(|_| Vec::new()).collect();
     let mut results = Vec::new();
     let mut scratch: Vec<WindowResult<A::Output>> = Vec::new();
     let mut count = 0u64;
@@ -456,12 +518,18 @@ fn merge_loop<A: AggregateFunction>(
         for (w2, m2) in rx.try_iter() {
             queues[w2].push_back(m2);
         }
-        apply_ready(&mut queues, &mut op, &mut scratch);
+        apply_ready(f, &mut queues, &mut staged, &mut op, &mut scratch);
         account(&mut scratch, &mut results, &mut count);
     }
-    // Channel closed: every worker has shipped its tail. All remaining
-    // rounds complete because workers ack watermarks 1:1 with broadcasts.
-    apply_ready(&mut queues, &mut op, &mut scratch);
+    // Channel closed: every worker has shipped its tail. All watermark
+    // rounds complete because workers ack 1:1 with broadcasts; partials
+    // flushed after the last watermark stay staged — fold them in for
+    // state completeness (above the final watermark, they emit nothing).
+    apply_ready(f, &mut queues, &mut staged, &mut op, &mut scratch);
+    let tail = merge_partials_tree(f, staged.iter_mut().map(std::mem::take).collect());
+    if !tail.is_empty() {
+        op.merge_parallel_partials(tail, &mut scratch);
+    }
     account(&mut scratch, &mut results, &mut count);
     debug_assert!(queues.iter().all(|q| q.is_empty()), "merge queues must drain at end of stream");
     (results, count)
@@ -535,14 +603,16 @@ where
     std::thread::scope(|scope| {
         let (mtx, mrx) = bounded::<(usize, MergeMsg<A>)>(cfg.channel_capacity.max(workers));
         let collect = cfg.collect_results;
-        let merge = scope.spawn(move || merge_loop(mrx, op, workers, collect));
+        let merge_f = f.clone();
+        let merge = scope.spawn(move || merge_loop(mrx, op, &merge_f, workers, collect));
 
         let mut senders: Vec<Sender<ParChunk<A::Input>>> = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for i in 0..workers {
             let (tx, rx) = bounded::<ParChunk<A::Input>>(cfg.channel_capacity);
             senders.push(tx);
-            let slicer = WorkerSlicer::new(f.clone(), &windows, op_cfg.allowed_lateness);
+            let slicer =
+                WorkerSlicer::new(f.clone(), &windows, op_cfg.allowed_lateness, op_cfg.order);
             let mtx = mtx.clone();
             handles.push(scope.spawn(move || worker_loop(rx, mtx, i, slicer)));
         }
@@ -552,39 +622,90 @@ where
 
         // Driver: deal record chunks round-robin, broadcast watermarks
         // in stream order. O(1) work per chunk keeps the single-threaded
-        // driver off the critical path.
+        // driver off the critical path. In-order streams carry no (or
+        // few) explicit watermarks — their sequential operator emits per
+        // tuple — so the driver synthesizes rounds: `max_ts - 1` after
+        // each full deal round (strictly below every unseen record of a
+        // non-decreasing stream) and `max_ts` at end of stream, firing
+        // exactly the windows the per-tuple sweep would have fired.
+        let in_order = op_cfg.order.is_in_order();
+        let mut max_ts = TIME_MIN;
+        let mut last_wm = TIME_MIN;
         let mut builder: ChunkBuilder<A::Input> = ChunkBuilder::new(cfg.batching);
         let mut sizes = BatchSizeHistogram::new();
         let mut next = 0usize;
+        let broadcast = |senders: &[Sender<ParChunk<A::Input>>], wm: Time| {
+            for tx in senders {
+                tx.send(ParChunk::Watermark(wm)).expect("worker hung up");
+            }
+        };
         for element in elements {
             match element {
                 StreamElement::Record { ts, value } => {
                     if let Some(chunk) = builder.push(ts, value) {
                         sizes.record(chunk.len());
+                        if in_order {
+                            // In-order ⇒ the chunk's last time is its max.
+                            if let Some(&t) = chunk.times().last() {
+                                max_ts = max_ts.max(t);
+                            }
+                        }
                         senders[next].send(ParChunk::Records(chunk)).expect("worker hung up");
                         next = (next + 1) % workers;
+                        if in_order && next == 0 && max_ts > TIME_MIN && max_ts - 1 > last_wm {
+                            last_wm = max_ts - 1;
+                            broadcast(&senders, last_wm);
+                        }
                     }
                 }
                 StreamElement::Watermark(wm) => {
                     if let Some(chunk) = builder.take() {
                         sizes.record(chunk.len());
+                        if in_order {
+                            if let Some(&t) = chunk.times().last() {
+                                max_ts = max_ts.max(t);
+                            }
+                        }
                         senders[next].send(ParChunk::Records(chunk)).expect("worker hung up");
                         next = (next + 1) % workers;
                     }
-                    for tx in &senders {
-                        tx.send(ParChunk::Watermark(wm)).expect("worker hung up");
+                    last_wm = last_wm.max(wm);
+                    broadcast(&senders, wm);
+                }
+                StreamElement::Punctuation(ts) => {
+                    // Context-free static-edge windows ignore punctuation
+                    // as a *context* event (punctuation-driven windows are
+                    // ineligible and take the fallback), but the in-order
+                    // operator also treats it as a trigger sweep up to
+                    // `ts` — reproduce that as a watermark round.
+                    if in_order && ts > last_wm {
+                        if let Some(chunk) = builder.take() {
+                            sizes.record(chunk.len());
+                            if let Some(&t) = chunk.times().last() {
+                                max_ts = max_ts.max(t);
+                            }
+                            senders[next].send(ParChunk::Records(chunk)).expect("worker hung up");
+                            next = (next + 1) % workers;
+                        }
+                        last_wm = ts;
+                        broadcast(&senders, ts);
                     }
                 }
-                // Context-free static-edge windows ignore punctuation (the
-                // sequential operator treats it as a context no-op);
-                // punctuation-driven windows are ineligible and take the
-                // fallback.
-                StreamElement::Punctuation(_) => {}
             }
         }
         if let Some(chunk) = builder.take() {
             sizes.record(chunk.len());
+            if in_order {
+                if let Some(&t) = chunk.times().last() {
+                    max_ts = max_ts.max(t);
+                }
+            }
             senders[next].send(ParChunk::Records(chunk)).expect("worker hung up");
+        }
+        if in_order && max_ts > TIME_MIN && max_ts > last_wm {
+            // Final synthesized round: the sequential per-tuple sweep has
+            // fired every window with `end <= max_ts` by end of stream.
+            broadcast(&senders, max_ts);
         }
         drop(senders);
         report.batch_sizes = sizes;
@@ -780,9 +901,9 @@ mod tests {
         let mixed: Vec<Box<dyn WindowFunction>> =
             vec![Box::new(TumblingWindow::new(10)), Box::new(SessionWindow::new(5))];
         assert!(!parallel_eligible(&SumI64, &mixed, &ooo));
-        // In-order configs emit per tuple; the merge stage is watermark
-        // driven.
-        assert!(!parallel_eligible(&SumI64, &tumbling(10), &OperatorConfig::in_order()));
+        // In-order configs are eligible too: the driver synthesizes the
+        // watermark rounds their per-tuple emission otherwise provides.
+        assert!(parallel_eligible(&SumI64, &tumbling(10), &OperatorConfig::in_order()));
         // Forced tuple storage keeps raw tuples, which partials drop.
         let forced = OperatorConfig { force_tuple_storage: true, ..ooo };
         assert!(!parallel_eligible(&SumI64, &tumbling(10), &forced));
@@ -883,7 +1004,80 @@ mod tests {
     }
 
     #[test]
+    fn in_order_runs_parallel_with_synthesized_watermarks() {
+        let elements: Vec<StreamElement<i64>> =
+            (0..40).map(|i| StreamElement::Record { ts: i, value: 1 }).collect();
+        for batch in [1, 7, 64] {
+            let report = run_parallel(
+                elements.iter().cloned(),
+                PipelineConfig::with_parallelism(2).with_batch_size(batch),
+                SumI64,
+                tumbling(10),
+                OperatorConfig::in_order(),
+            );
+            assert_eq!(report.parallel_workers, 2, "batch={batch}");
+            // The sequential in-order operator fires exactly the windows
+            // with `end <= max_ts = 39`: three tumbling windows, each
+            // summing ten ones — and so must the synthesized rounds.
+            assert_eq!(report.result_count, 3, "batch={batch}");
+            let mut got: Vec<_> = report
+                .results
+                .iter()
+                .map(|(_, r)| (r.range.start, r.range.end, r.value, r.is_update))
+                .collect();
+            got.sort();
+            assert_eq!(
+                got,
+                vec![(0, 10, 10, false), (10, 20, 10, false), (20, 30, 10, false)],
+                "batch={batch}"
+            );
+        }
+    }
+
+    #[test]
+    fn in_order_matches_sequential_with_explicit_watermarks_and_punctuation() {
+        // Sorted stream with explicit watermarks (at or below the record
+        // horizon, as an in-order stream guarantees) and punctuation,
+        // which the in-order operator treats as a trigger sweep.
+        let mut elements = Vec::new();
+        for i in 0..300i64 {
+            elements.push(StreamElement::Record { ts: i * 2, value: i });
+            if i % 37 == 36 {
+                elements.push(StreamElement::Watermark(i * 2));
+            }
+            if i % 61 == 60 {
+                elements.push(StreamElement::Punctuation(i * 2 + 1));
+            }
+        }
+        let windows: Vec<Box<dyn WindowFunction>> =
+            vec![Box::new(TumblingWindow::new(50)), Box::new(SlidingWindow::new(100, 30))];
+        let cfg = OperatorConfig::in_order();
+        let expect = sequential_finals(&elements, &windows, cfg);
+        assert!(!expect.is_empty());
+        for workers in [1, 2, 4] {
+            for batch in [1, 16, 512] {
+                let report = run_parallel(
+                    elements.iter().cloned(),
+                    PipelineConfig::with_parallelism(workers).with_batch_size(batch),
+                    SumI64,
+                    windows.iter().map(|w| w.clone_box()).collect(),
+                    cfg,
+                );
+                assert_eq!(report.parallel_workers, workers);
+                assert!(
+                    report.results.iter().all(|(_, r)| !r.is_update),
+                    "in-order runs never emit updates (workers={workers} batch={batch})"
+                );
+                let got = finals(report.results.iter().map(|(_, r)| r));
+                assert_eq!(got, expect, "workers={workers} batch={batch}");
+            }
+        }
+    }
+
+    #[test]
     fn fallback_preserves_in_order_emission() {
+        // Forced tuple storage is ineligible regardless of order; the
+        // fallback must keep the per-tuple in-order emission semantics.
         let elements: Vec<StreamElement<i64>> =
             (0..40).map(|i| StreamElement::Record { ts: i, value: 1 }).collect();
         let report = run_parallel(
@@ -891,7 +1085,7 @@ mod tests {
             PipelineConfig::with_parallelism(2),
             SumI64,
             tumbling(10),
-            OperatorConfig::in_order(),
+            OperatorConfig { force_tuple_storage: true, ..OperatorConfig::in_order() },
         );
         assert_eq!(report.parallel_workers, 0);
         // In-order streams emit as tuples cross window ends — no

@@ -119,6 +119,10 @@ pub struct PipelineReport<O> {
     /// the run went through a sequential operator (including the
     /// ineligible-workload fallback of `run_parallel`).
     pub parallel_workers: usize,
+    /// Key-hash shards used by
+    /// [`run_sharded_keyed`](crate::sharded::run_sharded_keyed); 0 for
+    /// every other driver.
+    pub shards: usize,
     /// Folded runs that went through a hand-written
     /// [`AggregateFunction::fold_slice`](gss_core::AggregateFunction::fold_slice)
     /// kernel, summed across partitions/workers.
@@ -165,6 +169,7 @@ impl<O> PipelineReport<O> {
             cpu_time: Duration::ZERO,
             send_wait: LatencyHistogram::new(),
             parallel_workers: 0,
+            shards: 0,
             fold_hits: 0,
             fold_misses: 0,
             batch_sizes: BatchSizeHistogram::new(),

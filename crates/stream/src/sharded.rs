@@ -1,0 +1,626 @@
+//! Key-sharded multi-core execution: hash-partitioned keyed operators
+//! behind the epoch barrier.
+//!
+//! This is the paper's Section 5.3 parallelization applied to the keyed
+//! operator of PR 3: the key space is hash-partitioned across N shards,
+//! each shard owns its own [`KeyedWindowOperator`](gss_core::KeyedWindowOperator)
+//! — a private shared slice timeline, per-key partial rings, and due-window
+//! heap — and processes its keys' records in arrival order on its own OS
+//! thread. Unlike [`run_per_key`](crate::pipeline::run_per_key), whose
+//! partitions emit independently in scheduler order, the shards here feed
+//! a **merge stage** that reassembles one globally watermark-ordered,
+//! deterministic output.
+//!
+//! ## Protocol
+//!
+//! * The router assigns each record to [`shard_of`]`(key) =
+//!   fx_hash_u64(key) % shards` — all records of one key meet in one
+//!   operator — and ships per-shard [`RecordChunk`]s, preserving the
+//!   columnar/batching path per shard. Watermarks and punctuations are
+//!   broadcast to every shard in stream order.
+//! * A shard buffers its key-tagged emissions and ships them to the
+//!   merge stage in bulk: when the buffer reaches a cap, and always
+//!   before **acking** a broadcast watermark. Acks are 1:1 with
+//!   broadcasts (even regressive ones, which the operator ignores), so
+//!   ack sequences align across shards.
+//! * The merge stage keeps one FIFO queue per shard and stages emission
+//!   batches per shard. The output epoch closes only when **every**
+//!   queue front is an ack (the epoch barrier, as in
+//!   [`run_parallel`](crate::parallel::run_parallel)): the global
+//!   watermark advances to the agreed ack value and the epoch's staged
+//!   emissions are released in one deterministic order — a stable sort
+//!   by key. Keys are disjoint across shards, so the stable sort
+//!   preserves each key's emission order while making the interleaving
+//!   independent of thread scheduling: the released sequence is a pure
+//!   function of the input stream.
+//!
+//! Per key, the released emissions are exactly those of a
+//! single-threaded [`KeyedWindowOperator`](gss_core::KeyedWindowOperator)
+//! over the full stream — same windows, same values, same update
+//! multiplicity, same per-key order — because each shard's operator sees
+//! its keys' records and every watermark/punctuation in the original
+//! stream order, and keys do not interact inside the keyed operator.
+//! Emissions after the last watermark (tail records, punctuation-driven
+//! closes) are released, key-sorted, at end of stream.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use gss_core::{
+    fx_hash_u64, AggregateFunction, PerKey, StreamElement, Time, WindowAggregator, WindowResult,
+    TIME_MAX,
+};
+
+use crate::batching::{ChunkBuilder, RecordChunk};
+use crate::metrics::{BatchSizeHistogram, LatencyHistogram};
+use crate::parallel::send_timed;
+use crate::pipeline::{process_cpu_time, PipelineConfig, PipelineReport};
+
+/// Shard-side emission ship threshold, in buffered window results.
+/// Bounds shard memory between watermarks; the merge stage stages
+/// whatever arrives early and still releases it only at the barrier.
+const EMIT_SHIP_CAP: usize = 4096;
+
+/// Deterministic key-to-shard assignment over the mixed key hash.
+///
+/// [`fx_hash_u64`] scrambles low-entropy key spaces (sequential ids,
+/// stride patterns) before the modulo, so real-world key sets spread
+/// evenly; the same key always lands on the same shard.
+#[inline]
+pub fn shard_of(key: u64, shards: usize) -> usize {
+    debug_assert!(shards > 0, "shard_of requires at least one shard");
+    (fx_hash_u64(key) % shards.max(1) as u64) as usize
+}
+
+/// Work sent from the router to one shard.
+enum ShardChunk<V> {
+    Records(RecordChunk<V>),
+    Watermark(Time),
+    Punctuation(Time),
+}
+
+/// Router-side handle to one shard's input queue.
+type ShardSender<V> = Sender<ShardChunk<V>>;
+
+/// Message from a shard to the merge stage.
+enum ShardMsg<O> {
+    /// Key-tagged window results in shard emission order.
+    Emits(Vec<WindowResult<O>>),
+    /// Ack of a broadcast watermark: every emission this shard produced
+    /// before acking has already been shipped.
+    Ack(Time),
+}
+
+/// Shard-tagged merge-stage payload: which shard sent the message.
+type TaggedMsg<O> = (usize, ShardMsg<(u64, O)>);
+
+/// Released output: each result tagged with the shard that produced it.
+type TaggedResults<O> = Vec<(usize, WindowResult<(u64, O)>)>;
+
+/// One shard thread: drive the keyed operator over this shard's records
+/// plus every broadcast watermark/punctuation, ship emissions in bulk,
+/// ack each watermark after shipping. Returns `(records, queue-wait
+/// histogram, fold hits, fold misses)`.
+fn shard_loop<A: AggregateFunction>(
+    rx: Receiver<ShardChunk<(u64, A::Input)>>,
+    tx: Sender<TaggedMsg<A::Output>>,
+    me: usize,
+    mut op: Box<dyn WindowAggregator<PerKey<A>>>,
+    per_tuple: bool,
+) -> (u64, LatencyHistogram, u64, u64) {
+    let mut wait = LatencyHistogram::new();
+    let mut records = 0u64;
+    let mut pending: Vec<WindowResult<(u64, A::Output)>> = Vec::new();
+    let ship = |pending: &mut Vec<WindowResult<(u64, A::Output)>>, wait: &mut LatencyHistogram| {
+        if !pending.is_empty() {
+            send_timed(&tx, (me, ShardMsg::Emits(std::mem::take(pending))), wait);
+        }
+    };
+    for chunk in rx.iter() {
+        match chunk {
+            ShardChunk::Records(chunk) => {
+                chunk.check();
+                records += chunk.len() as u64;
+                // Size-1 chunks take the per-record entry point, exactly
+                // like `run_keyed` (run detection is pure overhead on a
+                // single record).
+                if per_tuple || chunk.len() == 1 {
+                    for (ts, value) in chunk {
+                        op.process(ts, value, &mut pending);
+                    }
+                } else {
+                    op.process_batch_columns(chunk.times(), chunk.values(), &mut pending);
+                }
+                if pending.len() >= EMIT_SHIP_CAP {
+                    ship(&mut pending, &mut wait);
+                }
+            }
+            ShardChunk::Punctuation(ts) => {
+                op.on_punctuation(ts, &mut pending);
+            }
+            ShardChunk::Watermark(wm) => {
+                op.on_watermark(wm, &mut pending);
+                // Ship, then ack: after the ack every emission this
+                // shard produced up to the watermark is with the merge
+                // stage, so the barrier can close the epoch.
+                ship(&mut pending, &mut wait);
+                send_timed(&tx, (me, ShardMsg::Ack(wm)), &mut wait);
+            }
+        }
+    }
+    // End of stream: ship the tail (emissions after the last watermark).
+    ship(&mut pending, &mut wait);
+    let (fold_hits, fold_misses) = op.fold_stats();
+    (records, wait, fold_hits, fold_misses)
+}
+
+/// Releases one closed epoch: drains every shard's staged emissions and
+/// appends them in deterministic order — a stable sort by key, which
+/// preserves per-key (= per-shard) emission order because keys are
+/// disjoint across shards.
+fn release_epoch<O>(
+    staged: &mut [Vec<WindowResult<(u64, O)>>],
+    results: &mut Vec<(usize, WindowResult<(u64, O)>)>,
+    count: &mut u64,
+    collect: bool,
+) {
+    let mut epoch: Vec<(usize, WindowResult<(u64, O)>)> = Vec::new();
+    for (shard, list) in staged.iter_mut().enumerate() {
+        epoch.extend(list.drain(..).map(|r| (shard, r)));
+    }
+    *count += epoch.len() as u64;
+    if collect {
+        epoch.sort_by_key(|(_, r)| r.value.0);
+        results.append(&mut epoch);
+    }
+}
+
+/// The merge stage: one FIFO queue per shard, epoch-barrier release.
+/// Returns `(results, result count)`.
+fn merge_loop<O>(
+    rx: Receiver<TaggedMsg<O>>,
+    shards: usize,
+    collect: bool,
+) -> (TaggedResults<O>, u64) {
+    let mut queues: Vec<VecDeque<ShardMsg<(u64, O)>>> =
+        (0..shards).map(|_| VecDeque::new()).collect();
+    let mut staged: Vec<Vec<WindowResult<(u64, O)>>> = (0..shards).map(|_| Vec::new()).collect();
+    let mut results = Vec::new();
+    let mut count = 0u64;
+    let apply_ready = |queues: &mut Vec<VecDeque<ShardMsg<(u64, O)>>>,
+                       staged: &mut Vec<Vec<WindowResult<(u64, O)>>>,
+                       results: &mut Vec<(usize, WindowResult<(u64, O)>)>,
+                       count: &mut u64| {
+        loop {
+            let mut progressed = false;
+            for (shard, q) in queues.iter_mut().enumerate() {
+                while matches!(q.front(), Some(ShardMsg::Emits(_))) {
+                    let Some(ShardMsg::Emits(batch)) = q.pop_front() else { unreachable!() };
+                    staged[shard].extend(batch);
+                    progressed = true;
+                }
+            }
+            if queues.iter().all(|q| matches!(q.front(), Some(ShardMsg::Ack(_)))) {
+                // Epoch barrier: every shard has shipped everything it
+                // emitted up to this watermark. Acks ride FIFO channels
+                // off a stream-ordered broadcast, so the fronts agree;
+                // min is defensive.
+                let mut wm = TIME_MAX;
+                for q in queues.iter_mut() {
+                    let Some(ShardMsg::Ack(w)) = q.pop_front() else { unreachable!() };
+                    gss_core::audit_assert!(
+                        wm == TIME_MAX || w == wm,
+                        "sharded barrier acks disagree: {w} vs {wm} (FIFO broadcast broken)"
+                    );
+                    wm = wm.min(w);
+                }
+                release_epoch(staged, results, count, collect);
+                progressed = true;
+            }
+            if !progressed {
+                return;
+            }
+        }
+    };
+    while let Ok((shard, msg)) = rx.recv() {
+        queues[shard].push_back(msg);
+        // Drain the burst already queued before doing merge work.
+        for (s2, m2) in rx.try_iter() {
+            queues[s2].push_back(m2);
+        }
+        apply_ready(&mut queues, &mut staged, &mut results, &mut count);
+    }
+    // Channel closed: every shard has shipped its tail. All barrier
+    // rounds complete because shards ack 1:1 with broadcasts; whatever
+    // is still staged was emitted after the final watermark — release it
+    // as the closing epoch, in the same deterministic key order.
+    apply_ready(&mut queues, &mut staged, &mut results, &mut count);
+    release_epoch(&mut staged, &mut results, &mut count, collect);
+    debug_assert!(queues.iter().all(|q| q.is_empty()), "merge queues must drain at end of stream");
+    (results, count)
+}
+
+/// Runs a keyed window aggregation sharded by key hash across
+/// `cfg.parallelism` operator instances, with a merge stage that
+/// reassembles one globally watermark-ordered, deterministic output
+/// (see the module docs for the protocol).
+///
+/// * `elements` — records carry `(key, value)` pairs; watermarks and
+///   punctuations are broadcast to every shard.
+/// * `make_operator` — factory building one keyed aggregation operator
+///   per shard (called with the shard index); typically
+///   [`gss_core::KeyedWindowOperator::new`].
+///
+/// Per key, the output is exactly that of a single-threaded run of the
+/// factory's operator over the whole stream; across keys, each watermark
+/// epoch's emissions are released together, stable-sorted by key.
+/// `report.shards` records the shard count; results are tagged with the
+/// producing shard.
+///
+/// ```
+/// use gss_core::testsupport::SumI64;
+/// use gss_core::{KeyedConfig, KeyedWindowOperator, PerKey, StreamElement, WindowAggregator};
+/// use gss_stream::{run_sharded_keyed, PipelineConfig};
+/// use gss_windows::TumblingWindow;
+///
+/// let elements = (0..200i64)
+///     .map(|i| StreamElement::Record { ts: i, value: (i as u64 % 4, 1i64) })
+///     .chain([StreamElement::Watermark(200)]);
+/// let report = run_sharded_keyed(
+///     elements,
+///     PipelineConfig::with_parallelism(2),
+///     |_| {
+///         Box::new(KeyedWindowOperator::new(
+///             SumI64,
+///             vec![Box::new(TumblingWindow::new(100))],
+///             KeyedConfig::default(),
+///         )) as Box<dyn WindowAggregator<PerKey<SumI64>>>
+///     },
+/// );
+/// assert_eq!(report.shards, 2);
+/// // 4 keys × 2 complete windows, each summing 25 ones.
+/// assert_eq!(report.result_count, 8);
+/// assert!(report.results.iter().all(|(_, r)| r.value.1 == 25));
+/// ```
+pub fn run_sharded_keyed<A, F>(
+    elements: impl IntoIterator<Item = StreamElement<(u64, A::Input)>>,
+    cfg: PipelineConfig,
+    make_operator: F,
+) -> PipelineReport<(u64, A::Output)>
+where
+    A: AggregateFunction,
+    A::Output: Send,
+    F: Fn(usize) -> Box<dyn WindowAggregator<PerKey<A>>>,
+{
+    let shards = cfg.parallelism.max(1);
+    let cpu_before = process_cpu_time();
+    let start = Instant::now();
+    let mut report = PipelineReport::empty();
+    report.shards = shards;
+
+    std::thread::scope(|scope| {
+        let (mtx, mrx) =
+            bounded::<(usize, ShardMsg<(u64, A::Output)>)>(cfg.channel_capacity.max(shards));
+        let collect = cfg.collect_results;
+        let merge = scope.spawn(move || merge_loop(mrx, shards, collect));
+
+        let mut senders: Vec<ShardSender<(u64, A::Input)>> = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        let per_tuple = cfg.batching.is_per_tuple();
+        for i in 0..shards {
+            let (tx, rx) = bounded::<ShardChunk<(u64, A::Input)>>(cfg.channel_capacity);
+            senders.push(tx);
+            let op = make_operator(i);
+            let mtx = mtx.clone();
+            handles.push(scope.spawn(move || shard_loop(rx, mtx, i, op, per_tuple)));
+        }
+        // Shards hold the only remaining clones; the merge loop ends
+        // when the last shard exits.
+        drop(mtx);
+
+        // Router: per-shard chunk builders preserve the columnar path;
+        // watermarks and punctuations flush every builder first so each
+        // shard sees its records and the broadcast in stream order.
+        let mut builders: Vec<ChunkBuilder<(u64, A::Input)>> =
+            (0..shards).map(|_| ChunkBuilder::new(cfg.batching)).collect();
+        let mut sizes = BatchSizeHistogram::new();
+        let flush_all = |builders: &mut Vec<ChunkBuilder<(u64, A::Input)>>,
+                         sizes: &mut BatchSizeHistogram,
+                         senders: &[ShardSender<(u64, A::Input)>]| {
+            for (builder, tx) in builders.iter_mut().zip(senders) {
+                if let Some(chunk) = builder.take() {
+                    sizes.record(chunk.len());
+                    tx.send(ShardChunk::Records(chunk)).expect("shard hung up");
+                }
+            }
+        };
+        for element in elements {
+            match element {
+                StreamElement::Record { ts, value: (key, v) } => {
+                    let dst = shard_of(key, shards);
+                    if let Some(chunk) = builders[dst].push(ts, (key, v)) {
+                        sizes.record(chunk.len());
+                        senders[dst].send(ShardChunk::Records(chunk)).expect("shard hung up");
+                    }
+                }
+                StreamElement::Watermark(wm) => {
+                    flush_all(&mut builders, &mut sizes, &senders);
+                    for tx in &senders {
+                        tx.send(ShardChunk::Watermark(wm)).expect("shard hung up");
+                    }
+                }
+                StreamElement::Punctuation(ts) => {
+                    flush_all(&mut builders, &mut sizes, &senders);
+                    for tx in &senders {
+                        tx.send(ShardChunk::Punctuation(ts)).expect("shard hung up");
+                    }
+                }
+            }
+        }
+        flush_all(&mut builders, &mut sizes, &senders);
+        drop(senders);
+        report.batch_sizes = sizes;
+
+        for h in handles {
+            let (records, wait, hits, misses) = h.join().expect("shard panicked");
+            report.records += records;
+            report.send_wait.merge(&wait);
+            report.fold_hits += hits;
+            report.fold_misses += misses;
+        }
+        let (results, count) = merge.join().expect("merge stage panicked");
+        report.result_count = count;
+        report.results = results;
+    });
+
+    report.elapsed = start.elapsed();
+    report.cpu_time = process_cpu_time().saturating_sub(cpu_before);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gss_core::testsupport::SumI64;
+    use gss_core::{KeyedConfig, KeyedWindowOperator, NaiveKeyedOperator, WindowFunction};
+    use gss_windows::{SessionWindow, TumblingWindow};
+
+    type Keyed = Box<dyn WindowAggregator<PerKey<SumI64>>>;
+
+    fn shared_factory(lateness: i64) -> impl Fn(usize) -> Keyed {
+        move |_| {
+            let op = KeyedWindowOperator::new(
+                SumI64,
+                vec![Box::new(TumblingWindow::new(100))],
+                KeyedConfig::default().with_allowed_lateness(lateness),
+            );
+            assert!(op.is_shared());
+            Box::new(op) as Keyed
+        }
+    }
+
+    fn make_elements(n: i64, keys: u64) -> Vec<StreamElement<(u64, i64)>> {
+        let mut v: Vec<StreamElement<(u64, i64)>> = Vec::new();
+        for i in 0..n {
+            v.push(StreamElement::Record { ts: i, value: (i as u64 % keys, 1) });
+            if i % 50 == 49 {
+                v.push(StreamElement::Watermark(i - 10));
+            }
+        }
+        v.push(StreamElement::Watermark(i64::MAX - 1));
+        v
+    }
+
+    /// Reference: one single-threaded operator over the whole stream,
+    /// with emissions canonicalized per watermark epoch (stable-sorted
+    /// by key), exactly as the merge stage releases them.
+    fn reference(
+        elements: &[StreamElement<(u64, i64)>],
+        factory: &dyn Fn(usize) -> Keyed,
+    ) -> Vec<(u64, i64, i64, i64, bool)> {
+        let mut op = factory(0);
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        let mut epoch: Vec<(u64, i64, i64, i64, bool)> = Vec::new();
+        for e in elements {
+            match e {
+                StreamElement::Record { ts, value } => op.process(*ts, *value, &mut scratch),
+                StreamElement::Watermark(wm) => {
+                    op.on_watermark(*wm, &mut scratch);
+                    epoch.extend(
+                        scratch.drain(..).map(|r| {
+                            (r.value.0, r.range.start, r.range.end, r.value.1, r.is_update)
+                        }),
+                    );
+                    epoch.sort_by_key(|e| e.0);
+                    out.append(&mut epoch);
+                    continue;
+                }
+                StreamElement::Punctuation(ts) => op.on_punctuation(*ts, &mut scratch),
+            }
+            epoch.extend(
+                scratch
+                    .drain(..)
+                    .map(|r| (r.value.0, r.range.start, r.range.end, r.value.1, r.is_update)),
+            );
+        }
+        epoch.sort_by_key(|e| e.0);
+        out.append(&mut epoch);
+        out
+    }
+
+    fn flat(report: &PipelineReport<(u64, i64)>) -> Vec<(u64, i64, i64, i64, bool)> {
+        report
+            .results
+            .iter()
+            .map(|(_, r)| (r.value.0, r.range.start, r.range.end, r.value.1, r.is_update))
+            .collect()
+    }
+
+    #[test]
+    fn sharded_output_matches_single_threaded_sequence() {
+        let elements = make_elements(2000, 16);
+        let factory = shared_factory(100);
+        let expect = reference(&elements, &factory);
+        assert!(!expect.is_empty());
+        for shards in [1, 2, 4, 8] {
+            let report = run_sharded_keyed(
+                elements.iter().cloned(),
+                PipelineConfig::with_parallelism(shards),
+                &factory,
+            );
+            assert_eq!(report.shards, shards);
+            assert_eq!(report.records, 2000);
+            assert_eq!(flat(&report), expect, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_output_is_deterministic_across_runs() {
+        let elements = make_elements(1000, 8);
+        let factory = shared_factory(100);
+        let one = flat(&run_sharded_keyed(
+            elements.iter().cloned(),
+            PipelineConfig::with_parallelism(4),
+            &factory,
+        ));
+        for _ in 0..3 {
+            let again = flat(&run_sharded_keyed(
+                elements.iter().cloned(),
+                PipelineConfig::with_parallelism(4),
+                &factory,
+            ));
+            assert_eq!(one, again, "released order must not depend on scheduling");
+        }
+    }
+
+    #[test]
+    fn all_records_of_a_key_meet_in_one_shard() {
+        for shards in [1, 2, 4, 8] {
+            for key in 0..200u64 {
+                let a = shard_of(key, shards);
+                assert_eq!(a, shard_of(key, shards));
+                assert!(a < shards);
+            }
+        }
+        // The mixed hash must actually spread a sequential key space.
+        let mut counts = [0usize; 4];
+        for key in 0..1000u64 {
+            counts[shard_of(key, 4)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 100), "skewed spread: {counts:?}");
+    }
+
+    #[test]
+    fn naive_fallback_operators_shard_too() {
+        // Session windows force the keyed operator's naive fallback; the
+        // sharded protocol is agnostic to which inner operator runs.
+        let factory = |_: usize| {
+            let windows: Vec<Box<dyn WindowFunction>> = vec![Box::new(SessionWindow::new(10))];
+            Box::new(NaiveKeyedOperator::new(SumI64, windows, KeyedConfig::default())) as Keyed
+        };
+        let mut elements: Vec<StreamElement<(u64, i64)>> = Vec::new();
+        for i in 0..300i64 {
+            elements.push(StreamElement::Record { ts: i * 4, value: (i as u64 % 5, 1) });
+            if i % 40 == 39 {
+                elements.push(StreamElement::Watermark(i * 4 - 30));
+            }
+        }
+        elements.push(StreamElement::Watermark(i64::MAX - 1));
+        let expect = reference(&elements, &factory);
+        assert!(!expect.is_empty());
+        for shards in [2, 4] {
+            let report = run_sharded_keyed(
+                elements.iter().cloned(),
+                PipelineConfig::with_parallelism(shards),
+                factory,
+            );
+            assert_eq!(flat(&report), expect, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn punctuation_broadcasts_to_every_shard() {
+        let factory = |_: usize| {
+            let windows: Vec<Box<dyn WindowFunction>> =
+                vec![Box::new(gss_windows::PunctuationWindow::new())];
+            Box::new(NaiveKeyedOperator::new(SumI64, windows, KeyedConfig::default())) as Keyed
+        };
+        let mut elements: Vec<StreamElement<(u64, i64)>> = Vec::new();
+        for i in 0..200i64 {
+            if i % 50 == 0 {
+                elements.push(StreamElement::Punctuation(i));
+            }
+            elements.push(StreamElement::Record { ts: i, value: (i as u64 % 3, 1) });
+            if i % 70 == 69 {
+                // The keyed operator's inner ops run out-of-order:
+                // punctuation cuts the window edges, watermarks emit.
+                elements.push(StreamElement::Watermark(i - 20));
+            }
+        }
+        elements.push(StreamElement::Punctuation(200));
+        elements.push(StreamElement::Watermark(i64::MAX - 1));
+        let expect = reference(&elements, &factory);
+        assert!(!expect.is_empty());
+        let report = run_sharded_keyed(
+            elements.iter().cloned(),
+            PipelineConfig::with_parallelism(3),
+            factory,
+        );
+        assert_eq!(report.records, 200);
+        assert_eq!(flat(&report), expect);
+    }
+
+    #[test]
+    fn batching_modes_agree() {
+        let elements = make_elements(1500, 8);
+        let factory = shared_factory(100);
+        let expect = reference(&elements, &factory);
+        for cfg in [
+            PipelineConfig::with_parallelism(4).per_tuple(),
+            PipelineConfig::with_parallelism(4).with_batch_size(1),
+            PipelineConfig::with_parallelism(4).with_batch_size(128),
+        ] {
+            let report = run_sharded_keyed(elements.iter().cloned(), cfg, &factory);
+            assert_eq!(flat(&report), expect);
+        }
+    }
+
+    #[test]
+    fn throughput_only_counts_without_collecting() {
+        let elements = make_elements(1000, 8);
+        let factory = shared_factory(100);
+        let full = run_sharded_keyed(
+            elements.iter().cloned(),
+            PipelineConfig::with_parallelism(4),
+            &factory,
+        );
+        let counted = run_sharded_keyed(
+            elements.iter().cloned(),
+            PipelineConfig::with_parallelism(4).throughput_only(),
+            &factory,
+        );
+        assert!(counted.results.is_empty());
+        assert_eq!(counted.result_count, full.result_count);
+        assert_eq!(counted.records, 1000);
+    }
+
+    #[test]
+    fn report_carries_shard_count_and_metrics() {
+        let elements = make_elements(1000, 8);
+        let report = run_sharded_keyed(
+            elements.iter().cloned(),
+            PipelineConfig::with_parallelism(2).with_batch_size(64),
+            shared_factory(100),
+        );
+        assert_eq!(report.shards, 2);
+        assert_eq!(report.parallel_workers, 0);
+        assert!(!report.batch_sizes.is_empty());
+        assert_eq!(report.batch_sizes.records(), 1000);
+        // SumI64 (testsupport) has no fold kernel: batched runs count as
+        // misses.
+        assert_eq!(report.fold_hits, 0);
+        assert!(report.fold_misses > 0);
+    }
+}

@@ -27,15 +27,13 @@ const TIME_MIN: Time = i64::MIN;
 
 type Row = (QueryId, Time, Time, i64, bool);
 
-/// Reference: one sequential out-of-order operator, tuple at a time.
-fn sequential_rows(
+/// Reference: one sequential operator, tuple at a time, under `cfg`.
+fn sequential_rows_cfg(
     elements: &[StreamElement<i64>],
     windows: &[Box<dyn WindowFunction>],
-    lateness: Time,
-    policy: StorePolicy,
+    cfg: OperatorConfig,
 ) -> Vec<Row> {
-    let mut op =
-        WindowOperator::new(Sum, OperatorConfig::out_of_order(lateness).with_policy(policy));
+    let mut op = WindowOperator::new(Sum, cfg);
     for w in windows {
         op.add_query(w.clone_box()).unwrap();
     }
@@ -50,6 +48,20 @@ fn sequential_rows(
         rows.extend(out.drain(..).map(row));
     }
     rows
+}
+
+/// Reference: one sequential out-of-order operator, tuple at a time.
+fn sequential_rows(
+    elements: &[StreamElement<i64>],
+    windows: &[Box<dyn WindowFunction>],
+    lateness: Time,
+    policy: StorePolicy,
+) -> Vec<Row> {
+    sequential_rows_cfg(
+        elements,
+        windows,
+        OperatorConfig::out_of_order(lateness).with_policy(policy),
+    )
 }
 
 fn row(r: WindowResult<i64>) -> Row {
@@ -258,5 +270,109 @@ proptest! {
         let (used, got) = parallel_rows(&elements, &windows, 10, StorePolicy::Lazy, 4, 8);
         prop_assert_eq!(used, 0);
         prop_assert_eq!(&got, &want);
+    }
+
+    /// Genuinely in-order configs (`OperatorConfig::in_order()`) are now
+    /// parallel-eligible: the driver synthesizes watermark rounds at
+    /// batch boundaries, so finals must match the sequential in-order
+    /// operator and no run may ever emit an update.
+    #[test]
+    fn in_order_config_matches_sequential(
+        raw in prop::collection::vec((0i64..2_000, -50i64..50), 1..200),
+        length in 1i64..50,
+        slide in 1i64..50,
+        batch in 1usize..70,
+        wm_every in 1usize..40,
+        with_explicit_wms_i in 0usize..2,
+    ) {
+        let with_explicit_wms = with_explicit_wms_i == 1;
+        let mut tuples = raw;
+        tuples.sort_by_key(|&(ts, _)| ts);
+        // Explicit watermarks on a sorted stream with lag >= 1 are
+        // order-consistent (every later record is above them).
+        let elements = if with_explicit_wms {
+            with_stream_watermarks(&tuples, wm_every, 50)
+        } else {
+            tuples.iter().map(|&(ts, value)| StreamElement::Record { ts, value }).collect()
+        };
+        let windows = time_windows(length, slide);
+        let want = sequential_rows_cfg(&elements, &windows, OperatorConfig::in_order());
+        prop_assert!(want.iter().all(|r| !r.4), "in-order reference must never emit updates");
+        for workers in [1usize, 2, 4, 8] {
+            let report = run_parallel(
+                elements.iter().cloned(),
+                PipelineConfig::with_parallelism(workers).with_batch_size(batch),
+                Sum,
+                windows.iter().map(|w| w.clone_box()).collect(),
+                OperatorConfig::in_order(),
+            );
+            prop_assert_eq!(
+                report.parallel_workers, workers,
+                "in-order static-edge workload must take the parallel path"
+            );
+            let got: Vec<Row> = report.results.into_iter().map(|(_, r)| row(r)).collect();
+            prop_assert!(got.iter().all(|r| !r.4), "parallel in-order run emitted an update");
+            prop_assert_eq!(
+                sorted(got),
+                sorted(want.clone()),
+                "in-order emissions diverged (workers={}, batch={})",
+                workers,
+                batch
+            );
+        }
+    }
+
+    /// The pairwise combining merge tree must be a drop-in for a linear
+    /// left fold of worker partial lists: same spans, same combined
+    /// partials, same tuple counts and extreme timestamps.
+    #[test]
+    fn merge_tree_matches_linear_merge(
+        per_worker in prop::collection::vec(
+            prop::collection::vec((0i64..20, -50i64..50, 1u64..5), 0..30),
+            0..9,
+        ),
+        span in 1i64..40,
+    ) {
+        use general_stream_slicing::core::{merge_partials_tree, SlicePartial};
+        let mk = |lists: &Vec<Vec<(i64, i64, u64)>>| -> Vec<Vec<SlicePartial<Sum>>> {
+            lists
+                .iter()
+                .map(|l| {
+                    l.iter()
+                        .map(|&(slot, v, n)| SlicePartial {
+                            start: slot * span,
+                            end: (slot + 1) * span,
+                            partial: v,
+                            t_first: slot * span,
+                            t_last: slot * span + (v.rem_euclid(span)),
+                            n,
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        // Reference: combine everything by span in one flat pass.
+        let mut by_span: BTreeMap<(Time, Time), (i64, Time, Time, u64)> = BTreeMap::new();
+        for p in mk(&per_worker).into_iter().flatten() {
+            let e = by_span
+                .entry((p.start, p.end))
+                .or_insert((0, Time::MAX, Time::MIN, 0));
+            e.0 += p.partial;
+            e.1 = e.1.min(p.t_first);
+            e.2 = e.2.max(p.t_last);
+            e.3 += p.n;
+        }
+        let got = merge_partials_tree(&Sum, mk(&per_worker));
+        prop_assert_eq!(got.len(), by_span.len(), "merged span count diverged");
+        for p in got {
+            let want = by_span.get(&(p.start, p.end)).expect("unexpected span in tree merge");
+            prop_assert_eq!(
+                (p.partial, p.t_first, p.t_last, p.n),
+                *want,
+                "span [{}, {}) diverged",
+                p.start,
+                p.end
+            );
+        }
     }
 }
