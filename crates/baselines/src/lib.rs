@@ -13,9 +13,10 @@
 //! * [`Panes`] — uniform gcd-sized panes, the earliest slicing [30];
 //! * [`Cutty`] — slicing for user-defined context-free windows, eager
 //!   aggregation, in-order only [10];
-//! * [`TwoStacksSliding`] and [`SlickDequeSliding`] — the related-work
-//!   single-query sliding aggregators (amortized-O(1) FIFO aggregation
-//!   [42, 43] and monotonic-deque extremum tracking [40]).
+//! * [`TwoStacksSliding`], [`DabaLiteSliding`] and [`SlickDequeSliding`]
+//!   — the related-work single-query sliding aggregators (amortized-O(1)
+//!   FIFO aggregation [42], its worst-case-O(1) de-amortization DABA
+//!   Lite [43], and monotonic-deque extremum tracking [40]).
 //!
 //! All techniques reuse the same `WindowFunction` query definitions, so a
 //! benchmark swaps the technique without touching window semantics.
@@ -24,6 +25,7 @@ pub mod aggregate_tree;
 pub mod buckets;
 pub mod common;
 pub mod cutty;
+pub mod daba;
 pub mod pairs;
 pub mod panes;
 pub mod slick_deque;
@@ -34,6 +36,7 @@ pub use aggregate_tree::AggregateTree;
 pub use buckets::{BucketMode, Buckets};
 pub use common::QuerySet;
 pub use cutty::Cutty;
+pub use daba::{DabaLite, DabaLiteSliding};
 pub use pairs::Pairs;
 pub use panes::Panes;
 pub use slick_deque::{MonotonicDeque, SlickDequeSliding};

@@ -1,6 +1,7 @@
 //! Microbenchmark for the out-of-order batch path: late-run grouping
 //! (`process_batch` on a disordered stream) vs the per-tuple fallback
-//! (`disable_ooo_batching`), lazy and eager stores, 20% disorder.
+//! (`disable_ooo_batching`), lazy, eager, and finger-tree stores, 20%
+//! disorder.
 //!
 //! Run: `cargo bench -p gss-bench --bench ooo`
 
@@ -23,7 +24,11 @@ fn bench_ooo(c: &mut Criterion) {
     let elements = with_watermarks(&arrivals, 500, 2_000);
     let queries = concurrent_tumbling_queries(QUERIES);
 
-    for (policy, name) in [(StorePolicy::Lazy, "lazy"), (StorePolicy::Eager, "eager")] {
+    for (policy, name) in [
+        (StorePolicy::Lazy, "lazy"),
+        (StorePolicy::Eager, "eager"),
+        (StorePolicy::FingerTree, "finger"),
+    ] {
         let mut group = c.benchmark_group(format!("ooo_ingestion/{name}"));
         group.throughput(Throughput::Elements(TUPLES as u64));
         group.sample_size(10);

@@ -3,8 +3,9 @@
 //! disorder).
 //!
 //! Sweep: OOO fraction {0, 5, 20, 50} % (delays 0–2 s) × batch size
-//! {64, 512} × {lazy, eager} stores, 20 concurrent tumbling windows over
-//! the football stream with periodic watermarks. Three modes per cell:
+//! {64, 512} × {lazy, eager, finger} stores, 20 concurrent tumbling
+//! windows over the football stream with periodic watermarks. Three
+//! modes per cell:
 //!
 //! * `per_tuple` — one `process` call per record (no batching at all);
 //! * `batch_b` — `process_batch`, late runs grouped per covering slice,
@@ -21,20 +22,63 @@
 //! Writes `target/experiments/ooo.csv` and a machine-readable summary to
 //! `BENCH_ooo.json` at the repo root.
 //!
-//! Run: `cargo run --release -p gss-bench --bin ooo`
+//! Run: `cargo run --release -p gss-bench --bin ooo` (optionally
+//! `-- --store lazy|eager|finger` to sweep a single store, and/or
+//! `-- --ooo 0|5|20|50` for a single disorder cell).
 
 use std::io::Write as _;
 
 use gss_aggregates::Sum;
 use gss_bench::{
-    build_slicing, concurrent_tumbling_queries, fmt_tput, run, run_batched, run_best, BenchJson,
-    Output, RunReport,
+    build_slicing, concurrent_tumbling_queries, fmt_tput, run, run_batched, run_best_interleaved,
+    BenchJson, Output, RunReport,
 };
 use gss_core::{StorePolicy, StreamOrder};
 use gss_data::{make_out_of_order, with_watermarks, FootballConfig, FootballGenerator, OooConfig};
 
 fn scale() -> f64 {
     std::env::var("GSS_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+}
+
+/// All store policies the sweep covers, in report order.
+const STORES: [(StorePolicy, &str); 3] = [
+    (StorePolicy::Lazy, "lazy"),
+    (StorePolicy::Eager, "eager"),
+    (StorePolicy::FingerTree, "finger"),
+];
+
+/// Parses `--store <name>` from the CLI, defaulting to every store.
+fn store_filter() -> Vec<(StorePolicy, &'static str)> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--store" {
+            let want = args.next().unwrap_or_default();
+            let picked: Vec<_> = STORES.iter().copied().filter(|&(_, name)| name == want).collect();
+            assert!(
+                !picked.is_empty(),
+                "unknown store {want:?}; expected one of lazy, eager, finger"
+            );
+            return picked;
+        }
+    }
+    STORES.to_vec()
+}
+
+/// Parses `--ooo <percent>` from the CLI, defaulting to the full
+/// {0, 5, 20, 50} sweep.
+fn fraction_filter() -> Vec<u8> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--ooo" {
+            let want: u8 = args
+                .next()
+                .and_then(|s| s.parse().ok())
+                .expect("--ooo takes a percentage (0, 5, 20, or 50)");
+            assert!([0, 5, 20, 50].contains(&want), "--ooo must be one of 0, 5, 20, 50");
+            return vec![want];
+        }
+    }
+    vec![0, 5, 20, 50]
 }
 
 struct Row {
@@ -51,7 +95,7 @@ fn main() {
     let base = (1_000_000.0 * scale()) as usize;
     let tuples = FootballGenerator::new(FootballConfig::default()).take(base);
     let queries = concurrent_tumbling_queries(20);
-    let fractions = [0u8, 5, 20, 50];
+    let fractions = fraction_filter();
     let batch_sizes = [64usize, 512];
     let lateness = 2_000;
 
@@ -61,24 +105,55 @@ fn main() {
     );
     out.print_header();
     let mut rows: Vec<Row> = Vec::new();
-    for (policy, policy_name) in [(StorePolicy::Lazy, "lazy"), (StorePolicy::Eager, "eager")] {
-        for &fraction in &fractions {
-            let cfg =
-                OooConfig { fraction_percent: fraction, max_delay: 2_000, ..Default::default() };
-            let arrivals = make_out_of_order(&tuples, cfg);
-            let elements = with_watermarks(&arrivals, 500, 2_000);
+    // Store comparisons are the headline of this sweep, so the
+    // repetitions of one (fraction, mode) cell are interleaved
+    // round-robin across the stores: every store's rep k runs
+    // back-to-back with the others', and slow machine drift (load,
+    // thermal) lands *across* cells instead of skewing one store.
+    let stores = store_filter();
+    for &fraction in &fractions {
+        let cfg = OooConfig { fraction_percent: fraction, max_delay: 2_000, ..Default::default() };
+        let arrivals = make_out_of_order(&tuples, cfg);
+        let elements = with_watermarks(&arrivals, 500, 2_000);
+        let build = |policy: StorePolicy, disable: bool| {
+            build_slicing(Sum, policy, &queries, StreamOrder::OutOfOrder, lateness, disable)
+        };
 
-            let build = |disable: bool| {
-                build_slicing(Sum, policy, &queries, StreamOrder::OutOfOrder, lateness, disable)
-            };
-            let record = |out: &mut Output,
-                          rows: &mut Vec<Row>,
-                          mode: String,
-                          batch_size: usize,
-                          report: &RunReport,
-                          fallback_tput: f64| {
+        let per_tuple = run_best_interleaved(5, &stores, |&(policy, _)| {
+            let mut agg = build(policy, false);
+            run(agg.as_mut(), &elements)
+        });
+        // fallbacks[&b][i] / batches[&b][i] belong to stores[i].
+        let mut fallbacks: Vec<Vec<RunReport>> = Vec::new();
+        let mut batches: Vec<Vec<RunReport>> = Vec::new();
+        for &b in &batch_sizes {
+            let fallback = run_best_interleaved(5, &stores, |&(policy, _)| {
+                let mut agg = build(policy, true);
+                run_batched(agg.as_mut(), &elements, b)
+            });
+            let batched = run_best_interleaved(5, &stores, |&(policy, _)| {
+                let mut agg = build(policy, false);
+                run_batched(agg.as_mut(), &elements, b)
+            });
+            for (i, &(_, name)) in stores.iter().enumerate() {
+                assert_eq!(
+                    fallback[i].results, per_tuple[i].results,
+                    "{name} {fraction}% fallback batch {b}: result count diverged"
+                );
+                assert_eq!(
+                    batched[i].results, per_tuple[i].results,
+                    "{name} {fraction}% batch {b}: result count diverged"
+                );
+            }
+            fallbacks.push(fallback);
+            batches.push(batched);
+        }
+
+        // Report grouped per store for a tidy csv.
+        for (i, &(_, policy_name)) in stores.iter().enumerate() {
+            let mut record = |mode: String, batch_size: usize, report: &RunReport, fb: f64| {
                 let tput = report.throughput();
-                let speedup = tput / fallback_tput.max(1e-9);
+                let speedup = tput / fb.max(1e-9);
                 out.row(&[
                     policy_name.to_string(),
                     fraction.to_string(),
@@ -100,46 +175,35 @@ fn main() {
                     speedup_vs_fallback: speedup,
                 });
             };
-
-            let per_tuple = run_best(5, || build(false), |agg| run(agg, &elements));
-            for &b in &batch_sizes {
-                let fallback = run_best(5, || build(true), |agg| run_batched(agg, &elements, b));
-                assert_eq!(
-                    fallback.results, per_tuple.results,
-                    "{policy_name} {fraction}% fallback batch {b}: result count diverged"
-                );
-                let batched = run_best(5, || build(false), |agg| run_batched(agg, &elements, b));
-                assert_eq!(
-                    batched.results, per_tuple.results,
-                    "{policy_name} {fraction}% batch {b}: result count diverged"
-                );
-                let fallback_tput = fallback.throughput();
-                record(&mut out, &mut rows, format!("fallback_{b}"), b, &fallback, fallback_tput);
-                record(&mut out, &mut rows, format!("batch_{b}"), b, &batched, fallback_tput);
+            for (bi, &b) in batch_sizes.iter().enumerate() {
+                let fb = fallbacks[bi][i].throughput();
+                record(format!("fallback_{b}"), b, &fallbacks[bi][i], fb);
+                record(format!("batch_{b}"), b, &batches[bi][i], fb);
             }
-            let fallback_512 = rows
-                .iter()
-                .rev()
-                .find(|r| {
-                    r.policy == policy_name && r.ooo_percent == fraction && r.mode == "fallback_512"
-                })
-                .map(|r| r.tuples_per_sec)
-                .unwrap_or(0.0);
-            record(&mut out, &mut rows, "per_tuple".to_string(), 0, &per_tuple, fallback_512);
+            let fb512 = fallbacks[batch_sizes.len() - 1][i].throughput();
+            record("per_tuple".to_string(), 0, &per_tuple[i], fb512);
         }
     }
     out.finish();
-    write_json(&rows);
+    // A filtered run (`--store` / `--ooo`) is for iteration; only a
+    // full sweep may overwrite the checked-in benchmark summary.
+    if store_filter().len() == STORES.len() && fraction_filter().len() == 4 {
+        let stores: Vec<&str> = STORES.iter().map(|&(_, name)| name).collect();
+        write_json(&stores, &rows);
+    } else {
+        eprintln!("  (filtered sweep: BENCH_ooo.json left untouched)");
+    }
 }
 
 /// Writes `BENCH_ooo.json` at the repo root via the shared
 /// [`BenchJson`] preamble (`workload` + `cores`).
-fn write_json(rows: &[Row]) {
+fn write_json(stores: &[&str], rows: &[Row]) {
     let mut j = BenchJson::create(
         "ooo",
         "fig11-style 20 tumbling windows over football stream, \
          disorder sweep (delays 0-2s, watermarks every 500ms lagging 2s)",
     );
+    j.stores(stores);
     let f = j.file();
     writeln!(f, "  \"ooo_percents\": [0, 5, 20, 50],").unwrap();
     writeln!(f, "  \"batch_sizes\": [64, 512],").unwrap();

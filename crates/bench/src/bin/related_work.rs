@@ -3,8 +3,8 @@
 //! specialized algorithms of the paper's Section 7 were built for.
 //!
 //! Competitors: general stream slicing (lazy/eager), Pairs, Panes, Cutty,
-//! Two-Stacks FIFO aggregation [42, 43], and the SlickDeque monotonic
-//! deque [40] (max only). Expected outcome: the specialized single-query
+//! Two-Stacks FIFO aggregation [42], its worst-case-O(1) de-amortization
+//! DABA Lite [43], and the SlickDeque monotonic deque [40] (max only). Expected outcome: the specialized single-query
 //! structures win by small constant factors on the workloads they support;
 //! general slicing stays within the same order of magnitude while also
 //! covering multi-query, out-of-order, session, and count workloads — the
@@ -13,7 +13,7 @@
 //! Run: `cargo run --release -p gss-bench --bin related_work`
 
 use gss_aggregates::{Max, Sum};
-use gss_baselines::{Panes, SlickDequeSliding, TwoStacksSliding};
+use gss_baselines::{DabaLiteSliding, Panes, SlickDequeSliding, TwoStacksSliding};
 use gss_bench::{as_elements, build, fmt_tput, run, Output, QuerySpec, Technique};
 use gss_core::StreamOrder;
 use gss_data::{FootballConfig, FootballGenerator};
@@ -54,6 +54,12 @@ fn main() {
         out.row(&["sum".into(), "Two-Stacks".into(), format!("{:.0}", r.throughput())]);
         eprintln!("  sum/Two-Stacks: {}", fmt_tput(r.throughput()));
     }
+    {
+        let mut daba = DabaLiteSliding::new(Sum, length, slide);
+        let r = run(&mut daba, &elements);
+        out.row(&["sum".into(), "DABA Lite".into(), format!("{:.0}", r.throughput())]);
+        eprintln!("  sum/DABA Lite: {}", fmt_tput(r.throughput()));
+    }
 
     // MAX over one sliding window (adds the deque specialist).
     for tech in [Technique::LazySlicing, Technique::EagerSlicing] {
@@ -67,6 +73,12 @@ fn main() {
         let r = run(&mut ts2, &elements);
         out.row(&["max".into(), "Two-Stacks".into(), format!("{:.0}", r.throughput())]);
         eprintln!("  max/Two-Stacks: {}", fmt_tput(r.throughput()));
+    }
+    {
+        let mut daba = DabaLiteSliding::new(Max, length, slide);
+        let r = run(&mut daba, &elements);
+        out.row(&["max".into(), "DABA Lite".into(), format!("{:.0}", r.throughput())]);
+        eprintln!("  max/DABA Lite: {}", fmt_tput(r.throughput()));
     }
     {
         let mut sd = SlickDequeSliding::new_max(length, slide);

@@ -10,6 +10,7 @@
 //! Run: `cargo run --release -p gss-bench --bin table1`
 
 use gss_aggregates::Sum;
+use gss_baselines::DabaLiteSliding;
 use gss_bench::{as_elements, build, run, Output, QuerySpec, Technique};
 use gss_core::{StreamOrder, Time};
 
@@ -31,6 +32,18 @@ fn measure(tech: Technique, count_based: bool) -> usize {
     };
     let mut agg = build(tech, Sum, &[query], StreamOrder::OutOfOrder, span * 2);
     run(agg.as_mut(), &as_elements(&tuples)).memory_bytes
+}
+
+/// Memory of the related-work single-query FIFO aggregator (DABA Lite)
+/// on the same stream with one tumbling window per slice span: one
+/// `(ts, partial)` slot per in-window tuple, no sharing across queries.
+fn measure_daba() -> usize {
+    let span: Time = 1_000_000;
+    let step = span / TUPLES as Time;
+    let tuples: Vec<(Time, i64)> = (0..TUPLES as i64).map(|i| (i * step, i % 97)).collect();
+    let len = span / SLICES as Time;
+    let mut agg = DabaLiteSliding::new(Sum, len, len);
+    run(&mut agg, &as_elements(&tuples)).memory_bytes
 }
 
 fn main() {
@@ -74,6 +87,19 @@ fn main() {
         let measured = measure(tech, count_based);
         out.row(&[
             name.to_string(),
+            measured.to_string(),
+            formula.to_string(),
+            format!("{:.2}", measured as f64 / formula as f64),
+        ]);
+    }
+    // Supplemental related-work row: per-query FIFO aggregation keeps one
+    // slot per in-window tuple, so a single window costs (t/s) tuples —
+    // but unlike rows 5-8 that state multiplies with every extra query.
+    {
+        let measured = measure_daba();
+        let formula = (t / s) * SIZE_TUPLE;
+        out.row(&[
+            "9. DABA Lite (single query)".to_string(),
             measured.to_string(),
             formula.to_string(),
             format!("{:.2}", measured as f64 / formula as f64),

@@ -476,6 +476,14 @@ impl BenchJson {
         BenchJson { f, path }
     }
 
+    /// Records which store policies the run swept as a `"stores"` array,
+    /// so a summary regenerated under a `--store` filter is
+    /// distinguishable from the full three-store sweep.
+    pub fn stores(&mut self, names: &[&str]) {
+        let list = names.iter().map(|n| format!("\"{n}\"")).collect::<Vec<_>>().join(", ");
+        writeln!(self.f, "  \"stores\": [{list}],").expect("write json");
+    }
+
     /// The underlying file, for the bin-specific sections. Lines written
     /// here continue the top-level object, so the last section must not
     /// end with a comma.

@@ -68,6 +68,7 @@ pub mod audit;
 pub mod cast;
 pub mod characteristics;
 pub mod element;
+pub mod fiba;
 pub mod flatfat;
 pub mod function;
 pub mod hash;
@@ -85,6 +86,7 @@ pub mod window;
 pub use aggregator::{in_order_run_len, WindowAggregator};
 pub use characteristics::{RemovalStrategy, WorkloadCharacteristics};
 pub use element::StreamElement;
+pub use fiba::FingerTree;
 pub use flatfat::FlatFat;
 pub use function::{
     default_fold_slice, kernel_eligible, AggregateFunction, FunctionKind, FunctionProperties,

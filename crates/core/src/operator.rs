@@ -154,6 +154,40 @@ impl<V: Clone> Clone for LateGroup<V> {
     }
 }
 
+/// Rebuilds the batched late path's group-lookup ladder: the (at most
+/// four) alive groups sorted by slice start, unused slots pushed out of
+/// range (`TIME_MAX` start never matches the ladder, `TIME_MIN` end
+/// fails the interval check). Returns `false` when more groups are alive
+/// than the ladder holds; the caller then routes every tuple through the
+/// scanning cold path instead.
+fn build_group_table<V>(
+    groups: &[LateGroup<V>],
+    starts: &mut [Time; 4],
+    ends: &mut [Time; 4],
+    pos: &mut [usize; 4],
+) -> bool {
+    if groups.len() > 4 {
+        return false;
+    }
+    *starts = [TIME_MAX; 4];
+    *ends = [TIME_MIN; 4];
+    *pos = [0; 4];
+    let mut order = [0usize, 1, 2, 3];
+    for k in 1..groups.len() {
+        let mut m = k;
+        while m > 0 && groups[order[m]].start < groups[order[m - 1]].start {
+            order.swap(m, m - 1);
+            m -= 1;
+        }
+    }
+    for (slot, &gi) in order[..groups.len()].iter().enumerate() {
+        starts[slot] = groups[gi].start;
+        ends[slot] = groups[gi].end;
+        pos[slot] = gi;
+    }
+    true
+}
+
 /// One worker-local pre-aggregated slice from the intra-query parallel
 /// path: everything a worker folded into the static-edge span
 /// `[start, end)`, plus the extreme timestamps and tuple count. Produced
@@ -302,6 +336,11 @@ pub struct WindowOperator<A: AggregateFunction> {
     /// directly. Always empty between calls.
     run_times: Vec<Time>,
     run_values: Vec<A::Input>,
+    /// Scratch index columns for the finger-store batch fast path's
+    /// branchless partition (`process_batch_fast`): in-order positions
+    /// from the front, late positions from the back in reverse arrival
+    /// order. Contents are dead between calls; the allocation is reused.
+    part_idx: Vec<u32>,
     /// Indices into `queries` of context-aware windows (precomputed so the
     /// per-tuple notify loop touches only those).
     context_aware: Vec<usize>,
@@ -342,6 +381,7 @@ impl<A: AggregateFunction> WindowOperator<A> {
             late_group_pool: Vec::new(),
             run_times: Vec::new(),
             run_values: Vec::new(),
+            part_idx: Vec::new(),
             context_aware: Vec::new(),
             edges: ContextEdges::new(),
         }
@@ -633,6 +673,10 @@ impl<A: AggregateFunction> WindowOperator<A> {
     /// watermark sweeps) and bounds the enumeration so flush watermarks
     /// cannot sweep the whole time axis.
     fn trigger_up_to(&mut self, wm: Time, data_pos: Time, out: &mut Vec<WindowResult<A::Output>>) {
+        // Deferred index repairs (late runs, finger-tree in-order leaf
+        // writes) must land before the sweep queries the store. A no-op
+        // when the dirty set is empty.
+        self.store.flush_eager_repairs();
         let store = &self.store;
         let f = &self.f;
         let stats = &mut self.stats;
@@ -699,6 +743,8 @@ impl<A: AggregateFunction> WindowOperator<A> {
     /// Emits updated aggregates for already-triggered windows affected by a
     /// late tuple at `ts` (within the allowed lateness).
     fn emit_updates(&mut self, ts: Time, out: &mut Vec<WindowResult<A::Output>>) {
+        // Late-tuple revisions query the store: land deferred repairs.
+        self.store.flush_eager_repairs();
         let store = &self.store;
         let f = &self.f;
         let stats = &mut self.stats;
@@ -1228,11 +1274,200 @@ impl<A: AggregateFunction> WindowOperator<A> {
         self.store.flush_eager_repairs();
     }
 
+    /// Batched ingestion fast path for the finger-tree store: one
+    /// partition pass splits the batch into its monotone in-order
+    /// subsequence and the late remainder, then each half is applied in
+    /// bulk — the in-order columns as slice-edge-segmented run commits,
+    /// the late tuples deferred into per-slice pre-folded groups and
+    /// flushed once. This replaces the generic loop's per-stretch run
+    /// detection ([`take_run`] re-derives its caps on every monotone
+    /// stretch), whose bookkeeping dominates under heavy disorder where
+    /// stretches shrink to a couple of tuples.
+    ///
+    /// Equivalence to the generic loop: the preconditions rule out every
+    /// mid-batch emission and every mid-batch structural read of partial
+    /// aggregates, so the only observable interleaving — late groups
+    /// applied after all in-order commits — is exactly what the generic
+    /// deferral does. Late tuples are classified against the same
+    /// running maximum per-tuple processing maintains, and slice edges
+    /// are advanced at segment heads precisely where the per-tuple
+    /// slicer would cut. A late tuple always lands below the open
+    /// slice's end (its timestamp is below some already-committed
+    /// in-order tuple), so deferring it after the commits sees the same
+    /// covering slice the generic interleaving would.
+    ///
+    /// Preconditions beyond [`defer_config_ok`] (declared out-of-order
+    /// stream, time-tiled slices, no context-aware windows):
+    /// * finger-tree store — the bulk late path leans on O(log d)
+    ///   deferred leaf writes plus one shared-path repair per batch,
+    ///   where the FlatFAT index pays a per-leaf ancestor walk;
+    /// * pre-foldable late groups ([`defer_unsorted`]);
+    /// * a non-empty store whose open slice covers the stream head (a
+    ///   punctuation can cut slices ahead of the data);
+    /// * every late timestamp strictly above the watermark — at or
+    ///   below it, per-tuple processing emits revisions immediately.
+    ///
+    /// Returns `false` — leaving the operator untouched — when a
+    /// precondition fails, and the generic loop runs instead.
+    ///
+    /// [`take_run`]: WindowOperator::take_run
+    /// [`defer_config_ok`]: WindowOperator::defer_config_ok
+    /// [`defer_unsorted`]: WindowOperator::defer_unsorted
+    fn process_batch_fast<B: BatchView<A::Input>>(&mut self, batch: &B) -> bool {
+        if self.store.policy() != StorePolicy::FingerTree
+            || !self.defer_config_ok()
+            || !self.defer_unsorted()
+            || self.store.last_slice().is_none_or(|s| s.start() > self.max_ts)
+        {
+            return false;
+        }
+        let n = batch.len();
+        debug_assert!(u32::try_from(n).is_ok(), "batch exceeds u32 index space");
+        debug_assert!(self.run_times.is_empty() && self.run_values.is_empty());
+        // Partition. The in-order subsequence is exactly the tuples at or
+        // above the running maximum — the same classification per-tuple
+        // processing applies via `max_ts`. The monotone prefix (the whole
+        // batch under zero disorder) is recognized with one predictable
+        // scan and bulk-copied; the disordered remainder goes through a
+        // branchless index partition (disorder makes a late/in-order
+        // branch unpredictable, and at 50 % disorder the mispredictions
+        // alone would dominate this loop).
+        let mut prev = self.max_ts;
+        let mut i = 0;
+        while i < n {
+            let ts = batch.ts(i);
+            if ts < prev {
+                break;
+            }
+            prev = ts;
+            i += 1;
+        }
+        batch.extend_columns(0, i, &mut self.run_times, &mut self.run_values);
+        let mut idx = std::mem::take(&mut self.part_idx);
+        let rem = n - i;
+        let mut ik = 0;
+        let mut lk = 0;
+        if i < n {
+            if idx.len() < rem {
+                idx.resize(rem, 0);
+            }
+            let mut min_late = TIME_MAX;
+            for j in i..n {
+                let ts = batch.ts(j);
+                let is_late = ts < prev;
+                prev = prev.max(ts);
+                min_late = min_late.min(if is_late { ts } else { TIME_MAX });
+                // Two unconditional stores per tuple: in-order indices
+                // fill the array from the front, late ones from the back
+                // (so the late half sits at `[rem - lk, rem)` in reverse
+                // arrival order). Writing both ends every iteration keeps
+                // the loop free of data-dependent branches — at 50 %
+                // disorder a conditional store is mispredicted constantly.
+                idx[ik] = j as u32;
+                idx[rem - 1 - lk] = j as u32;
+                ik += usize::from(!is_late);
+                lk += usize::from(is_late);
+            }
+            // At or below the watermark a late tuple revises emitted
+            // windows immediately; hand the whole batch to the generic
+            // loop. Nothing has been applied yet, so bailing is free.
+            if min_late <= self.watermark {
+                self.run_times.clear();
+                self.run_values.clear();
+                self.part_idx = idx;
+                return false;
+            }
+            // One fused gather pass: each batch tuple is touched once
+            // (its timestamp and value share a cache line in the
+            // row-major view), and the upfront reserves keep the push
+            // capacity checks predictable.
+            self.run_times.reserve(ik);
+            self.run_values.reserve(ik);
+            for &j in &idx[..ik] {
+                let j = cast::idx32(j);
+                self.run_times.push(batch.ts(j));
+                self.run_values.push(batch.value(j).clone());
+            }
+        }
+        // In-order half: bulk run commits, cut at slice edges exactly
+        // where the per-tuple slicer would.
+        let mut times = std::mem::take(&mut self.run_times);
+        let mut values = std::mem::take(&mut self.run_values);
+        let mut a = 0;
+        while a < times.len() {
+            let b = match self.next_time_edge {
+                Some(edge) => a + times[a..].partition_point(|&t| t < edge),
+                None => times.len(),
+            };
+            if b == a {
+                // `times[a]` is at or past the cached edge: cut slices
+                // first. Afterwards the next edge lies strictly beyond
+                // `times[a]`, so the next segment is non-empty.
+                self.advance_time_edges(times[a]);
+                continue;
+            }
+            self.count_fold(b - a);
+            self.store.add_in_order_run_columns(&times[a..b], &values[a..b]);
+            a = b;
+        }
+        self.stats.tuples += times.len() as u64;
+        self.max_ts = prev;
+        times.clear();
+        values.clear();
+        self.run_times = times; // keep the allocations for the next batch
+        self.run_values = values;
+        // Late half: defer into per-slice groups in arrival order, then
+        // apply them with one store touch per covering slice. Same
+        // grouping as `defer_into_group`, but the covering slice is found
+        // with a branchless ladder over the alive groups sorted by start:
+        // the slice alternates unpredictably from tuple to tuple, so a
+        // scan's data-dependent branches are mispredicted constantly.
+        let mut groups = std::mem::take(&mut self.late_groups);
+        let mut starts = [TIME_MAX; 4];
+        let mut ends = [TIME_MIN; 4];
+        let mut pos = [0usize; 4];
+        let mut table_ok = build_group_table(&groups, &mut starts, &mut ends, &mut pos);
+        for &j in idx[rem - lk..rem].iter().rev() {
+            let j = cast::idx32(j);
+            let ts = batch.ts(j);
+            if table_ok {
+                // Highest slot whose start is at or below `ts`; sortedness
+                // makes the sum the slot index, with no branches.
+                let gid = usize::from(ts >= starts[1])
+                    + usize::from(ts >= starts[2])
+                    + usize::from(ts >= starts[3]);
+                if ts >= starts[0] && ts < ends[gid] {
+                    let g = &mut groups[pos[gid]];
+                    g.values.push(batch.value(j).clone());
+                    g.t_first = g.t_first.min(ts);
+                    g.t_last = g.t_last.max(ts);
+                    continue;
+                }
+            }
+            // First tuple of this covering slice: group creation (and a
+            // possible gap-slice insert) stays on the shared cold path;
+            // the ladder is then rebuilt around the new group.
+            self.late_groups = groups;
+            self.defer_into_group(ts, batch.value(j));
+            groups = std::mem::take(&mut self.late_groups);
+            table_ok = build_group_table(&groups, &mut starts, &mut ends, &mut pos);
+        }
+        self.late_groups = groups;
+        self.part_idx = idx; // keep the allocation
+        self.stats.tuples += lk as u64;
+        self.stats.ooo_tuples += lk as u64;
+        self.flush_late_runs();
+        true
+    }
+
     /// Processes a batch of tuples, ingesting maximal eligible in-order
     /// runs with a single store touch each (one fold + ⊕ into the open
     /// slice, one tuple-storage append, one eager-leaf refresh) and
     /// deferring eligible late tuples into slice-grouped runs applied once
-    /// per batch (see [`flush_late_runs`]). Everything else — tuples at
+    /// per batch (see [`flush_late_runs`]). On the finger-tree store the
+    /// whole batch is instead partitioned once and applied in bulk
+    /// ([`process_batch_fast`](WindowOperator::process_batch_fast)).
+    /// Everything else — tuples at
     /// slice edges, window completions, below-watermark stragglers,
     /// count-measure shifts — falls back to
     /// [`process_tuple`](WindowOperator::process_tuple) after the pending
@@ -1284,6 +1519,9 @@ impl<A: AggregateFunction> WindowOperator<A> {
         batch: &B,
         out: &mut Vec<WindowResult<A::Output>>,
     ) {
+        if self.process_batch_fast(batch) {
+            return;
+        }
         let unsorted = self.defer_unsorted();
         let defer_ok = self.defer_config_ok();
         // Deferred-tuple stats accumulate in a local and land once per
@@ -1372,10 +1610,6 @@ impl<A: AggregateFunction> WindowOperator<A> {
         if wm <= self.watermark {
             return;
         }
-        // Deferred eager repairs (late-run or parallel-merge inserts) must
-        // land before the trigger sweep queries the FlatFAT. A no-op when
-        // the dirty set is empty.
-        self.store.flush_eager_repairs();
         self.trigger_up_to(wm, self.max_ts, out);
         self.watermark = wm;
         self.evict(wm);
@@ -1397,10 +1631,10 @@ impl<A: AggregateFunction> WindowOperator<A> {
     /// straggler singletons and revise already-emitted windows, exactly
     /// like the sequential out-of-order path.
     ///
-    /// Eager-store FlatFAT repairs are *deferred*: finish a run of calls
-    /// with [`merge_parallel_partials`](Self::merge_parallel_partials)
-    /// (which flushes once per run) before querying; triggering via
-    /// [`process_watermark`](Self::process_watermark) flushes defensively.
+    /// Index repairs are *deferred*: finish a run of calls with
+    /// [`merge_parallel_partials`](Self::merge_parallel_partials)
+    /// (which flushes once per run) before querying the store directly;
+    /// the operator's own query sweeps flush on entry.
     pub fn add_parallel_partial(
         &mut self,
         part: SlicePartial<A>,
@@ -1434,7 +1668,6 @@ impl<A: AggregateFunction> WindowOperator<A> {
         // above their watermark, and the merge protocol applies a group
         // before the global watermark passes it.
         if self.watermark != TIME_MIN && t_first <= self.watermark {
-            self.store.flush_eager_repairs();
             self.emit_updates(t_first, out);
         }
     }
@@ -1613,6 +1846,9 @@ impl<A: AggregateFunction> Clone for WindowOperator<A> {
             late_group_pool: Vec::new(),
             run_times: self.run_times.clone(),
             run_values: self.run_values.clone(),
+            // Scratch indices are dead between calls; a checkpoint does
+            // not need them.
+            part_idx: Vec::new(),
             context_aware: self.context_aware.clone(),
             edges: self.edges.clone(),
         }
@@ -1661,6 +1897,7 @@ impl<A: AggregateFunction> WindowAggregator<A> for WindowOperator<A> {
         match self.cfg.policy {
             StorePolicy::Lazy => "Lazy Slicing",
             StorePolicy::Eager => "Eager Slicing",
+            StorePolicy::FingerTree => "Finger-Tree Slicing",
         }
     }
 }
@@ -1830,7 +2067,7 @@ mod tests {
 
     #[test]
     fn batched_ooo_grouping_matches_per_tuple() {
-        for policy in [StorePolicy::Lazy, StorePolicy::Eager] {
+        for policy in [StorePolicy::Lazy, StorePolicy::Eager, StorePolicy::FingerTree] {
             let cfg = OperatorConfig::out_of_order(1_000).with_policy(policy);
             let mut a = WindowOperator::new(SumI64, cfg);
             let mut b = WindowOperator::new(SumI64, cfg);
@@ -1866,6 +2103,56 @@ mod tests {
             assert_eq!(a.stats().ooo_tuples, b.stats().ooo_tuples);
             assert_eq!(a.stats().dropped_late, b.stats().dropped_late);
         }
+    }
+
+    #[test]
+    fn finger_batch_fast_path_edges_match_per_tuple() {
+        let mk = || {
+            let cfg = OperatorConfig::out_of_order(1_000).with_policy(StorePolicy::FingerTree);
+            let mut op = WindowOperator::new(SumI64, cfg);
+            op.add_query(Box::new(TumblingStub { length: 10 })).unwrap();
+            op
+        };
+        let mut per_tuple = mk();
+        let mut batched = mk();
+        let mut out_a = Vec::new();
+        let mut out_b = Vec::new();
+        // In-order spine establishing slices up to [100, 110).
+        let spine: Vec<(Time, i64)> =
+            [5, 7, 12, 18, 23, 31, 44, 57, 68, 101].iter().map(|&t| (t, 1)).collect();
+        // Late tuples over FIVE distinct covering slices: one more than the
+        // fast path's group ladder holds, forcing its scanning cold path.
+        let wide: Vec<(Time, i64)> = vec![
+            (105, 1),
+            (110, 1),
+            (55, 2),
+            (62, 3),
+            (75, 4),
+            (83, 5),
+            (91, 6),
+            (96, 7),
+            (71, 8),
+            (88, 9),
+        ];
+        // A tuple at the watermark: the monotone fast path must bail
+        // before mutating anything and defer to the generic batch path.
+        let straggler: Vec<(Time, i64)> = vec![(120, 1), (50, 1), (125, 1)];
+        for (batch, wm) in [(&spine, 50), (&wide, 100), (&straggler, 300)] {
+            for &(ts, v) in batch {
+                per_tuple.process_tuple(ts, v, &mut out_a);
+            }
+            batched.process_batch_tuples(batch, &mut out_b);
+            per_tuple.process_watermark(wm, &mut out_a);
+            batched.process_watermark(wm, &mut out_b);
+        }
+        let key = |r: &WindowResult<i64>| (r.query, r.range.start, r.range.end, r.value);
+        assert_eq!(
+            out_a.iter().map(key).collect::<Vec<_>>(),
+            out_b.iter().map(key).collect::<Vec<_>>()
+        );
+        assert_eq!(per_tuple.stats().tuples, batched.stats().tuples);
+        assert_eq!(per_tuple.stats().ooo_tuples, batched.stats().ooo_tuples);
+        assert_eq!(per_tuple.stats().dropped_late, batched.stats().dropped_late);
     }
 
     #[test]

@@ -3,28 +3,143 @@
 //! manager (to update them), and the window manager (to compute window
 //! aggregates).
 //!
-//! Two variants mirror the paper's lazy/eager distinction (Table 1 rows
+//! Three variants extend the paper's lazy/eager distinction (Table 1 rows
 //! 5–8): the **lazy** store keeps only the ordered slice list and combines
 //! slice partials on demand; the **eager** store additionally maintains a
 //! [`FlatFat`] tree over slice partials, trading update work for `O(log s)`
-//! window queries and microsecond output latencies (Figure 11).
+//! window queries and microsecond output latencies (Figure 11); the
+//! **finger-tree** store swaps the dense FlatFAT array for a
+//! [`FingerTree`] (FiBA-style finger B-tree), keeping the eager query
+//! latency while making out-of-order leaf writes O(log d) from the
+//! nearer finger, gap-slice inserts O(log s) instead of a full rebuild,
+//! and watermark evictions amortized O(1) per slice via whole-subtree
+//! release.
 
 use std::collections::VecDeque;
 
+use crate::fiba::FingerTree;
 use crate::flatfat::FlatFat;
 use crate::function::AggregateFunction;
 use crate::mem::HeapSize;
 use crate::slice::Slice;
 use crate::time::{Range, Time};
 
-/// Lazy vs. eager final aggregation (paper Section 3.4).
+/// Lazy vs. eager final aggregation (paper Section 3.4), plus the
+/// disorder-tuned eager variant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StorePolicy {
     /// Store slices only; combine on demand when windows end.
     Lazy,
-    /// Maintain an aggregate tree over slices for low-latency output.
+    /// Maintain a dense FlatFAT aggregate tree over slices for
+    /// low-latency output.
     Eager,
+    /// Maintain a finger B-tree aggregate index: eager-grade query
+    /// latency, O(log d) out-of-order writes, and O(1)-amortized bulk
+    /// eviction (FiBA, arXiv 2307.11210).
+    FingerTree,
 }
+
+/// The per-slice aggregate index backing the eager policies. `None`
+/// (lazy) stores nothing; the other variants mirror `slices[i]`'s
+/// aggregate at leaf `i` and share one contract: eager `update`s fix
+/// ancestors immediately, `update_deferred`s mark a dirty region that
+/// [`repair`](AggIndex::repair) fixes in one batched pass.
+#[derive(Clone)]
+enum AggIndex<A: AggregateFunction> {
+    None,
+    Flat(FlatFat<A>),
+    Finger(FingerTree<A>),
+}
+
+impl<A: AggregateFunction> AggIndex<A> {
+    /// Appends a leaf. The finger tree defers the spine recompute (the
+    /// appended leaf starts empty and in-order fills keep marking the
+    /// same right-edge path dirty); queries repair first.
+    fn push(&mut self, p: Option<A::Partial>) {
+        match self {
+            AggIndex::None => {}
+            AggIndex::Flat(t) => t.push(p),
+            AggIndex::Finger(t) => t.push_deferred(p),
+        }
+    }
+
+    fn insert(&mut self, i: usize, p: Option<A::Partial>) {
+        match self {
+            AggIndex::None => {}
+            AggIndex::Flat(t) => t.insert(i, p),
+            AggIndex::Finger(t) => t.insert(i, p),
+        }
+    }
+
+    fn update(&mut self, i: usize, p: Option<A::Partial>) {
+        match self {
+            AggIndex::None => {}
+            AggIndex::Flat(t) => t.update(i, p),
+            AggIndex::Finger(t) => t.update(i, p),
+        }
+    }
+
+    fn update_deferred(&mut self, i: usize, p: Option<A::Partial>) {
+        match self {
+            AggIndex::None => {}
+            AggIndex::Flat(t) => t.update_deferred(i, p),
+            AggIndex::Finger(t) => t.update_deferred(i, p),
+        }
+    }
+
+    fn remove(&mut self, i: usize) {
+        match self {
+            AggIndex::None => {}
+            AggIndex::Flat(t) => {
+                t.remove(i);
+            }
+            AggIndex::Finger(t) => {
+                t.remove(i);
+            }
+        }
+    }
+
+    fn remove_prefix(&mut self, k: usize) {
+        match self {
+            AggIndex::None => {}
+            AggIndex::Flat(t) => t.remove_prefix(k),
+            AggIndex::Finger(t) => t.remove_prefix(k),
+        }
+    }
+
+    fn repair(&mut self) {
+        match self {
+            AggIndex::None => {}
+            AggIndex::Flat(t) => t.repair_dirty(),
+            AggIndex::Finger(t) => t.repair_dirty(),
+        }
+    }
+
+    fn has_dirty(&self) -> bool {
+        match self {
+            AggIndex::None => false,
+            AggIndex::Flat(t) => t.has_dirty(),
+            AggIndex::Finger(t) => t.has_dirty(),
+        }
+    }
+
+    /// Indexed range query; `None` when no index is maintained (lazy).
+    fn query(&self, l: usize, r: usize) -> Option<Option<A::Partial>> {
+        match self {
+            AggIndex::None => None,
+            AggIndex::Flat(t) => Some(t.query(l, r)),
+            AggIndex::Finger(t) => Some(t.query(l, r)),
+        }
+    }
+}
+
+/// Ranges at most this many slices long are answered by folding the
+/// slice deque sequentially instead of consulting the aggregate index.
+/// Measured on the `ooo` workload (~25 live slices, windows spanning
+/// 1–20): the scan closes the finger store's entire in-order query
+/// overhead vs the lazy store, while ranges past the cutoff are where
+/// an O(log n) index visit beats O(n) combines anyway.
+const INDEX_SCAN_CUTOFF: usize = 32;
 
 /// An ordered collection of slices with optional eager index and count
 /// bookkeeping for count-measure windows.
@@ -32,8 +147,18 @@ pub enum StorePolicy {
 pub struct SliceStore<A: AggregateFunction> {
     f: A,
     slices: VecDeque<Slice<A>>,
-    /// Eager index: leaf `i` mirrors `slices[i].aggregate()`.
-    eager: Option<FlatFat<A>>,
+    /// Aggregate index: leaf `i` mirrors `slices[i].aggregate()`.
+    index: AggIndex<A>,
+    /// Whether the index mirrors the slices. The finger tree is built
+    /// *adaptively*: while the store has never outgrown
+    /// [`INDEX_SCAN_CUTOFF`] slices, every range query folds the slice
+    /// deque anyway, so the tree stays empty and all maintenance is a
+    /// flag check — the in-order hot path costs exactly what the lazy
+    /// store does. The first append past the cutoff bulk-builds the
+    /// tree from the slice partials (one deferred push per slice) and
+    /// flips this permanently. Lazy and eager stores are born live
+    /// (no index, and the FlatFAT's contract is eager mirroring).
+    index_live: bool,
     keep_tuples: bool,
     /// Number of tuples evicted from the front; offsets count positions so
     /// count-measure queries use absolute counts.
@@ -42,11 +167,60 @@ pub struct SliceStore<A: AggregateFunction> {
 
 impl<A: AggregateFunction> SliceStore<A> {
     pub fn new(f: A, policy: StorePolicy, keep_tuples: bool) -> Self {
-        let eager = match policy {
-            StorePolicy::Lazy => None,
-            StorePolicy::Eager => Some(FlatFat::new(f.clone())),
+        let index = match policy {
+            StorePolicy::Lazy => AggIndex::None,
+            StorePolicy::Eager => AggIndex::Flat(FlatFat::new(f.clone())),
+            StorePolicy::FingerTree => AggIndex::Finger(FingerTree::new(f.clone())),
         };
-        SliceStore { f, slices: VecDeque::new(), eager, keep_tuples, evicted_tuples: 0 }
+        let index_live = policy != StorePolicy::FingerTree;
+        SliceStore { f, slices: VecDeque::new(), index, index_live, keep_tuples, evicted_tuples: 0 }
+    }
+
+    /// Mirrors a slice append into the index, or — for a not-yet-built
+    /// finger tree — checks whether the store just outgrew the scan
+    /// cutoff and the index must now materialize.
+    fn index_append(&mut self) {
+        if self.index_live {
+            self.index.push(None);
+        } else {
+            self.maybe_build_index();
+        }
+    }
+
+    /// Mirrors a slice insertion at position `i` into the index (same
+    /// adaptive-build rule as [`index_append`]).
+    fn index_insert(&mut self, i: usize) {
+        if self.index_live {
+            self.index.insert(i, None);
+        } else {
+            self.maybe_build_index();
+        }
+    }
+
+    /// Bulk-builds the finger tree from the current slice partials once
+    /// the store exceeds [`INDEX_SCAN_CUTOFF`] slices. The pushes are
+    /// deferred; the next query sweep's flush repairs the spine in one
+    /// pass. O(n) once per store lifetime.
+    fn maybe_build_index(&mut self) {
+        if self.slices.len() <= INDEX_SCAN_CUTOFF {
+            return;
+        }
+        if let AggIndex::Finger(t) = &mut self.index {
+            debug_assert_eq!(t.len(), 0, "building an already-populated index");
+            for s in &self.slices {
+                t.push_deferred(s.aggregate().cloned());
+            }
+        }
+        self.index_live = true;
+    }
+
+    /// The policy this store was built with.
+    pub fn policy(&self) -> StorePolicy {
+        match &self.index {
+            AggIndex::None => StorePolicy::Lazy,
+            AggIndex::Flat(_) => StorePolicy::Eager,
+            AggIndex::Finger(_) => StorePolicy::FingerTree,
+        }
     }
 
     /// Number of slices currently stored.
@@ -117,9 +291,7 @@ impl<A: AggregateFunction> SliceStore<A> {
             "slices must be appended in order"
         );
         self.slices.push_back(Slice::new(range, self.keep_tuples));
-        if let Some(t) = &mut self.eager {
-            t.push(None);
-        }
+        self.index_append();
     }
 
     /// Extends the end of the latest slice (the open slice grows as time
@@ -164,9 +336,7 @@ impl<A: AggregateFunction> SliceStore<A> {
             "prepended slice must precede the first slice"
         );
         self.slices.push_front(Slice::new(range, self.keep_tuples));
-        if let Some(t) = &mut self.eager {
-            t.insert(0, None);
-        }
+        self.index_insert(0);
     }
 
     /// Inserts a slice into a coverage gap (late tuples landing between
@@ -179,9 +349,7 @@ impl<A: AggregateFunction> SliceStore<A> {
             "gap slice {range} overlaps successor"
         );
         self.slices.insert(idx, Slice::new(range, self.keep_tuples));
-        if let Some(t) = &mut self.eager {
-            t.insert(idx, None);
-        }
+        self.index_insert(idx);
         #[cfg(feature = "audit")]
         self.assert_invariants();
         idx
@@ -202,8 +370,23 @@ impl<A: AggregateFunction> SliceStore<A> {
             }
             prev_end = Some(s.end());
         }
-        if let Some(t) = &self.eager {
-            assert_eq!(t.len(), self.slices.len(), "eager index out of sync with slices");
+        match &self.index {
+            AggIndex::None => {}
+            AggIndex::Flat(t) => {
+                assert_eq!(t.len(), self.slices.len(), "eager index out of sync with slices");
+            }
+            AggIndex::Finger(t) => {
+                if self.index_live {
+                    assert_eq!(t.len(), self.slices.len(), "finger index out of sync with slices");
+                } else {
+                    assert_eq!(t.len(), 0, "unbuilt finger index holds leaves");
+                    assert!(
+                        self.slices.len() <= INDEX_SCAN_CUTOFF,
+                        "store outgrew the cutoff without building its index"
+                    );
+                }
+                t.assert_invariants();
+            }
         }
     }
 
@@ -211,9 +394,7 @@ impl<A: AggregateFunction> SliceStore<A> {
     /// where a tied timestamp may equal the previous end).
     fn append_slice_unchecked(&mut self, range: Range) {
         self.slices.push_back(Slice::new(range, self.keep_tuples));
-        if let Some(t) = &mut self.eager {
-            t.push(None);
-        }
+        self.index_append();
     }
 
     /// Adds an in-order tuple to the **latest** slice (the hot path: one ⊕
@@ -320,8 +501,8 @@ impl<A: AggregateFunction> SliceStore<A> {
             return;
         }
         self.slices[idx].add_out_of_order_run(&self.f, run);
-        if let Some(t) = &mut self.eager {
-            t.update_deferred(idx, self.slices[idx].aggregate().cloned());
+        if self.index_live {
+            self.index.update_deferred(idx, self.slices[idx].aggregate().cloned());
         }
     }
 
@@ -333,8 +514,8 @@ impl<A: AggregateFunction> SliceStore<A> {
             return;
         }
         self.slices[idx].add_out_of_order_run_owned(&self.f, run);
-        if let Some(t) = &mut self.eager {
-            t.update_deferred(idx, self.slices[idx].aggregate().cloned());
+        if self.index_live {
+            self.index.update_deferred(idx, self.slices[idx].aggregate().cloned());
         }
     }
 
@@ -352,8 +533,8 @@ impl<A: AggregateFunction> SliceStore<A> {
         n: usize,
     ) {
         self.slices[idx].add_out_of_order_partial(&self.f, partial, t_first, t_last, n);
-        if let Some(t) = &mut self.eager {
-            t.update_deferred(idx, self.slices[idx].aggregate().cloned());
+        if self.index_live {
+            self.index.update_deferred(idx, self.slices[idx].aggregate().cloned());
         }
     }
 
@@ -363,8 +544,15 @@ impl<A: AggregateFunction> SliceStore<A> {
     /// evictions — rebuild the tree wholesale and clear pending repairs on
     /// their own.)
     pub fn flush_eager_repairs(&mut self) {
-        if let Some(t) = &mut self.eager {
-            t.repair_dirty();
+        // While the store holds at most [`INDEX_SCAN_CUTOFF`] slices, no
+        // range query can be long enough to consult the index (every
+        // range is bounded by the store length, and short ranges scan
+        // the slice deque — see `query_slice_range`), so deferred dirt
+        // can keep accumulating for free. The moment the store outgrows
+        // the cutoff, the next query sweep lands here and repairs before
+        // the first index visit.
+        if self.slices.len() > INDEX_SCAN_CUTOFF {
+            self.index.repair();
         }
         #[cfg(feature = "audit")]
         self.assert_invariants();
@@ -372,7 +560,7 @@ impl<A: AggregateFunction> SliceStore<A> {
 
     /// Whether deferred eager-leaf writes are pending repair.
     pub fn has_pending_repairs(&self) -> bool {
-        self.eager.as_ref().is_some_and(|t| t.has_dirty())
+        self.index.has_dirty()
     }
 
     /// Splits the slice covering `ts` at `ts`. Returns `false` if `ts`
@@ -386,9 +574,7 @@ impl<A: AggregateFunction> SliceStore<A> {
         }
         let right = self.slices[idx].split(&self.f, ts);
         self.slices.insert(idx + 1, right);
-        if let Some(t) = &mut self.eager {
-            t.insert(idx + 1, None);
-        }
+        self.index_insert(idx + 1);
         self.refresh_leaf(idx);
         self.refresh_leaf(idx + 1);
         true
@@ -406,8 +592,8 @@ impl<A: AggregateFunction> SliceStore<A> {
         }
         let right = self.slices.remove(idx + 1).expect("bounds checked");
         self.slices[idx].merge(&self.f, right);
-        if let Some(t) = &mut self.eager {
-            t.remove(idx + 1);
+        if self.index_live {
+            self.index.remove(idx + 1);
         }
         self.refresh_leaf(idx);
         true
@@ -438,9 +624,23 @@ impl<A: AggregateFunction> SliceStore<A> {
     }
 
     /// Combines the partials of slices `[l, r)` (indices), in order.
+    ///
+    /// Hybrid dispatch: short ranges fold the contiguous slice deque
+    /// directly — a handful of sequential combines on prefetcher-friendly
+    /// memory beats a tree descent over cold pointers (or a FlatFAT
+    /// ancestor walk) every time. The index only earns its keep once the
+    /// range outgrows [`INDEX_SCAN_CUTOFF`] slices, which is exactly the
+    /// regime (large lateness, many live slices) it exists for. Slices
+    /// are the source of truth, so the scan is also immune to deferred
+    /// index repairs.
     pub fn query_slice_range(&self, l: usize, r: usize) -> Option<A::Partial> {
-        if let Some(t) = &self.eager {
-            return t.query(l, r);
+        if r - l > INDEX_SCAN_CUTOFF {
+            // A range longer than the cutoff implies the store outgrew
+            // the cutoff, which is exactly when the finger tree builds.
+            debug_assert!(self.index_live, "long-range query against an unbuilt index");
+            if let Some(q) = self.index.query(l, r) {
+                return q;
+            }
         }
         let mut acc: Option<A::Partial> = None;
         for s in self.slices.iter().skip(l).take(r - l) {
@@ -557,8 +757,8 @@ impl<A: AggregateFunction> SliceStore<A> {
             self.evicted_tuples += s.len() as u64;
         }
         self.slices.drain(..k);
-        if let Some(t) = &mut self.eager {
-            t.remove_prefix(k);
+        if self.index_live {
+            self.index.remove_prefix(k);
         }
         #[cfg(feature = "audit")]
         self.assert_invariants();
@@ -572,10 +772,21 @@ impl<A: AggregateFunction> SliceStore<A> {
         k
     }
 
-    /// Re-synchronizes the eager leaf for slice `idx`.
+    /// Re-synchronizes the eager leaf for slice `idx`. The FlatFAT
+    /// repairs its ancestors immediately (a cheap flat-array walk —
+    /// that is the eager store's contract); the finger tree defers its
+    /// spine recompute to [`SliceStore::flush_eager_repairs`], so k
+    /// hot-slice writes between queries mark an already-dirty path in
+    /// O(1) and share one repair instead of paying k pointer-chasing
+    /// walks. Every query entry point repairs first.
     fn refresh_leaf(&mut self, idx: usize) {
-        if let Some(t) = &mut self.eager {
-            t.update(idx, self.slices[idx].aggregate().cloned());
+        if !self.index_live {
+            return;
+        }
+        let p = self.slices[idx].aggregate().cloned();
+        match &mut self.index {
+            AggIndex::Finger(t) => t.update_deferred(idx, p),
+            other => other.update(idx, p),
         }
     }
 
@@ -587,7 +798,12 @@ impl<A: AggregateFunction> SliceStore<A> {
 
 impl<A: AggregateFunction> HeapSize for SliceStore<A> {
     fn heap_bytes(&self) -> usize {
-        self.slices.heap_bytes() + self.eager.as_ref().map_or(0, |t| t.total_bytes())
+        self.slices.heap_bytes()
+            + match &self.index {
+                AggIndex::None => 0,
+                AggIndex::Flat(t) => t.total_bytes(),
+                AggIndex::Finger(t) => t.total_bytes(),
+            }
     }
 }
 
@@ -806,7 +1022,7 @@ mod tests {
 
     #[test]
     fn add_in_order_run_matches_per_tuple_adds() {
-        for policy in [StorePolicy::Lazy, StorePolicy::Eager] {
+        for policy in [StorePolicy::Lazy, StorePolicy::Eager, StorePolicy::FingerTree] {
             for keep in [false, true] {
                 let mut per_tuple = store(policy, keep);
                 let mut batched = store(policy, keep);
@@ -818,6 +1034,8 @@ mod tests {
                     per_tuple.add_in_order(ts, v);
                 }
                 batched.add_in_order_run(&run);
+                per_tuple.flush_eager_repairs();
+                batched.flush_eager_repairs();
                 assert_eq!(
                     per_tuple.query_time(Range::new(0, 100)),
                     batched.query_time(Range::new(0, 100))
@@ -832,7 +1050,7 @@ mod tests {
 
     #[test]
     fn add_out_of_order_run_matches_per_tuple_adds() {
-        for policy in [StorePolicy::Lazy, StorePolicy::Eager] {
+        for policy in [StorePolicy::Lazy, StorePolicy::Eager, StorePolicy::FingerTree] {
             for keep in [false, true] {
                 let mut per_tuple = filled(policy, keep);
                 let mut batched = filled(policy, keep);
@@ -846,9 +1064,13 @@ mod tests {
                     }
                     batched.add_out_of_order_run(idx, run);
                 }
+                // Lazy has no index; the small finger store has not
+                // built one yet — only the eager FlatFAT defers dirt.
                 assert_eq!(batched.has_pending_repairs(), policy == StorePolicy::Eager);
                 batched.flush_eager_repairs();
-                assert!(!batched.has_pending_repairs());
+                // The store is below INDEX_SCAN_CUTOFF, so the flush may
+                // leave the dirt in place: every query scans the slices.
+                per_tuple.flush_eager_repairs();
                 for (a, b) in [(0, 10), (10, 20), (20, 30), (0, 30)] {
                     assert_eq!(
                         per_tuple.query_time(Range::new(a, b)),
@@ -870,7 +1092,7 @@ mod tests {
         // Pre-folded group inserts (the operator's unsorted late path)
         // must land like the equivalent per-tuple adds. Tuples are
         // dropped (`keep = false`): the API is only legal there.
-        for policy in [StorePolicy::Lazy, StorePolicy::Eager] {
+        for policy in [StorePolicy::Lazy, StorePolicy::Eager, StorePolicy::FingerTree] {
             let mut per_tuple = filled(policy, false);
             let mut grouped = filled(policy, false);
             let groups: [&[(Time, i64)]; 3] =
@@ -887,7 +1109,7 @@ mod tests {
             }
             assert_eq!(grouped.has_pending_repairs(), policy == StorePolicy::Eager);
             grouped.flush_eager_repairs();
-            assert!(!grouped.has_pending_repairs());
+            per_tuple.flush_eager_repairs();
             for (a, b) in [(0, 10), (10, 20), (20, 30), (0, 30)] {
                 assert_eq!(
                     per_tuple.query_time(Range::new(a, b)),
@@ -916,6 +1138,90 @@ mod tests {
         st.flush_eager_repairs();
         assert_eq!(st.query_time(Range::new(10, 20)), Some(25));
         assert_eq!(st.query_time(Range::new(0, 30)), Some(84));
+    }
+
+    #[test]
+    fn finger_structural_ops_between_deferred_writes_stay_consistent() {
+        // Unlike FlatFAT (whose structural ops rebuild the dense array
+        // and clear the dirty set wholesale), the finger tree keeps its
+        // deferred-repair region across gap inserts — the repair
+        // contract only requires queries to flush first. The store must
+        // outgrow the scan cutoff so the tree is actually built.
+        let mut st = store(StorePolicy::FingerTree, true);
+        let n = INDEX_SCAN_CUTOFF + 4;
+        for i in 0..n {
+            if i == 3 {
+                continue; // leave a coverage gap at [30, 40)
+            }
+            let t = i as Time * 10;
+            st.append_slice(Range::new(t, t + 10));
+            st.add_in_order(t + 1, 1);
+        }
+        st.add_out_of_order_run(0, &[(3, 3)]);
+        assert!(st.has_pending_repairs());
+        let gap_idx = st.insert_gap_slice(Range::new(30, 40));
+        assert_eq!(gap_idx, 3);
+        st.add_out_of_order_run(gap_idx, &[(33, 33)]);
+        st.flush_eager_repairs();
+        assert!(!st.has_pending_repairs());
+        assert_eq!(st.query_time(Range::new(0, 10)), Some(4));
+        assert_eq!(st.query_time(Range::new(30, 40)), Some(33));
+        // Long range: answered by the tree (past the scan cutoff).
+        let full = st.query_time(Range::new(0, n as Time * 10));
+        assert_eq!(full, Some((n as i64 - 1) + 3 + 33));
+    }
+
+    #[test]
+    fn flush_repairs_only_when_index_queryable() {
+        // Below INDEX_SCAN_CUTOFF every query folds the slice deque, so
+        // flush leaves deferred dirt alone; past the cutoff the next
+        // flush must repair before the first index visit.
+        for policy in [StorePolicy::Eager, StorePolicy::FingerTree] {
+            let mut st = store(policy, false);
+            let n = INDEX_SCAN_CUTOFF + 4;
+            for i in 0..n {
+                let t = i as Time * 10;
+                st.append_slice(Range::new(t, t + 10));
+                st.add_in_order(t, i as i64 + 1);
+            }
+            st.add_out_of_order_run(0, &[(3, 100)]);
+            assert!(st.has_pending_repairs(), "{policy:?}: deferred write left no dirt");
+            st.flush_eager_repairs();
+            assert!(!st.has_pending_repairs(), "{policy:?}: flush skipped a queryable index");
+            // Full range exceeds the cutoff: answered via the index.
+            let full = st.query_time(Range::new(0, n as Time * 10));
+            let expect: i64 = (1..=n as i64).sum::<i64>() + 100;
+            assert_eq!(full, Some(expect), "{policy:?}: index query wrong after repair");
+
+            // A small store never repairs: the eager FlatFAT keeps its
+            // dirt across flushes, the finger tree has not even built —
+            // and the scan answers correctly either way.
+            let mut small = store(policy, false);
+            small.append_slice(Range::new(0, 10));
+            small.add_in_order(1, 1);
+            small.add_out_of_order_run(0, &[(2, 2)]);
+            small.flush_eager_repairs();
+            assert_eq!(
+                small.has_pending_repairs(),
+                policy == StorePolicy::Eager,
+                "{policy:?}: unexpected small-store dirt state"
+            );
+            assert_eq!(small.query_time(Range::new(0, 10)), Some(3));
+        }
+    }
+
+    #[test]
+    fn finger_matches_lazy() {
+        let lazy = filled(StorePolicy::Lazy, false);
+        let mut finger = filled(StorePolicy::FingerTree, false);
+        finger.flush_eager_repairs();
+        for (a, b) in [(0, 10), (10, 20), (20, 30), (0, 20), (10, 30), (0, 30)] {
+            assert_eq!(
+                lazy.query_time(Range::new(a, b)),
+                finger.query_time(Range::new(a, b)),
+                "range [{a}, {b})"
+            );
+        }
     }
 
     #[test]

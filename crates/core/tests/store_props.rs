@@ -3,7 +3,7 @@
 //! operations against recomputation from scratch.
 
 use gss_core::testsupport::{Concat, SumI64};
-use gss_core::{AggregateFunction, FlatFat, Range, Slice, SliceStore, StorePolicy};
+use gss_core::{AggregateFunction, FingerTree, FlatFat, Range, Slice, SliceStore, StorePolicy};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -23,6 +23,32 @@ fn tree_ops() -> impl Strategy<Value = Vec<TreeOp>> {
             (0usize..64, -100i64..100).prop_map(|(i, v)| TreeOp::Insert(i, v)),
             (0usize..64).prop_map(TreeOp::Remove),
             (0usize..64, 0usize..64).prop_map(|(l, r)| TreeOp::Query(l, r)),
+        ],
+        1..200,
+    )
+}
+
+#[derive(Debug, Clone)]
+enum FingerOp {
+    Push(i64),
+    Update(usize, i64),
+    UpdateDeferred(usize, i64),
+    Insert(usize, i64),
+    Remove(usize),
+    RemovePrefix(usize),
+    Query(usize, usize),
+}
+
+fn finger_ops() -> impl Strategy<Value = Vec<FingerOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (-100i64..100).prop_map(FingerOp::Push),
+            (0usize..64, -100i64..100).prop_map(|(i, v)| FingerOp::Update(i, v)),
+            (0usize..64, -100i64..100).prop_map(|(i, v)| FingerOp::UpdateDeferred(i, v)),
+            (0usize..64, -100i64..100).prop_map(|(i, v)| FingerOp::Insert(i, v)),
+            (0usize..64).prop_map(FingerOp::Remove),
+            (0usize..64).prop_map(FingerOp::RemovePrefix),
+            (0usize..64, 0usize..64).prop_map(|(l, r)| FingerOp::Query(l, r)),
         ],
         1..200,
     )
@@ -72,6 +98,85 @@ proptest! {
                 if model.is_empty() { None } else { Some(model.iter().sum()) };
             prop_assert_eq!(tree.total().copied(), total);
         }
+    }
+
+    /// The finger B-tree agrees with a plain vector model under
+    /// arbitrary operation sequences — the same harness FlatFAT is
+    /// pinned by, plus bulk `remove_prefix` evictions, deferred
+    /// updates with batched repair, and structural invariant checks
+    /// after every step.
+    #[test]
+    fn finger_tree_matches_linear_model(ops in finger_ops()) {
+        let mut tree = FingerTree::new(SumI64);
+        let mut model: Vec<i64> = Vec::new();
+        let mut dirty = false;
+        for op in ops {
+            match op {
+                FingerOp::Push(v) => {
+                    tree.push(Some(v));
+                    model.push(v);
+                }
+                FingerOp::Update(i, v) if !model.is_empty() => {
+                    let i = i % model.len();
+                    tree.update(i, Some(v));
+                    model[i] = v;
+                }
+                FingerOp::UpdateDeferred(i, v) if !model.is_empty() => {
+                    let i = i % model.len();
+                    tree.update_deferred(i, Some(v));
+                    model[i] = v;
+                    dirty = true;
+                }
+                FingerOp::Insert(i, v) => {
+                    let i = i % (model.len() + 1);
+                    tree.insert(i, Some(v));
+                    model.insert(i, v);
+                }
+                FingerOp::Remove(i) if !model.is_empty() => {
+                    let i = i % model.len();
+                    tree.remove(i);
+                    model.remove(i);
+                }
+                FingerOp::RemovePrefix(k) => {
+                    let k = k % (model.len() + 1);
+                    tree.remove_prefix(k);
+                    model.drain(..k);
+                }
+                FingerOp::Query(l, r) if !model.is_empty() => {
+                    if dirty {
+                        tree.repair_dirty();
+                        dirty = false;
+                    }
+                    let l = l % (model.len() + 1);
+                    let r = l + (r % (model.len() - l + 1));
+                    let expect: Option<i64> =
+                        if l == r { None } else { Some(model[l..r].iter().sum()) };
+                    prop_assert_eq!(tree.query(l, r), expect);
+                }
+                _ => {}
+            }
+            tree.assert_invariants();
+            prop_assert_eq!(tree.len(), model.len());
+            if !dirty {
+                let total: Option<i64> =
+                    if model.is_empty() { None } else { Some(model.iter().sum()) };
+                prop_assert_eq!(tree.total().copied(), total);
+            }
+        }
+    }
+
+    /// The finger B-tree preserves leaf order for non-commutative
+    /// combines (same pin as FlatFAT's).
+    #[test]
+    fn finger_tree_order_preserving(values in prop::collection::vec(0i64..100, 1..64)) {
+        let mut tree = FingerTree::new(Concat);
+        for v in &values {
+            tree.push(Some(vec![*v]));
+        }
+        prop_assert_eq!(tree.query(0, values.len()), Some(values.clone()));
+        let mid = values.len() / 2;
+        prop_assert_eq!(tree.query(0, mid).unwrap_or_default(), values[..mid].to_vec());
+        prop_assert_eq!(tree.query(mid, values.len()).unwrap_or_default(), values[mid..].to_vec());
     }
 
     /// FlatFAT preserves leaf order for non-commutative combines.
@@ -159,7 +264,7 @@ proptest! {
     ) {
         let mut sorted = tuples.clone();
         sorted.sort();
-        for policy in [StorePolicy::Lazy, StorePolicy::Eager] {
+        for policy in [StorePolicy::Lazy, StorePolicy::Eager, StorePolicy::FingerTree] {
             let mut store = SliceStore::new(SumI64, policy, false);
             let mut next_edge = slice_len;
             store.append_slice(Range::new(0, slice_len));
@@ -170,6 +275,7 @@ proptest! {
                 }
                 store.add_in_order(*ts, *v);
             }
+            store.flush_eager_repairs();
             // Align the query to slice edges.
             let start = (l / slice_len) * slice_len;
             let end = start + (len / slice_len + 1) * slice_len;
