@@ -22,6 +22,7 @@
 
 pub mod basic;
 pub mod holistic;
+pub mod lanes;
 pub mod m4;
 pub mod minmax;
 pub mod stats;

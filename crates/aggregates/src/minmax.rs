@@ -42,15 +42,12 @@ impl AggregateFunction for Min {
             kind: FunctionKind::Distributive,
         }
     }
-    /// Branch-free reduction: `min` compiles to a conditional move (or a
-    /// packed-min once vectorized), never a data-dependent branch.
+    /// Explicit 8-lane reduction ([`crate::lanes::min_i64`]): the naive
+    /// contiguous `fold(min)` is exactly the reduction idiom LLVM fails to
+    /// recognize, so the lane split makes the vector shape explicit rather
+    /// than hoping. Exact — see the [`crate::lanes`] policy.
     fn fold_slice(&self, values: &[i64]) -> Option<i64> {
-        let (&first, rest) = values.split_first()?;
-        let mut acc = first;
-        for &v in rest {
-            acc = acc.min(v);
-        }
-        Some(acc)
+        crate::lanes::min_i64(values)
     }
     fn has_fold_kernel(&self) -> bool {
         true
@@ -85,14 +82,9 @@ impl AggregateFunction for Max {
             kind: FunctionKind::Distributive,
         }
     }
-    /// Mirror of [`Min::fold_slice`].
+    /// Mirror of [`Min::fold_slice`] via [`crate::lanes::max_i64`].
     fn fold_slice(&self, values: &[i64]) -> Option<i64> {
-        let (&first, rest) = values.split_first()?;
-        let mut acc = first;
-        for &v in rest {
-            acc = acc.max(v);
-        }
-        Some(acc)
+        crate::lanes::max_i64(values)
     }
     fn has_fold_kernel(&self) -> bool {
         true
@@ -147,6 +139,15 @@ impl AggregateFunction for MinCount {
     fn properties(&self) -> FunctionProperties {
         FunctionProperties { commutative: true, invertible: false, kind: FunctionKind::Algebraic }
     }
+    /// Two vectorizable passes ([`crate::lanes::min_count_i64`]): lane
+    /// minimum, then a branch-free tie count — replacing the per-element
+    /// three-way compare. Exact and order-insensitive.
+    fn fold_slice(&self, values: &[i64]) -> Option<ExtremumCount> {
+        crate::lanes::min_count_i64(values).map(|(value, count)| ExtremumCount { value, count })
+    }
+    fn has_fold_kernel(&self) -> bool {
+        true
+    }
 }
 
 /// Maximum plus the number of tuples attaining it. Algebraic.
@@ -182,6 +183,14 @@ impl AggregateFunction for MaxCount {
     }
     fn properties(&self) -> FunctionProperties {
         FunctionProperties { commutative: true, invertible: false, kind: FunctionKind::Algebraic }
+    }
+    /// Mirror of [`MinCount::fold_slice`] via
+    /// [`crate::lanes::max_count_i64`].
+    fn fold_slice(&self, values: &[i64]) -> Option<ExtremumCount> {
+        crate::lanes::max_count_i64(values).map(|(value, count)| ExtremumCount { value, count })
+    }
+    fn has_fold_kernel(&self) -> bool {
+        true
     }
 }
 
@@ -236,6 +245,27 @@ impl AggregateFunction for ArgMin {
     fn properties(&self) -> FunctionProperties {
         FunctionProperties { commutative: true, invertible: false, kind: FunctionKind::Algebraic }
     }
+    /// Paired-column kernel ([`crate::lanes::arg_min_pairs`]); the input
+    /// pairs are self-contained, so the record-time column is unused. The
+    /// lexicographic tie-break (smallest `arg` among equal values) is a
+    /// total order, so the lane split is exact — bit-identical to the
+    /// per-element fold including ties.
+    fn fold_slice_pairs(
+        &self,
+        _times: &[gss_core::Time],
+        values: &[(i64, i64)],
+    ) -> Option<ArgExtremum> {
+        crate::lanes::arg_min_pairs(values).map(|(value, arg)| ArgExtremum { value, arg })
+    }
+    fn has_pair_kernel(&self) -> bool {
+        true
+    }
+    /// The per-element path pays a branchy three-way compare per tuple, so
+    /// the lane kernel breaks even well below the default gather threshold
+    /// despite copying 16-byte pairs.
+    fn kernel_min_run(&self) -> usize {
+        8
+    }
 }
 
 /// Argument of the maximum; ties keep the smallest argument. Algebraic.
@@ -271,6 +301,22 @@ impl AggregateFunction for ArgMax {
     }
     fn properties(&self) -> FunctionProperties {
         FunctionProperties { commutative: true, invertible: false, kind: FunctionKind::Algebraic }
+    }
+    /// Mirror of [`ArgMin::fold_slice_pairs`] via
+    /// [`crate::lanes::arg_max_pairs`].
+    fn fold_slice_pairs(
+        &self,
+        _times: &[gss_core::Time],
+        values: &[(i64, i64)],
+    ) -> Option<ArgExtremum> {
+        crate::lanes::arg_max_pairs(values).map(|(value, arg)| ArgExtremum { value, arg })
+    }
+    fn has_pair_kernel(&self) -> bool {
+        true
+    }
+    /// See [`ArgMin::kernel_min_run`].
+    fn kernel_min_run(&self) -> usize {
+        8
     }
 }
 
@@ -350,10 +396,36 @@ mod tests {
     fn minmax_fold_kernels_match_default() {
         let values: Vec<i64> = (0..257).map(|i| (i * 73 - 9000) % 513).collect();
         assert!(Min.has_fold_kernel() && Max.has_fold_kernel());
+        assert!(MinCount.has_fold_kernel() && MaxCount.has_fold_kernel());
         for len in [0, 1, 2, 16, 255, 257] {
             let v = &values[..len];
             assert_eq!(Min.fold_slice(v), gss_core::default_fold_slice(&Min, v));
             assert_eq!(Max.fold_slice(v), gss_core::default_fold_slice(&Max, v));
+            assert_eq!(MinCount.fold_slice(v), gss_core::default_fold_slice(&MinCount, v));
+            assert_eq!(MaxCount.fold_slice(v), gss_core::default_fold_slice(&MaxCount, v));
+        }
+    }
+
+    #[test]
+    fn arg_pair_kernels_match_default_including_ties() {
+        assert!(ArgMin.has_pair_kernel() && ArgMax.has_pair_kernel());
+        assert!(!ArgMin.has_fold_kernel(), "kernel lives on the paired hook");
+        // Small value range forces plenty of ties across lane boundaries.
+        let pairs: Vec<(i64, i64)> = (0..133).map(|i| ((i * 37) % 5, 200 - i)).collect();
+        let times: Vec<gss_core::Time> = (0..133).collect();
+        for len in [0, 1, 2, 3, 4, 7, 8, 9, 64, 133] {
+            let v = &pairs[..len];
+            let t = &times[..len];
+            assert_eq!(
+                ArgMin.fold_slice_pairs(t, v),
+                gss_core::default_fold_slice(&ArgMin, v),
+                "argmin len {len}"
+            );
+            assert_eq!(
+                ArgMax.fold_slice_pairs(t, v),
+                gss_core::default_fold_slice(&ArgMax, v),
+                "argmax len {len}"
+            );
         }
     }
 }

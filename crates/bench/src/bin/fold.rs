@@ -1,10 +1,14 @@
-//! Fold kernels: hand-written [`AggregateFunction::fold_slice`] bulk
-//! kernels vs the default lift/combine loop they replace, plus the
-//! pipeline-level effect of latency-bounded adaptive batching.
+//! Fold kernels: hand-written [`AggregateFunction::fold_slice`] (and
+//! paired-column [`AggregateFunction::fold_slice_pairs`]) bulk kernels vs
+//! the default lift/combine loop they replace, plus the pipeline-level
+//! effect of latency-bounded adaptive batching.
 //!
-//! Part 1 (kernel microbench): for each aggregate with a kernel (and
-//! stddev's moments fold), time `fold_slice` on a contiguous run at
-//! lengths {64, 512, 4096, 16384} against two baselines:
+//! Part 1 (kernel microbench): for each aggregate with a kernel — the
+//! single-column ones (count/sum/avg/min/max/mincount/maxcount and
+//! stddev's moments fold) and the paired-column ones (argmin/argmax on
+//! `(value, arg)` pairs, m4 on `(ts, value)` pairs) — time the kernel on
+//! a contiguous run at lengths {64, 512, 4096, 16384} against two
+//! baselines:
 //!
 //! * `default` — the per-element lift/combine loop executed through
 //!   function pointers the optimizer cannot see through. This is the
@@ -14,11 +18,19 @@
 //!   headline `speedup` column is measured against it.
 //! * `inline_default` — [`default_fold_slice`] monomorphized and fully
 //!   inlined, exactly as this engine's own fallback path compiles. For
-//!   `i64` inputs LLVM auto-vectorizes that loop too, so
-//!   `speedup_vs_inline` hovers near 1.0x: the hand-written kernels
-//!   don't outrun the optimizer when it fires, they *guarantee* the
-//!   vectorized floor when it doesn't (reduction idiom matching is
-//!   fragile — see EXPERIMENTS.md) and in dispatch-opaque contexts.
+//!   sum-like `i64` folds LLVM auto-vectorizes that loop too, so
+//!   `speedup_vs_inline` hovers near 1.0x there; for the min/max family
+//!   the contiguous `fold(min)` reduction idiom is one LLVM fails to
+//!   match, and for the float moments fold IEEE semantics forbid
+//!   reassociation outright, so the explicit lane accumulators
+//!   (`gss_aggregates::lanes`) beat even the inline default. The
+//!   kernels *guarantee* the vectorized floor instead of hoping for it
+//!   (see EXPERIMENTS.md).
+//!
+//! Filters for iteration and CI smokes, mirroring the ooo bin's
+//! `--store`/`--ooo`: `--function <name>` benches one function,
+//! `--run-len <n>` one run length. Any filter skips the pipeline sweep
+//! and leaves `BENCH_fold.json` untouched.
 //!
 //! Part 2 (pipeline sweep): `run_keyed` over a 64-key sliding-window sum
 //! under full-throttle load, comparing per-tuple ingestion, fixed batch
@@ -41,10 +53,12 @@ use std::hint::black_box;
 use std::io::Write as _;
 use std::time::Instant;
 
-use gss_aggregates::{Avg, CountAgg, Max, Min, SampleStdDev, Sum};
+use gss_aggregates::{
+    ArgMax, ArgMin, Avg, CountAgg, Max, MaxCount, Min, MinCount, SampleStdDev, Sum, M4,
+};
 use gss_bench::{fmt_tput, BenchJson, Output};
 use gss_core::{
-    default_fold_slice, AggregateFunction, OperatorConfig, StreamElement, WindowAggregator,
+    default_fold_slice, AggregateFunction, OperatorConfig, StreamElement, Time, WindowAggregator,
     WindowOperator,
 };
 use gss_stream::{run_keyed, PipelineConfig, PipelineReport};
@@ -55,6 +69,42 @@ fn scale() -> f64 {
 }
 
 const RUN_LENS: [usize; 4] = [64, 512, 4096, 16384];
+
+/// Every function the microbench covers, in report order.
+const FUNCTIONS: [&str; 11] = [
+    "count", "sum", "avg", "min", "max", "stddev", "mincount", "maxcount", "argmin", "argmax", "m4",
+];
+
+/// Parses `--function <name>` from the CLI, defaulting to all of them.
+fn function_filter() -> Option<&'static str> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--function" {
+            let want = args.next().unwrap_or_default();
+            let picked = FUNCTIONS.iter().copied().find(|&name| name == want);
+            assert!(picked.is_some(), "unknown function {want:?}; expected one of {FUNCTIONS:?}");
+            return picked;
+        }
+    }
+    None
+}
+
+/// Parses `--run-len <n>` from the CLI, defaulting to the full
+/// {64, 512, 4096, 16384} sweep.
+fn run_len_filter() -> Vec<usize> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--run-len" {
+            let want: usize = args
+                .next()
+                .and_then(|s| s.parse().ok())
+                .expect("--run-len takes one of 64, 512, 4096, 16384");
+            assert!(RUN_LENS.contains(&want), "--run-len must be one of 64, 512, 4096, 16384");
+            return vec![want];
+        }
+    }
+    RUN_LENS.to_vec()
+}
 
 /// A pipeline-sweep mode: display name + config constructor.
 type Mode = (&'static str, fn() -> PipelineConfig);
@@ -81,8 +131,8 @@ enum FoldPath {
 /// `black_box`ed function pointers, so the optimizer can neither inline
 /// nor vectorize across elements — the shape every dispatch-opaque
 /// runtime executes.
-fn opaque_fold<A: AggregateFunction<Input = i64>>(f: &A, values: &[i64]) -> Option<A::Partial> {
-    let lift: fn(&A, &i64) -> A::Partial = black_box(A::lift);
+fn opaque_fold<A: AggregateFunction>(f: &A, values: &[A::Input]) -> Option<A::Partial> {
+    let lift: fn(&A, &A::Input) -> A::Partial = black_box(A::lift);
     let combine: fn(&A, A::Partial, &A::Partial) -> A::Partial = black_box(A::combine);
     let mut acc: Option<A::Partial> = None;
     for v in values {
@@ -96,18 +146,25 @@ fn opaque_fold<A: AggregateFunction<Input = i64>>(f: &A, values: &[i64]) -> Opti
 }
 
 /// Nanoseconds per element for one fold variant, best of `reps` passes.
-fn time_fold<A: AggregateFunction<Input = i64>>(
+/// `times` is only consulted on the kernel path of paired-column
+/// functions; pass the plain run order for single-column ones.
+fn time_fold<A: AggregateFunction>(
     f: &A,
-    values: &[i64],
+    times: &[Time],
+    values: &[A::Input],
     iters: usize,
     reps: usize,
     path: FoldPath,
 ) -> f64 {
+    let paired = f.has_pair_kernel();
     let mut best = f64::INFINITY;
     for _ in 0..reps {
         let start = Instant::now();
         for _ in 0..iters {
             let partial = match path {
+                FoldPath::Kernel if paired => {
+                    f.fold_slice_pairs(black_box(times), black_box(values))
+                }
                 FoldPath::Kernel => f.fold_slice(black_box(values)),
                 FoldPath::InlineDefault => default_fold_slice(f, black_box(values)),
                 FoldPath::OpaqueDefault => opaque_fold(f, black_box(values)),
@@ -120,23 +177,30 @@ fn time_fold<A: AggregateFunction<Input = i64>>(
     best
 }
 
-fn bench_kernel<A: AggregateFunction<Input = i64>>(
+fn bench_kernel<A: AggregateFunction>(
     f: &A,
     name: &'static str,
-    values: &[i64],
+    times: &[Time],
+    values: &[A::Input],
+    run_lens: &[usize],
     budget: usize,
     rows: &mut Vec<KernelRow>,
     out: &mut Output,
 ) {
-    for &len in &RUN_LENS {
+    for &len in run_lens {
         let run = &values[..len];
-        // Folds must agree (the equivalence proptests pin this bit-exactly
-        // for every function; this is a cheap smoke of the same).
-        assert!(f.fold_slice(run).is_some(), "{name}: fold of a non-empty run");
+        let ts = &times[..len];
+        // Folds must agree (the equivalence proptests pin this for every
+        // function — bit-exactly for integer kernels, deterministic and
+        // ulp-bounded for the float moments; this is a cheap smoke).
+        assert!(
+            f.fold_slice_pairs(ts, run).is_some(),
+            "{name}: fold of a non-empty run produced nothing"
+        );
         let iters = (budget / len).max(8);
-        let kernel_ns = time_fold(f, run, iters, 3, FoldPath::Kernel);
-        let inline_ns = time_fold(f, run, iters, 3, FoldPath::InlineDefault);
-        let default_ns = time_fold(f, run, iters, 3, FoldPath::OpaqueDefault);
+        let kernel_ns = time_fold(f, ts, run, iters, 3, FoldPath::Kernel);
+        let inline_ns = time_fold(f, ts, run, iters, 3, FoldPath::InlineDefault);
+        let default_ns = time_fold(f, ts, run, iters, 3, FoldPath::OpaqueDefault);
         let speedup = default_ns / kernel_ns.max(1e-12);
         let speedup_vs_inline = inline_ns / kernel_ns.max(1e-12);
         out.row(&[
@@ -160,7 +224,7 @@ fn bench_kernel<A: AggregateFunction<Input = i64>>(
             inline_default_ns_per_elem: inline_ns,
             speedup,
             speedup_vs_inline,
-            has_kernel: f.has_fold_kernel(),
+            has_kernel: f.has_fold_kernel() || f.has_pair_kernel(),
         });
     }
 }
@@ -225,9 +289,22 @@ fn main() {
     let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
 
     // Deterministic value pattern; modest magnitudes so avg/stddev stay
-    // well-conditioned at 16k elements.
+    // well-conditioned at 16k elements. The value range (1001 distinct
+    // values over 16k elements) also guarantees extremum ties, so the
+    // mincount/argmin-family kernels exercise their tie paths.
     let max_len = *RUN_LENS.last().unwrap_or(&4096);
     let values: Vec<i64> = (0..max_len as i64).map(|i| (i * 37 + 11) % 1_001 - 500).collect();
+    // Paired columns: monotone record times, (value, arg) for argmin/argmax,
+    // (ts, value) for m4.
+    let times: Vec<Time> = (0..max_len as Time).collect();
+    let arg_pairs: Vec<(i64, i64)> =
+        values.iter().enumerate().map(|(i, &v)| (v, i as i64)).collect();
+    let ts_pairs: Vec<(Time, i64)> =
+        values.iter().enumerate().map(|(i, &v)| (i as Time, v)).collect();
+
+    let fun = function_filter();
+    let run_lens = run_len_filter();
+    let pick = |name: &str| fun.is_none_or(|want| want == name);
 
     let mut out = Output::new(
         "fold",
@@ -244,13 +321,41 @@ fn main() {
     out.print_header();
     let mut kernel_rows: Vec<KernelRow> = Vec::new();
 
-    bench_kernel(&CountAgg, "count", &values, budget, &mut kernel_rows, &mut out);
-    bench_kernel(&Sum, "sum", &values, budget, &mut kernel_rows, &mut out);
-    bench_kernel(&Avg, "avg", &values, budget, &mut kernel_rows, &mut out);
-    bench_kernel(&Min, "min", &values, budget, &mut kernel_rows, &mut out);
-    bench_kernel(&Max, "max", &values, budget, &mut kernel_rows, &mut out);
-    bench_kernel(&SampleStdDev, "stddev", &values, budget, &mut kernel_rows, &mut out);
+    macro_rules! cell {
+        ($f:expr, $name:literal, $vals:expr) => {
+            if pick($name) {
+                bench_kernel(
+                    $f,
+                    $name,
+                    &times,
+                    $vals,
+                    &run_lens,
+                    budget,
+                    &mut kernel_rows,
+                    &mut out,
+                );
+            }
+        };
+    }
+    cell!(&CountAgg, "count", &values);
+    cell!(&Sum, "sum", &values);
+    cell!(&Avg, "avg", &values);
+    cell!(&Min, "min", &values);
+    cell!(&Max, "max", &values);
+    cell!(&SampleStdDev, "stddev", &values);
+    cell!(&MinCount, "mincount", &values);
+    cell!(&MaxCount, "maxcount", &values);
+    cell!(&ArgMin, "argmin", &arg_pairs);
+    cell!(&ArgMax, "argmax", &arg_pairs);
+    cell!(&M4, "m4", &ts_pairs);
     out.finish();
+
+    // A filtered run (`--function` / `--run-len`) is for iteration and CI
+    // smokes: skip the pipeline sweep and leave BENCH_fold.json untouched.
+    if fun.is_some() || run_lens.len() != RUN_LENS.len() {
+        eprintln!("  (filtered sweep: pipeline sweep skipped, BENCH_fold.json left untouched)");
+        return;
+    }
 
     // Pipeline sweep: adaptive batching vs per-tuple and fixed sizes under
     // full-throttle load (records fed as fast as the source loop runs, so
@@ -305,8 +410,8 @@ fn main() {
 fn write_json(kernels: &[KernelRow], pipe: &[PipeRow]) {
     let mut j = BenchJson::create(
         "fold",
-        "fold_slice kernel vs default lift/combine fold on contiguous runs; \
-         plus run_keyed sliding(10s,1s) sum over 64 keys comparing per-tuple, fixed and \
+        "fold_slice / fold_slice_pairs lane kernels vs default lift/combine fold on contiguous \
+         runs; plus run_keyed sliding(10s,1s) sum over 64 keys comparing per-tuple, fixed and \
          adaptive batching",
     );
     let f = j.file();
@@ -314,8 +419,11 @@ fn write_json(kernels: &[KernelRow], pipe: &[PipeRow]) {
         f,
         "  \"note\": \"default = per-element lift/combine through non-inlinable calls (the \
          dispatch-opaque shape; speedup is measured against it); inline_default = the same \
-         loop monomorphized+inlined, which LLVM auto-vectorizes for i64, so speedup_vs_inline \
-         ~= 1.0 by construction\","
+         loop monomorphized+inlined. LLVM auto-vectorizes the inline loop for sum-like i64 \
+         folds (speedup_vs_inline ~= 1.0 there by construction), but not for the min/max \
+         reduction idiom or the IEEE-ordered float moments, where the explicit lane \
+         accumulators win outright; argmin/argmax/m4 run on the paired-column \
+         fold_slice_pairs hook\","
     )
     .unwrap();
     writeln!(f, "  \"run_lens\": [64, 512, 4096, 16384],").unwrap();

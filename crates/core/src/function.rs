@@ -7,6 +7,7 @@
 //! function declares them (workload characteristic 2, Section 4.2).
 
 use crate::mem::HeapSize;
+use crate::time::Time;
 
 /// Classification of aggregations by the size of their partial aggregates
 /// (Gray et al. [16], adopted in paper Section 4.2).
@@ -139,6 +140,45 @@ pub trait AggregateFunction: Clone + Send + 'static {
     fn has_fold_kernel(&self) -> bool {
         false
     }
+
+    /// Paired-column twin of [`Self::fold_slice`]: folds a contiguous run
+    /// whose record timestamps arrive as a parallel `times` column
+    /// (`times.len() == values.len()`, `times[i]` stamps `values[i]`).
+    /// The result contract is identical to `fold_slice` — bit-for-bit
+    /// equal to [`default_fold_slice`] over `values` in the given order —
+    /// so the default simply delegates there. Functions whose inputs are
+    /// `(Time, V)`-shaped pairs (ArgMin/ArgMax, M4, first/last) override
+    /// this with a lane kernel: the columnar ingestion paths carry both
+    /// columns end-to-end, so the kernel gets two contiguous slices for
+    /// free where the element-shaped `fold_slice` hook could not help.
+    ///
+    /// `times` is auxiliary: kernels over self-contained pair inputs may
+    /// ignore it, and kernels that do read it must not change the result
+    /// relative to the `values`-only fold.
+    fn fold_slice_pairs(&self, times: &[Time], values: &[Self::Input]) -> Option<Self::Partial> {
+        debug_assert_eq!(times.len(), values.len(), "paired fold columns diverged");
+        let _ = times;
+        self.fold_slice(values)
+    }
+
+    /// Whether [`Self::fold_slice_pairs`] is a hand-written kernel rather
+    /// than the `fold_slice` delegation. Mirrors [`Self::has_fold_kernel`]
+    /// for the paired-column hook: array-of-structs callers use it to
+    /// decide whether gathering *both* columns pays for itself, and the
+    /// hit/miss accounting uses it to attribute paired runs.
+    fn has_pair_kernel(&self) -> bool {
+        false
+    }
+
+    /// Minimum run length at which gathering array-of-structs tuples into
+    /// contiguous column(s) and calling a bulk kernel beats the plain
+    /// per-element fold for *this* function. Defaults to the global
+    /// [`FOLD_KERNEL_MIN_RUN`]; functions whose kernels break even earlier
+    /// or later (e.g. paired kernels replacing a branchy compare chain, or
+    /// kernels with wide partial copies) override it.
+    fn kernel_min_run(&self) -> usize {
+        FOLD_KERNEL_MIN_RUN
+    }
 }
 
 /// The reference lift/combine fold over a contiguous run — the default body
@@ -157,11 +197,12 @@ pub fn default_fold_slice<A: AggregateFunction>(f: &A, values: &[A::Input]) -> O
     acc
 }
 
-/// Minimum run length at which gathering array-of-structs tuples into a
-/// contiguous values buffer and calling a bulk kernel beats the plain
-/// per-element fold. Below this the gather's copy dominates the kernel's
-/// savings; above it the copy is one linear pass amortized over a
-/// vectorized fold.
+/// Default minimum run length at which gathering array-of-structs tuples
+/// into a contiguous values buffer and calling a bulk kernel beats the
+/// plain per-element fold. Below this the gather's copy dominates the
+/// kernel's savings; above it the copy is one linear pass amortized over a
+/// vectorized fold. Per-function break-evens override it via
+/// [`AggregateFunction::kernel_min_run`].
 pub const FOLD_KERNEL_MIN_RUN: usize = 16;
 
 /// Whether a run of `len` tuples should be routed through the bulk
@@ -169,7 +210,16 @@ pub const FOLD_KERNEL_MIN_RUN: usize = 16;
 /// the caller's storage is array-of-structs). Centralizing the decision
 /// keeps the hit/miss accounting consistent across every fold site.
 pub fn kernel_eligible<A: AggregateFunction>(f: &A, len: usize) -> bool {
-    len >= FOLD_KERNEL_MIN_RUN && f.has_fold_kernel()
+    len >= f.kernel_min_run() && f.has_fold_kernel()
+}
+
+/// Whether a run of `len` tuples should be routed through the paired-column
+/// [`AggregateFunction::fold_slice_pairs`] kernel (gathering both the times
+/// and values columns first when the caller's storage is
+/// array-of-structs). The paired twin of [`kernel_eligible`], sharing the
+/// same per-function break-even.
+pub fn pair_kernel_eligible<A: AggregateFunction>(f: &A, len: usize) -> bool {
+    len >= f.kernel_min_run() && f.has_pair_kernel()
 }
 
 #[cfg(test)]
@@ -271,5 +321,57 @@ mod tests {
         assert!(!kernel_eligible(&KernelSum, FOLD_KERNEL_MIN_RUN - 1));
         assert!(kernel_eligible(&KernelSum, FOLD_KERNEL_MIN_RUN));
         assert_eq!(KernelSum.fold_slice(&[1, 2, 3]), default_fold_slice(&KernelSum, &[1, 2, 3]));
+        // No pair kernel declared: the paired gate never opens, even though
+        // the values-only gate does.
+        assert!(!pair_kernel_eligible(&KernelSum, 10_000));
+    }
+
+    #[test]
+    fn default_fold_slice_pairs_delegates_to_fold_slice() {
+        let s = TestSum;
+        assert!(!s.has_pair_kernel());
+        assert_eq!(s.fold_slice_pairs(&[10, 20, 30], &[1, 2, 3]), s.fold_slice(&[1, 2, 3]));
+        assert_eq!(s.fold_slice_pairs(&[], &[]), None);
+    }
+
+    #[test]
+    fn kernel_min_run_override_moves_both_gates() {
+        #[derive(Clone)]
+        struct EarlySum;
+        impl AggregateFunction for EarlySum {
+            type Input = i64;
+            type Partial = i64;
+            type Output = i64;
+            fn lift(&self, v: &i64) -> i64 {
+                *v
+            }
+            fn combine(&self, a: i64, b: &i64) -> i64 {
+                a + b
+            }
+            fn lower(&self, p: &i64) -> i64 {
+                *p
+            }
+            fn properties(&self) -> FunctionProperties {
+                FunctionProperties {
+                    commutative: true,
+                    invertible: false,
+                    kind: FunctionKind::Distributive,
+                }
+            }
+            fn has_fold_kernel(&self) -> bool {
+                true
+            }
+            fn has_pair_kernel(&self) -> bool {
+                true
+            }
+            fn kernel_min_run(&self) -> usize {
+                4
+            }
+        }
+        assert_eq!(TestSum.kernel_min_run(), FOLD_KERNEL_MIN_RUN);
+        assert!(!kernel_eligible(&EarlySum, 3));
+        assert!(kernel_eligible(&EarlySum, 4));
+        assert!(!pair_kernel_eligible(&EarlySum, 3));
+        assert!(pair_kernel_eligible(&EarlySum, 4));
     }
 }

@@ -510,9 +510,12 @@ impl<A: AggregateFunction> SharedKeyed<A> {
                 let n = in_order_run_len(tuples, i, ts, slice.end, usize::MAX);
                 debug_assert!(n >= 1);
                 // The per-key run commit goes through the shared bulk-fold
-                // routing: long runs gather into a contiguous buffer for
-                // the `fold_slice` kernel, short ones fold inline.
-                if crate::function::kernel_eligible(&self.f, n) {
+                // routing: long runs gather into contiguous buffer(s) for
+                // the `fold_slice` / `fold_slice_pairs` kernel, short ones
+                // fold inline.
+                if crate::function::kernel_eligible(&self.f, n)
+                    || crate::function::pair_kernel_eligible(&self.f, n)
+                {
                     self.stats.fold_kernel_hits += 1;
                 } else {
                     self.stats.fold_kernel_misses += 1;

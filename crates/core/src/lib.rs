@@ -89,8 +89,8 @@ pub use element::StreamElement;
 pub use fiba::FingerTree;
 pub use flatfat::FlatFat;
 pub use function::{
-    default_fold_slice, kernel_eligible, AggregateFunction, FunctionKind, FunctionProperties,
-    FOLD_KERNEL_MIN_RUN,
+    default_fold_slice, kernel_eligible, pair_kernel_eligible, AggregateFunction, FunctionKind,
+    FunctionProperties, FOLD_KERNEL_MIN_RUN,
 };
 pub use hash::{fx_hash_u64, FxBuildHasher, FxHashMap, FxHasher};
 pub use keyed::{KeyedConfig, KeyedStats, KeyedWindowOperator, NaiveKeyedOperator, PerKey};

@@ -137,6 +137,11 @@ struct LateGroup<V> {
     /// commutative functions without tuple storage, so arrival-order
     /// folding is unobservable.
     values: Vec<V>,
+    /// Parallel per-value timestamps, collected **only** when the function
+    /// declares a paired-column kernel (`has_pair_kernel`) — the flush then
+    /// folds through `fold_slice_pairs` instead of `fold_slice`. Empty
+    /// otherwise, so the plain late path pays nothing for the hook.
+    times: Vec<Time>,
     t_first: Time,
     t_last: Time,
 }
@@ -148,6 +153,7 @@ impl<V: Clone> Clone for LateGroup<V> {
             start: self.start,
             end: self.end,
             values: self.values.clone(),
+            times: self.times.clone(),
             t_first: self.t_first,
             t_last: self.t_last,
         }
@@ -325,9 +331,9 @@ pub struct WindowOperator<A: AggregateFunction> {
     /// in the slices just behind the stream head. Always empty between
     /// calls.
     late_groups: Vec<LateGroup<A::Input>>,
-    /// Recycled value buffers for `late_groups`, so steady-state batches
-    /// allocate nothing when deferring late tuples.
-    late_group_pool: Vec<Vec<A::Input>>,
+    /// Recycled column buffers (times, values) for `late_groups`, so
+    /// steady-state batches allocate nothing when deferring late tuples.
+    late_group_pool: Vec<(Vec<Time>, Vec<A::Input>)>,
     /// In-order tuples accumulated within one `process_batch_tuples` call
     /// but not yet applied, stored struct-of-arrays: deferring the store
     /// touch lets a run span deferred late singles (the batch's in-order
@@ -1129,12 +1135,15 @@ impl<A: AggregateFunction> WindowOperator<A> {
 
     /// Attributes one bulk-folded run of `len` values to the kernel or
     /// fallback counter. Contiguous runs always go through
+    /// [`AggregateFunction::fold_slice_pairs`] /
     /// [`AggregateFunction::fold_slice`], so the only miss condition is
-    /// the function not providing a kernel; gathered (array-of-structs)
-    /// runs additionally miss below the gather threshold, mirroring
-    /// [`crate::function::kernel_eligible`].
+    /// the function providing neither a values nor a paired-column
+    /// kernel; gathered (array-of-structs) runs additionally miss below
+    /// the gather threshold, mirroring
+    /// [`crate::function::kernel_eligible`] and
+    /// [`crate::function::pair_kernel_eligible`].
     fn count_fold(&mut self, len: usize) {
-        if self.f.has_fold_kernel() && len >= 1 {
+        if (self.f.has_fold_kernel() || self.f.has_pair_kernel()) && len >= 1 {
             self.stats.fold_kernel_hits += 1;
         } else {
             self.stats.fold_kernel_misses += 1;
@@ -1161,12 +1170,16 @@ impl<A: AggregateFunction> WindowOperator<A> {
         // `ts - start < end - start` as unsigned is the usual
         // single-compare interval test (a too-small ts wraps to a huge
         // unsigned value).
+        let pair_kernel = self.f.has_pair_kernel();
         if let Some(g) = self
             .late_groups
             .iter_mut()
             .find(|g| (ts.wrapping_sub(g.start) as u64) < (g.end - g.start) as u64)
         {
             g.values.push(v.clone());
+            if pair_kernel {
+                g.times.push(ts);
+            }
             g.t_first = g.t_first.min(ts);
             g.t_last = g.t_last.max(ts);
             return;
@@ -1183,13 +1196,17 @@ impl<A: AggregateFunction> WindowOperator<A> {
             }
         }
         let s = self.store.slice(idx);
-        let mut values = self.late_group_pool.pop().unwrap_or_default();
+        let (mut times, mut values) = self.late_group_pool.pop().unwrap_or_default();
         values.push(v.clone());
+        if pair_kernel {
+            times.push(ts);
+        }
         self.late_groups.push(LateGroup {
             idx,
             start: s.start(),
             end: s.end(),
             values,
+            times,
             t_first: ts,
             t_last: ts,
         });
@@ -1227,8 +1244,18 @@ impl<A: AggregateFunction> WindowOperator<A> {
             let mut groups = std::mem::take(&mut self.late_groups);
             for g in groups.drain(..) {
                 let mut values = g.values;
+                let mut times = g.times;
                 self.count_fold(values.len());
-                if let Some(p) = self.f.fold_slice(&values) {
+                // Pair-kernel functions collected the parallel times
+                // column at deferral time; everyone else folds the values
+                // column exactly as before (`times` is empty then, so the
+                // paired hook's column contract would not hold).
+                let folded = if self.f.has_pair_kernel() {
+                    self.f.fold_slice_pairs(&times, &values)
+                } else {
+                    self.f.fold_slice(&values)
+                };
+                if let Some(p) = folded {
                     self.store.add_out_of_order_partial(
                         g.idx,
                         p,
@@ -1238,8 +1265,9 @@ impl<A: AggregateFunction> WindowOperator<A> {
                     );
                 }
                 values.clear();
+                times.clear();
                 if self.late_group_pool.len() < 16 {
-                    self.late_group_pool.push(values); // recycle the buffer
+                    self.late_group_pool.push((times, values)); // recycle the buffers
                 }
             }
             self.late_groups = groups; // keep the allocation
@@ -1427,6 +1455,7 @@ impl<A: AggregateFunction> WindowOperator<A> {
         let mut ends = [TIME_MIN; 4];
         let mut pos = [0usize; 4];
         let mut table_ok = build_group_table(&groups, &mut starts, &mut ends, &mut pos);
+        let pair_kernel = self.f.has_pair_kernel();
         for &j in idx[rem - lk..rem].iter().rev() {
             let j = cast::idx32(j);
             let ts = batch.ts(j);
@@ -1439,6 +1468,9 @@ impl<A: AggregateFunction> WindowOperator<A> {
                 if ts >= starts[0] && ts < ends[gid] {
                     let g = &mut groups[pos[gid]];
                     g.values.push(batch.value(j).clone());
+                    if pair_kernel {
+                        g.times.push(ts);
+                    }
                     g.t_first = g.t_first.min(ts);
                     g.t_last = g.t_last.max(ts);
                     continue;

@@ -34,13 +34,25 @@ pub struct Slice<A: AggregateFunction> {
 }
 
 /// Folds a run of tuples into one partial in stream order; `None` for an
-/// empty run. Runs long enough to amortize a values gather
-/// ([`crate::function::FOLD_KERNEL_MIN_RUN`]) are routed through the bulk
-/// [`AggregateFunction::fold_slice`] kernel: one linear copy into a
-/// contiguous buffer, then a vectorized fold. Everything else — short runs
-/// and functions without a kernel — takes the per-element lift/combine
-/// loop, so the routing never costs more than the code it replaced.
+/// empty run. Runs long enough to amortize a gather (the function's
+/// [`AggregateFunction::kernel_min_run`]) are routed through a bulk
+/// kernel: pair-kernel functions gather *both* columns for
+/// [`AggregateFunction::fold_slice_pairs`], values-kernel functions gather
+/// the values for [`AggregateFunction::fold_slice`] — one linear copy into
+/// contiguous buffer(s), then a vectorized fold. Everything else — short
+/// runs and functions without a kernel — takes the per-element
+/// lift/combine loop, so the routing never costs more than the code it
+/// replaced.
 pub fn fold_run<A: AggregateFunction>(f: &A, run: &[(Time, A::Input)]) -> Option<A::Partial> {
+    if crate::function::pair_kernel_eligible(f, run.len()) {
+        let mut times: Vec<Time> = Vec::with_capacity(run.len());
+        let mut values: Vec<A::Input> = Vec::with_capacity(run.len());
+        for (t, v) in run {
+            times.push(*t);
+            values.push(v.clone());
+        }
+        return f.fold_slice_pairs(&times, &values);
+    }
     if crate::function::kernel_eligible(f, run.len()) {
         let values: Vec<A::Input> = run.iter().map(|(_, v)| v.clone()).collect();
         return f.fold_slice(&values);
@@ -182,10 +194,13 @@ impl<A: AggregateFunction> Slice<A> {
     }
 
     /// Columnar twin of [`Slice::add_run`]: the run arrives as parallel
-    /// `times` / `values` slices (struct-of-arrays), so the values are
-    /// already contiguous and feed [`AggregateFunction::fold_slice`]
-    /// directly — no gather, no re-materialization. Caller guarantees are
-    /// identical to `add_run` plus `times.len() == values.len()`.
+    /// `times` / `values` slices (struct-of-arrays), so both columns are
+    /// already contiguous and feed
+    /// [`AggregateFunction::fold_slice_pairs`] directly — no gather, no
+    /// re-materialization. (The default `fold_slice_pairs` delegates to
+    /// `fold_slice`, so values-kernel and kernel-less functions behave
+    /// exactly as before.) Caller guarantees are identical to `add_run`
+    /// plus `times.len() == values.len()`.
     pub fn add_run_columns(&mut self, f: &A, times: &[Time], values: &[A::Input]) {
         debug_assert_eq!(times.len(), values.len(), "SoA run length mismatch");
         let (Some(&first_ts), Some(&last_ts)) = (times.first(), times.last()) else {
@@ -198,7 +213,7 @@ impl<A: AggregateFunction> Slice<A> {
             self.range
         );
         debug_assert!(times.windows(2).all(|w| w[0] <= w[1]), "run not sorted");
-        let Some(p) = f.fold_slice(values) else {
+        let Some(p) = f.fold_slice_pairs(times, values) else {
             return;
         };
         self.agg = Some(match self.agg.take() {

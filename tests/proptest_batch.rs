@@ -5,18 +5,21 @@
 //! in-order and out-of-order inputs, lazy, eager, and finger-tree
 //! stores, and context-free, context-aware, and count-based queries.
 //!
-//! The second block pins the bulk-fold kernels and the chunked pipeline:
-//! `fold_slice` must be bit-identical to the default lift/combine fold
-//! for every aggregate, and the keyed/parallel pipelines must agree
-//! across per-tuple, fixed, and adaptive batching modes. Under
-//! `--features audit` these drives also exercise the struct-of-arrays
-//! chunk invariants (column length agreement, run monotonicity) asserted
-//! inside the library.
+//! The second block pins the bulk-fold kernels against the lane-kernel
+//! reassociation policy (`gss_aggregates::lanes`): integer `fold_slice`
+//! and paired-column `fold_slice_pairs` kernels must be *bit-identical*
+//! to the default lift/combine fold — empty runs, ties, and
+//! gate-straddling lengths included — while the f64 moments kernel must
+//! be deterministic across calls and ulp-bounded against the sequential
+//! fold. The keyed/parallel pipelines must agree across per-tuple,
+//! fixed, and adaptive batching modes. Under `--features audit` these
+//! drives also exercise the struct-of-arrays chunk invariants (column
+//! length agreement, run monotonicity) asserted inside the library.
 
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-use general_stream_slicing::core::default_fold_slice;
+use general_stream_slicing::core::{default_fold_slice, FOLD_KERNEL_MIN_RUN};
 use general_stream_slicing::prelude::*;
 use proptest::prelude::*;
 
@@ -571,39 +574,142 @@ fn check_parallel_modes<A>(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Every aggregate's `fold_slice` — kernel or default — must be
-    /// bit-identical to the reference lift/combine fold, including the
-    /// f64 moments kernel (which folds in stream order for exactly this
-    /// reason) and the empty run.
+    /// Every integer-partial aggregate's `fold_slice` — lane kernel or
+    /// default — must be bit-identical to the reference lift/combine
+    /// fold. Exercised on every prefix length of the generated run, so
+    /// the sweep straddles each function's `kernel_min_run` gate and
+    /// includes the empty run; the narrow value range forces extremum
+    /// ties across lane boundaries for the mincount/maxcount tie passes.
     #[test]
-    fn fold_slice_matches_default_fold_for_every_function(
-        values in prop::collection::vec(-1_000i64..1_000, 0..300),
+    fn integer_fold_kernels_bit_identical_to_default(
+        values in prop::collection::vec(-40i64..40, 0..300),
     ) {
         macro_rules! check {
-            ($f:expr, $name:expr) => {{
+            ($f:expr, $name:expr, $run:expr) => {{
                 let f = $f;
-                let kernel = f.fold_slice(&values).map(|p| format!("{:?}", f.lower(&p)));
-                let reference =
-                    default_fold_slice(&f, &values).map(|p| format!("{:?}", f.lower(&p)));
-                prop_assert_eq!(kernel, reference, "{} diverged from the default fold", $name);
+                let kernel = f.fold_slice($run).map(|p| format!("{:?}", p));
+                let reference = default_fold_slice(&f, $run).map(|p| format!("{:?}", p));
+                prop_assert_eq!(
+                    kernel, reference,
+                    "{} diverged from the default fold at len {}", $name, $run.len()
+                );
             }};
         }
-        check!(CountAgg, "count");
-        check!(Sum, "sum");
-        check!(SumNoInvert, "sum-no-invert");
-        check!(Avg, "avg");
-        check!(Min, "min");
-        check!(Max, "max");
-        check!(SampleStdDev, "sample-stddev");
-        check!(PopulationStdDev, "population-stddev");
-        check!(GeometricMean, "geometric-mean");
+        let gate = FOLD_KERNEL_MIN_RUN;
+        let mut lens: Vec<usize> =
+            vec![0, 1, 2, gate - 1, gate, gate + 1, values.len()];
+        lens.retain(|&l| l <= values.len());
+        for &len in &lens {
+            let run = &values[..len];
+            check!(CountAgg, "count", run);
+            check!(Sum, "sum", run);
+            check!(SumNoInvert, "sum-no-invert", run);
+            check!(Avg, "avg", run);
+            check!(Min, "min", run);
+            check!(Max, "max", run);
+            check!(MinCount, "mincount", run);
+            check!(MaxCount, "maxcount", run);
+            check!(GeometricMean, "geometric-mean", run);
+        }
         prop_assert!(
-            Sum.has_fold_kernel() && Min.has_fold_kernel() && Max.has_fold_kernel(),
-            "sum/min/max must carry hand-written kernels"
+            Sum.has_fold_kernel() && Min.has_fold_kernel() && Max.has_fold_kernel()
+                && MinCount.has_fold_kernel() && MaxCount.has_fold_kernel(),
+            "sum/min/max/mincount/maxcount must carry hand-written kernels"
         );
         prop_assert!(
             !GeometricMean.has_fold_kernel(),
             "geometric mean stays on the default fold by design"
+        );
+    }
+
+    /// The paired-column kernels (argmin/argmax lexicographic lanes, m4
+    /// order-preserving block split) must be bit-identical to the default
+    /// fold over the value column — including first-tie/smallest-arg
+    /// tie-breaks, non-monotone timestamps, and every gate-straddling
+    /// prefix length around their `kernel_min_run` of 8.
+    #[test]
+    fn paired_fold_kernels_bit_identical_to_default(
+        pairs in prop::collection::vec((-10i64..10, -1_000i64..1_000), 0..300),
+    ) {
+        prop_assert!(ArgMin.has_pair_kernel() && ArgMax.has_pair_kernel());
+        prop_assert!(M4.has_pair_kernel());
+        prop_assert!(!ArgMin.has_fold_kernel(), "argmin's kernel lives on the paired hook");
+        let times: Vec<Time> = (0..pairs.len() as Time).collect();
+        // M4 input reinterprets the pair as (ts, value): a narrow
+        // timestamp range with plenty of duplicates, arriving unsorted.
+        let stamped: Vec<(Time, i64)> = pairs.iter().map(|&(a, b)| (a + 10, b)).collect();
+        let mut lens: Vec<usize> = vec![0, 1, 7, 8, 9, 31, 32, 33, pairs.len()];
+        lens.retain(|&l| l <= pairs.len());
+        for &len in &lens {
+            let t = &times[..len];
+            prop_assert_eq!(
+                ArgMin.fold_slice_pairs(t, &pairs[..len]),
+                default_fold_slice(&ArgMin, &pairs[..len]),
+                "argmin diverged at len {}", len
+            );
+            prop_assert_eq!(
+                ArgMax.fold_slice_pairs(t, &pairs[..len]),
+                default_fold_slice(&ArgMax, &pairs[..len]),
+                "argmax diverged at len {}", len
+            );
+            prop_assert_eq!(
+                M4.fold_slice_pairs(t, &stamped[..len]),
+                default_fold_slice(&M4, &stamped[..len]),
+                "m4 diverged at len {}", len
+            );
+        }
+    }
+
+    /// The f64 moments kernel is *reassociated* (strided lanes, pairwise
+    /// lane reduction), so it is not bit-identical to the sequential
+    /// fold. The policy it must uphold instead: deterministic across
+    /// calls (fixed lane shape — same input, same bits) and ulp-bounded
+    /// against the sequential reference, with the count exact. Values
+    /// are wide enough that squares exceed 2^53 and genuinely round.
+    #[test]
+    fn float_moments_kernel_deterministic_and_ulp_bounded(
+        values in prop::collection::vec(-100_000_000i64..100_000_000, 1..300),
+    ) {
+        use general_stream_slicing::aggregates::MomentsPartial;
+        let kernel: MomentsPartial = match SampleStdDev.fold_slice(&values) {
+            Some(p) => p,
+            None => return Err(TestCaseError::fail("non-empty run folded to nothing")),
+        };
+        // Determinism: a second call over a fresh copy of the input
+        // reproduces the exact same bits.
+        let again = SampleStdDev.fold_slice(&values.clone()).map(|p| {
+            (p.count, p.sum.to_bits(), p.sum_sq.to_bits())
+        });
+        prop_assert_eq!(
+            again,
+            Some((kernel.count, kernel.sum.to_bits(), kernel.sum_sq.to_bits())),
+            "moments kernel is not deterministic"
+        );
+        // Both stddev flavors share the one moments kernel.
+        prop_assert_eq!(PopulationStdDev.fold_slice(&values), Some(kernel));
+        // Ulp bound vs the sequential lift/combine reference:
+        // |err| <= n * eps * sum(|x_i|) for the sum (and the squared
+        // magnitudes for sum_sq), the standard bound for any
+        // reassociation of an n-term float sum.
+        let seq = match default_fold_slice(&SampleStdDev, &values) {
+            Some(p) => p,
+            None => return Err(TestCaseError::fail("reference fold of a non-empty run")),
+        };
+        prop_assert_eq!(kernel.count, seq.count, "count must stay exact");
+        let n = values.len() as f64;
+        let abs_sum: f64 = values.iter().map(|&v| (v as f64).abs()).sum();
+        let abs_sq: f64 = values.iter().map(|&v| (v as f64) * (v as f64)).sum();
+        let tol_sum = (n * f64::EPSILON * abs_sum).max(f64::EPSILON);
+        let tol_sq = (n * f64::EPSILON * abs_sq).max(f64::EPSILON);
+        prop_assert!(
+            (kernel.sum - seq.sum).abs() <= tol_sum,
+            "sum drifted past the ulp bound: kernel {} vs seq {} (tol {})",
+            kernel.sum, seq.sum, tol_sum
+        );
+        prop_assert!(
+            (kernel.sum_sq - seq.sum_sq).abs() <= tol_sq,
+            "sum_sq drifted past the ulp bound: kernel {} vs seq {} (tol {})",
+            kernel.sum_sq, seq.sum_sq, tol_sq
         );
     }
 
