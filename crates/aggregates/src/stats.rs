@@ -229,7 +229,8 @@ mod tests {
                 continue;
             };
             // Determinism: same bits on every call (and on a fresh copy).
-            let again = SampleStdDev.fold_slice(&v.to_vec()).unwrap();
+            let copy = v.to_vec();
+            let again = SampleStdDev.fold_slice(&copy).unwrap();
             assert_eq!(k.sum.to_bits(), again.sum.to_bits());
             assert_eq!(k.sum_sq.to_bits(), again.sum_sq.to_bits());
             assert_eq!(PopulationStdDev.fold_slice(v), Some(k), "shared moments kernel");

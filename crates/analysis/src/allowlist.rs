@@ -3,13 +3,16 @@
 //! `analysis/lint.allow` holds one entry per line:
 //!
 //! ```text
-//! <rule-id> <path-prefix> -- <justification>
+//! <rule-id> <path-prefix> pr<N> -- <justification>
 //! ```
 //!
 //! A violation is waived when its rule matches and its path starts with
 //! the entry's prefix. Every entry must carry a justification, and every
 //! entry must waive at least one live violation — stale entries fail the
-//! lint so the list can only shrink as code is fixed.
+//! lint so the list can only shrink as code is fixed. The `pr<N>` token
+//! records the PR that introduced the waiver, so the lint driver can
+//! report each exception's age; it is optional for compatibility but the
+//! driver flags entries without one.
 
 use crate::rules::{Violation, RULE_IDS};
 
@@ -19,6 +22,8 @@ pub struct AllowEntry {
     pub rule: String,
     pub path_prefix: String,
     pub justification: String,
+    /// The PR that introduced the waiver (`pr<N>` token), if recorded.
+    pub pr: Option<u32>,
     /// 1-based line in the allowlist file (for diagnostics).
     pub line: usize,
 }
@@ -63,12 +68,29 @@ impl Allowlist {
                 }
             };
             let mut parts = head.split_whitespace();
-            let (Some(rule), Some(path_prefix), None) = (parts.next(), parts.next(), parts.next())
-            else {
+            let (Some(rule), Some(path_prefix)) = (parts.next(), parts.next()) else {
                 return Err(AllowError {
                     line,
-                    msg: "entry head must be exactly `<rule> <path-prefix>`".into(),
+                    msg: "entry head must be `<rule> <path-prefix> [pr<N>]`".into(),
                 });
+            };
+            let pr = match (parts.next(), parts.next()) {
+                (None, _) => None,
+                (Some(tok), None) => match tok.strip_prefix("pr").and_then(|n| n.parse().ok()) {
+                    Some(n) => Some(n),
+                    None => {
+                        return Err(AllowError {
+                            line,
+                            msg: format!("third head token must be `pr<N>`, got `{tok}`"),
+                        })
+                    }
+                },
+                (Some(_), Some(_)) => {
+                    return Err(AllowError {
+                        line,
+                        msg: "entry head must be `<rule> <path-prefix> [pr<N>]`".into(),
+                    })
+                }
             };
             if !RULE_IDS.contains(&rule) {
                 return Err(AllowError { line, msg: format!("unknown rule `{rule}`") });
@@ -77,6 +99,7 @@ impl Allowlist {
                 rule: rule.to_string(),
                 path_prefix: path_prefix.to_string(),
                 justification,
+                pr,
                 line,
             });
         }
@@ -132,6 +155,24 @@ mod tests {
         ]);
         assert_eq!(used, vec![1]);
         assert_eq!(rest.len(), 2, "other rule and other path stay live");
+    }
+
+    #[test]
+    fn pr_token_parsed_and_optional() {
+        let a = Allowlist::parse(
+            "no-panic shims/ pr3 -- panics by design\nno-panic crates/core/src/x.rs -- legacy\n",
+        )
+        .expect("well-formed allowlist");
+        assert_eq!(a.entries[0].pr, Some(3));
+        assert_eq!(a.entries[1].pr, None);
+    }
+
+    #[test]
+    fn malformed_pr_token_rejected() {
+        let err = Allowlist::parse("no-panic shims/ pr -- why\n").expect_err("must reject");
+        assert!(err.msg.contains("pr<N>"), "got: {}", err.msg);
+        assert!(Allowlist::parse("no-panic shims/ v3 -- why\n").is_err());
+        assert!(Allowlist::parse("no-panic shims/ pr3 extra -- why\n").is_err());
     }
 
     #[test]

@@ -60,6 +60,16 @@ fn run() -> i32 {
             files.len(),
             waived
         );
+        // Waiver ages: the PR that introduced each standing exception,
+        // so long-lived waivers stay visible at every run instead of
+        // silently accumulating.
+        for (e, n) in allow.entries.iter().zip(&used) {
+            let age = match e.pr {
+                Some(pr) => format!("pr{pr}"),
+                None => "pr?".to_string(),
+            };
+            println!("  {age:<5} {:<12} {:<36} waives {n}", e.rule, e.path_prefix);
+        }
         0
     } else {
         eprintln!(

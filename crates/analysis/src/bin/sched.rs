@@ -1,0 +1,107 @@
+//! `cargo sched` — deterministic schedule exploration of the real
+//! stream protocols (see `gss_analysis::sched` for the machinery).
+//!
+//! Default mode runs the healthy-protocol cells:
+//!
+//! * exhaustive DFS (no preemption bound) for the smallest config of
+//!   each protocol (1 worker / 1 shard) — every schedule at yield-point
+//!   granularity;
+//! * bounded-preemption DFS (bound 2, the CHESS sweet spot) for the
+//!   2-worker / 2-shard configs;
+//! * two seed-pinned PCT cells over the 2-worker / 2-shard configs.
+//!
+//! Exit status is nonzero on any oracle violation or on a truncated
+//! exhaustive cell (the space must actually be covered).
+//!
+//! `--mutants` (requires the `sched-mutants` feature) instead runs the
+//! anti-vacuity matrix: each seeded protocol fault must be caught by
+//! some explored schedule; any survivor fails the run.
+
+use gss_analysis::sched::{par_cell, shard_cell, Cell, Explore, Workload};
+
+fn print_cell(mode: &str, cell: &Cell) -> bool {
+    let status = match &cell.violation {
+        None if cell.truncated => "TRUNCATED",
+        None => "ok",
+        Some(_) => "VIOLATION",
+    };
+    println!(
+        "  {:<18} {:<26} schedules={:<7} max_yields={:<5} {}",
+        cell.name, mode, cell.schedules, cell.max_yields, status
+    );
+    if let Some(v) = &cell.violation {
+        println!("    -> {v}");
+    }
+    cell.passed() && !cell.truncated
+}
+
+fn healthy() -> bool {
+    let mut ok = true;
+    println!("schedule exploration over the real protocols (healthy build):");
+
+    // Exhaustive: every schedule of the smallest config of each
+    // protocol over the one-epoch workload. These must terminate below
+    // the cap — truncation fails.
+    let exhaustive = Explore::Dfs { preemption_bound: None, max_schedules: 150_000 };
+    ok &= print_cell("dfs/exhaustive", &par_cell(1, Workload::Tiny, &exhaustive));
+    ok &= print_cell("dfs/exhaustive", &shard_cell(1, Workload::Tiny, &exhaustive));
+
+    // Bounded-preemption DFS for the two-producer configs: complete
+    // coverage of every schedule with at most 2 preemptions of the
+    // one-epoch workload. (The straggler workload's schedule tree is
+    // exponential in voluntary switches even at bound 0 — it belongs to
+    // the PCT cells below.)
+    let bounded2 = Explore::Dfs { preemption_bound: Some(2), max_schedules: 150_000 };
+    ok &= print_cell("dfs/preempt<=2", &par_cell(2, Workload::Tiny, &bounded2));
+    ok &= print_cell("dfs/preempt<=2", &shard_cell(2, Workload::Tiny, &bounded2));
+
+    // Seed-pinned PCT sweeps over the full (two-epoch + straggler)
+    // workload: depth-3 random schedules, reproducible run to run and
+    // machine to machine.
+    let pct_a = Explore::Pct { seed: 0xC0FF_EE00, depth: 3, runs: 300 };
+    let pct_b = Explore::Pct { seed: 0x5EED_CAFE, depth: 3, runs: 300 };
+    ok &= print_cell("pct/seed=0xC0FFEE00", &par_cell(2, Workload::Full, &pct_a));
+    ok &= print_cell("pct/seed=0x5EEDCAFE", &shard_cell(2, Workload::Full, &pct_b));
+
+    ok
+}
+
+#[cfg(feature = "sched-mutants")]
+fn mutants() -> bool {
+    let matrix = gss_analysis::sched::mutant_matrix();
+    let mut ok = true;
+    println!("anti-vacuity mutant matrix (every fault must be caught):");
+    for (name, cell) in &matrix {
+        let caught = cell.violation.is_some();
+        println!(
+            "  {:<18} {:<26} schedules={:<7} {}",
+            name,
+            cell.name,
+            cell.schedules,
+            if caught { "caught" } else { "SURVIVED" }
+        );
+        if let Some(v) = &cell.violation {
+            let first = v.lines().next().unwrap_or("");
+            println!("    -> {first}");
+        }
+        ok &= caught;
+    }
+    if ok {
+        println!("all {} mutants caught", matrix.len());
+    }
+    ok
+}
+
+#[cfg(not(feature = "sched-mutants"))]
+fn mutants() -> bool {
+    eprintln!("--mutants requires the sched-mutants feature (use `cargo sched-mutants`)");
+    false
+}
+
+fn main() {
+    let want_mutants = std::env::args().any(|a| a == "--mutants");
+    let ok = if want_mutants { mutants() } else { healthy() };
+    if !ok {
+        std::process::exit(1);
+    }
+}

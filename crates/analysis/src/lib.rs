@@ -12,6 +12,15 @@
 //!   exploration of the parallel worker/merge protocol's interleavings
 //!   and of the key-sharded emission/epoch-barrier protocol. Run via the
 //!   `mc` binary (`cargo mc`).
+//! * **Schedule exploration** ([`sched`], behind the `sched` feature):
+//!   runs the *real* `gss-stream` protocol implementations under the
+//!   deterministic `crossbeam::sched` runtime, exploring interleavings
+//!   by bounded-preemption DFS and seed-pinned PCT, checking the mc
+//!   models' invariants against probe traces plus bit-identical output
+//!   vs a sequential reference. Run via the `sched` binary
+//!   (`cargo sched`, `cargo sched-mutants`). This is the only part of
+//!   the crate with dependencies, which is why it is feature-gated: the
+//!   lint and mc layers stay dependency-free.
 //! * The **invariant-audit build** lives in the checked crates
 //!   themselves behind the workspace-wide `audit` feature; this crate
 //!   only documents it (see `DESIGN.md`).
@@ -20,6 +29,8 @@ pub mod allowlist;
 pub mod lexer;
 pub mod mc;
 pub mod rules;
+#[cfg(feature = "sched")]
+pub mod sched;
 pub mod scope;
 pub mod sharded;
 pub mod walk;

@@ -13,6 +13,7 @@
 //! | `core-cast`       | `gss-core` library code                 | no bare `as usize` / `as i64` (use `gss_core::cast` helpers) |
 //! | `std-hashmap`     | hot crates (core/stream/baselines/aggregates) | no default-hasher `HashMap` (use the `FxHashMap` shim) |
 //! | `no-wallclock`    | `gss-core` / `gss-aggregates`           | no `Instant::now` / `SystemTime` (event time only) |
+//! | `raw-channel`     | library code (not tests/benches/bins)   | no raw `mpsc` / `channel::bounded` / `thread::spawn` / `thread::scope` — go through `crossbeam::runtime` so `cargo sched` can control the concurrency surface |
 //!
 //! Audited exceptions live in `analysis/lint.allow` (see
 //! [`crate::allowlist`]).
@@ -41,7 +42,7 @@ impl std::fmt::Display for Violation {
 
 /// Rule identifiers, for `lint --rules` and allowlist validation.
 pub const RULE_IDS: &[&str] =
-    &["no-panic", "unsafe-safety", "core-cast", "std-hashmap", "no-wallclock"];
+    &["no-panic", "unsafe-safety", "core-cast", "std-hashmap", "no-wallclock", "raw-channel"];
 
 /// Whether a path is library (production) code for the `no-panic` rule:
 /// binaries, benches, examples, test trees, the bench harness crate, and
@@ -115,6 +116,23 @@ pub fn check_file(path: &str, src: &str) -> Vec<Violation> {
                 rule: "std-hashmap",
                 msg: "default-hasher `HashMap` in a hot crate — use `gss_core::FxHashMap`".into(),
             });
+        }
+        if is_library_code(path) && !in_tests(line0) {
+            // The concurrency surface must stay behind
+            // `crossbeam::runtime` (`runtime::bounded`, `runtime::scope`)
+            // so the sched build can interpose on every channel op and
+            // spawn. The needles carry their path prefixes, so
+            // `runtime::bounded` / `runtime::scope` do not match.
+            for needle in ["mpsc", "channel::bounded", "thread::spawn", "thread::scope"] {
+                if contains_word(code, needle) {
+                    out.push(Violation {
+                        path: path.to_string(),
+                        line,
+                        rule: "raw-channel",
+                        msg: format!("raw `{needle}` outside the runtime layer — use `crossbeam::runtime::bounded` / `crossbeam::runtime::scope` so `cargo sched` can control it"),
+                    });
+                }
+            }
         }
         if is_event_time_crate(path) && !in_tests(line0) {
             for needle in ["Instant::now", "SystemTime"] {
@@ -297,6 +315,34 @@ mod tests {
         assert!(check_file("crates/core/src/m.rs", good).is_empty());
         // Cold crates may use the default hasher.
         assert!(check_file("crates/query/src/m.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn raw_channel_flagged_in_library_code() {
+        let mpsc = "use std::sync::mpsc;\n";
+        assert_eq!(rules_of("crates/stream/src/p.rs", mpsc), ["raw-channel"]);
+        let spawn = "fn f() { std::thread::spawn(|| {}); }\n";
+        assert_eq!(rules_of("crates/stream/src/p.rs", spawn), ["raw-channel"]);
+        let scope = "fn f() { std::thread::scope(|s| {}); }\n";
+        assert_eq!(rules_of("crates/stream/src/p.rs", scope), ["raw-channel"]);
+        let bounded = "fn f() { let (tx, rx) = channel::bounded(4); }\n";
+        assert_eq!(rules_of("crates/stream/src/p.rs", bounded), ["raw-channel"]);
+    }
+
+    #[test]
+    fn runtime_layer_calls_are_not_raw_channels() {
+        let src = "use crossbeam::runtime;\nfn f() { let (tx, rx) = runtime::bounded(4); runtime::scope(|s| { s.spawn(|| {}); }); }\n";
+        assert!(check_file("crates/stream/src/p.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_channel_allowed_in_tests_and_bins() {
+        let spawn = "fn f() { std::thread::spawn(|| {}); }\n";
+        assert!(check_file("crates/stream/tests/t.rs", spawn).is_empty());
+        assert!(check_file("crates/bench/src/bin/b.rs", spawn).is_empty());
+        let in_test_mod =
+            "pub fn prod() {}\n#[cfg(test)]\nmod tests {\n  fn t() { std::thread::spawn(|| {}); }\n}\n";
+        assert!(check_file("crates/stream/src/p.rs", in_test_mod).is_empty());
     }
 
     #[test]

@@ -177,6 +177,7 @@ fn time_fold<A: AggregateFunction>(
     best
 }
 
+#[allow(clippy::too_many_arguments)]
 fn bench_kernel<A: AggregateFunction>(
     f: &A,
     name: &'static str,

@@ -453,11 +453,52 @@ pub fn machine_cores() -> usize {
     std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
 }
 
+/// First line of `rustc -V` (e.g. `rustc 1.95.0 (…)`), or `"unknown"`
+/// when the compiler is not on PATH at run time.
+pub fn rustc_version() -> String {
+    std::process::Command::new("rustc")
+        .arg("-V")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Short git commit hash of the tree the bench ran in, suffixed with
+/// `-dirty` when the working tree had uncommitted changes, or
+/// `"unknown"` outside a git checkout.
+pub fn git_commit() -> String {
+    let git = |args: &[&str]| {
+        std::process::Command::new("git")
+            .args(args)
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+    };
+    let Some(hash) = git(&["rev-parse", "--short", "HEAD"]).map(|s| s.trim().to_string()) else {
+        return "unknown".to_string();
+    };
+    if hash.is_empty() {
+        return "unknown".to_string();
+    }
+    let dirty = git(&["status", "--porcelain"]).is_none_or(|s| !s.trim().is_empty());
+    if dirty {
+        format!("{hash}-dirty")
+    } else {
+        hash
+    }
+}
+
 /// Incremental writer for the `BENCH_<name>.json` summaries at the repo
 /// root (no serde in the tree; the schemas are flat, so hand-rolled JSON
 /// is fine). Opens the object and writes the shared preamble —
-/// `workload` and `cores` — so no bin can forget to record the machine
-/// width its numbers came from; the bin streams its own sections through
+/// `workload`, `cores`, and the provenance pair `rustc` + `commit` — so
+/// no bin can forget to record the machine width and toolchain its
+/// numbers came from; the bin streams its own sections through
 /// [`BenchJson::file`] and closes the object with [`BenchJson::finish`].
 pub struct BenchJson {
     f: std::fs::File,
@@ -465,7 +506,8 @@ pub struct BenchJson {
 }
 
 impl BenchJson {
-    /// Creates `BENCH_<name>.json` and writes `workload` + `cores`.
+    /// Creates `BENCH_<name>.json` and writes `workload` + `cores` plus
+    /// the `rustc` / `commit` provenance of the run.
     /// `workload` must not contain characters needing JSON escapes.
     pub fn create(name: &str, workload: &str) -> Self {
         let path = format!("BENCH_{name}.json");
@@ -473,6 +515,8 @@ impl BenchJson {
         writeln!(f, "{{").expect("write json");
         writeln!(f, "  \"workload\": \"{workload}\",").expect("write json");
         writeln!(f, "  \"cores\": {},", machine_cores()).expect("write json");
+        writeln!(f, "  \"rustc\": \"{}\",", rustc_version()).expect("write json");
+        writeln!(f, "  \"commit\": \"{}\",", git_commit()).expect("write json");
         BenchJson { f, path }
     }
 

@@ -8,6 +8,7 @@
 pub mod batching;
 pub mod builder;
 pub mod metrics;
+pub mod mutants;
 pub mod parallel;
 pub mod pipeline;
 pub mod sharded;

@@ -73,7 +73,8 @@
 use std::collections::VecDeque;
 use std::time::Instant;
 
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use crossbeam::runtime::{self, bounded, Receiver, Sender, TrySendError};
+use crossbeam::sched::ProbeEvent;
 use gss_core::{
     merge_partials_tree, AggregateFunction, ContextClass, Measure, OperatorConfig, Query, QueryId,
     SlicePartial, StreamElement, StreamOrder, Time, Timeline, WindowAggregator, WindowFunction,
@@ -385,7 +386,9 @@ impl<A: AggregateFunction> WorkerSlicer<A> {
                 }
             }
             self.filled = 0;
+            let shipped = parts.len() as u64;
             send_timed(tx, (me, MergeMsg::Partials(parts)), wait);
+            runtime::probe(ProbeEvent::Shipped { src: me, items: shipped });
         }
         self.accs.clear();
         self.timeline.clear();
@@ -453,6 +456,10 @@ fn apply_ready<A: AggregateFunction>(
         for (w, q) in queues.iter_mut().enumerate() {
             while matches!(q.front(), Some(MergeMsg::Partials(_))) {
                 let Some(MergeMsg::Partials(parts)) = q.pop_front() else { unreachable!() };
+                #[cfg(feature = "sched-mutants")]
+                let parts =
+                    crate::mutants::double_if(crate::mutants::Mutant::ParDoubleApply, parts);
+                runtime::probe(ProbeEvent::Applied { src: w, items: parts.len() as u64 });
                 let wm = op.current_watermark();
                 for p in parts {
                     if wm != TIME_MIN && p.t_first <= wm {
@@ -466,21 +473,37 @@ fn apply_ready<A: AggregateFunction>(
                 progressed = true;
             }
         }
-        if queues.iter().all(|q| matches!(q.front(), Some(MergeMsg::Watermark(_)))) {
+        let fire = if crate::mutants::is(crate::mutants::Mutant::ParEagerBarrier) {
+            queues.iter().any(|q| matches!(q.front(), Some(MergeMsg::Watermark(_))))
+        } else {
+            queues.iter().all(|q| matches!(q.front(), Some(MergeMsg::Watermark(_))))
+        };
+        if fire {
             // All acks in: every partial preceding the watermark in any
             // worker's stream has been staged or applied above, so
             // triggering is safe once the staged lists land. Watermarks
             // are broadcast in stream order over FIFO channels, so the
             // fronts agree; min is defensive.
             let mut wm = TIME_MAX;
-            for q in queues.iter_mut() {
-                let Some(MergeMsg::Watermark(w)) = q.pop_front() else { unreachable!() };
+            let mut acks = 0u64;
+            for (src, q) in queues.iter_mut().enumerate() {
+                // Healthy runs pop every front (the `all` gate above
+                // guarantees they are acks); the eager-barrier mutant
+                // skips workers that have not acked yet.
+                let w = match q.front() {
+                    Some(MergeMsg::Watermark(w)) => *w,
+                    _ => continue,
+                };
+                q.pop_front();
+                runtime::probe(ProbeEvent::AckSeen { src, wm: w });
                 gss_core::audit_assert!(
                     wm == TIME_MAX || w == wm,
                     "barrier acks disagree: {w} vs {wm} (FIFO broadcast broken)"
                 );
                 wm = wm.min(w);
+                acks += 1;
             }
+            runtime::probe(ProbeEvent::Barrier { wm, acks });
             let lists: Vec<Vec<SlicePartial<A>>> = staged.iter_mut().map(std::mem::take).collect();
             op.merge_parallel_partials(merge_partials_tree(f, lists), out);
             op.process_watermark(wm, out);
@@ -603,7 +626,7 @@ where
         op.add_query(w.clone_box()).expect("time-measure queries cannot conflict");
     }
 
-    std::thread::scope(|scope| {
+    runtime::scope(|scope| {
         let (mtx, mrx) = bounded::<(usize, MergeMsg<A>)>(cfg.channel_capacity.max(workers));
         let collect = cfg.collect_results;
         let merge_f = f.clone();

@@ -11,7 +11,7 @@
 
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::runtime::{self, bounded, Sender};
 use gss_core::{AggregateFunction, PerKey, StreamElement, Time, WindowAggregator, WindowResult};
 
 use crate::batching::{Batching, ChunkBuilder, RecordChunk};
@@ -258,7 +258,7 @@ where
     let cpu_before = process_cpu_time();
     let start = Instant::now();
     let mut report = PipelineReport::empty();
-    std::thread::scope(|scope| {
+    runtime::scope(|scope| {
         let mut senders: Vec<Sender<Chunk<A::Input>>> = Vec::with_capacity(p);
         let mut handles = Vec::with_capacity(p);
         for i in 0..p {

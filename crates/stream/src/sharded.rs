@@ -46,7 +46,8 @@
 use std::collections::VecDeque;
 use std::time::Instant;
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::runtime::{self, bounded, Receiver, Sender};
+use crossbeam::sched::ProbeEvent;
 use gss_core::{
     fx_hash_u64, AggregateFunction, PerKey, StreamElement, Time, WindowAggregator, WindowResult,
     TIME_MAX,
@@ -114,7 +115,9 @@ fn shard_loop<A: AggregateFunction>(
     let mut pending: Vec<WindowResult<(u64, A::Output)>> = Vec::new();
     let ship = |pending: &mut Vec<WindowResult<(u64, A::Output)>>, wait: &mut LatencyHistogram| {
         if !pending.is_empty() {
+            let shipped = pending.len() as u64;
             send_timed(&tx, (me, ShardMsg::Emits(std::mem::take(pending))), wait);
+            runtime::probe(ProbeEvent::Shipped { src: me, items: shipped });
         }
     };
     for chunk in rx.iter() {
@@ -167,9 +170,14 @@ fn release_epoch<O>(
 ) {
     let mut epoch: Vec<(usize, WindowResult<(u64, O)>)> = Vec::new();
     for (shard, list) in staged.iter_mut().enumerate() {
+        if shard == 0 && crate::mutants::is(crate::mutants::Mutant::ShardDropStaged) {
+            list.clear();
+            continue;
+        }
         epoch.extend(list.drain(..).map(|r| (shard, r)));
     }
     *count += epoch.len() as u64;
+    runtime::probe(ProbeEvent::Released { items: epoch.len() as u64 });
     if collect {
         epoch.sort_by_key(|(_, r)| r.value.0);
         results.append(&mut epoch);
@@ -197,24 +205,41 @@ fn merge_loop<O>(
             for (shard, q) in queues.iter_mut().enumerate() {
                 while matches!(q.front(), Some(ShardMsg::Emits(_))) {
                     let Some(ShardMsg::Emits(batch)) = q.pop_front() else { unreachable!() };
+                    runtime::probe(ProbeEvent::Applied { src: shard, items: batch.len() as u64 });
                     staged[shard].extend(batch);
                     progressed = true;
                 }
             }
-            if queues.iter().all(|q| matches!(q.front(), Some(ShardMsg::Ack(_)))) {
+            let fire = if crate::mutants::is(crate::mutants::Mutant::ShardEagerRelease) {
+                queues.iter().any(|q| matches!(q.front(), Some(ShardMsg::Ack(_))))
+            } else {
+                queues.iter().all(|q| matches!(q.front(), Some(ShardMsg::Ack(_))))
+            };
+            if fire {
                 // Epoch barrier: every shard has shipped everything it
                 // emitted up to this watermark. Acks ride FIFO channels
                 // off a stream-ordered broadcast, so the fronts agree;
                 // min is defensive.
                 let mut wm = TIME_MAX;
-                for q in queues.iter_mut() {
-                    let Some(ShardMsg::Ack(w)) = q.pop_front() else { unreachable!() };
+                let mut acks = 0u64;
+                for (src, q) in queues.iter_mut().enumerate() {
+                    // Healthy runs pop every front (the `all` gate above
+                    // guarantees they are acks); the eager-release mutant
+                    // skips shards that have not acked yet.
+                    let w = match q.front() {
+                        Some(ShardMsg::Ack(w)) => *w,
+                        _ => continue,
+                    };
+                    q.pop_front();
+                    runtime::probe(ProbeEvent::AckSeen { src, wm: w });
                     gss_core::audit_assert!(
                         wm == TIME_MAX || w == wm,
                         "sharded barrier acks disagree: {w} vs {wm} (FIFO broadcast broken)"
                     );
                     wm = wm.min(w);
+                    acks += 1;
                 }
+                runtime::probe(ProbeEvent::Barrier { wm, acks });
                 release_epoch(staged, results, count, collect);
                 progressed = true;
             }
@@ -299,7 +324,7 @@ where
     let mut report = PipelineReport::empty();
     report.shards = shards;
 
-    std::thread::scope(|scope| {
+    runtime::scope(|scope| {
         let (mtx, mrx) =
             bounded::<(usize, ShardMsg<(u64, A::Output)>)>(cfg.channel_capacity.max(shards));
         let collect = cfg.collect_results;

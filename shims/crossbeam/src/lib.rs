@@ -1,147 +1,24 @@
-//! Offline stand-in for the `crossbeam` crate.
+//! Offline stand-in for the `crossbeam` crate, plus the schedulable
+//! concurrency runtime used by `cargo sched`.
 //!
 //! The build environment has no access to crates.io, so the workspace
 //! vendors the subset it uses: `channel::bounded` with cloneable senders
-//! and an iterating receiver. Backed by `std::sync::mpsc::sync_channel`,
-//! which provides the same bounded-capacity backpressure semantics.
+//! and an iterating receiver, natively backed by
+//! `std::sync::mpsc::sync_channel` (same bounded-capacity backpressure
+//! semantics).
+//!
+//! On top of that, [`runtime`] is the single construction surface for
+//! all concurrency in the workspace: `runtime::bounded` +
+//! `runtime::scope` behave exactly like the native channel/thread pair
+//! in normal builds, but inside [`sched::run_controlled`] they produce
+//! cooperatively scheduled tasks whose every channel operation is a
+//! yield point for a deterministic [`sched::Strategy`]. That is what
+//! lets `gss-analysis` explore real interleavings of the stream
+//! protocols instead of trusting a hand-written model.
 
-pub mod channel {
-    use std::sync::mpsc;
-
-    /// Error returned when the receiving side has hung up.
-    #[derive(PartialEq, Eq)]
-    pub struct SendError<T>(pub T);
-
-    impl<T> std::fmt::Debug for SendError<T> {
-        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-            write!(f, "SendError(..)")
-        }
-    }
-
-    impl<T> std::fmt::Display for SendError<T> {
-        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-            write!(f, "sending on a disconnected channel")
-        }
-    }
-
-    /// Error returned when the sending side has hung up.
-    #[derive(Debug, PartialEq, Eq)]
-    pub struct RecvError;
-
-    /// Error returned by [`Sender::try_send`]: the value comes back so the
-    /// caller can retry (e.g. with a blocking [`Sender::send`]).
-    #[derive(PartialEq, Eq)]
-    pub enum TrySendError<T> {
-        /// The channel is at capacity.
-        Full(T),
-        /// The receiving side has hung up.
-        Disconnected(T),
-    }
-
-    impl<T> TrySendError<T> {
-        /// Recovers the value that could not be sent.
-        pub fn into_inner(self) -> T {
-            match self {
-                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
-            }
-        }
-
-        pub fn is_full(&self) -> bool {
-            matches!(self, TrySendError::Full(_))
-        }
-
-        pub fn is_disconnected(&self) -> bool {
-            matches!(self, TrySendError::Disconnected(_))
-        }
-    }
-
-    impl<T> std::fmt::Debug for TrySendError<T> {
-        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-            match self {
-                TrySendError::Full(_) => write!(f, "Full(..)"),
-                TrySendError::Disconnected(_) => write!(f, "Disconnected(..)"),
-            }
-        }
-    }
-
-    impl<T> std::fmt::Display for TrySendError<T> {
-        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-            match self {
-                TrySendError::Full(_) => write!(f, "sending on a full channel"),
-                TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
-            }
-        }
-    }
-
-    /// Sending half of a bounded channel; cloneable for fan-in.
-    pub struct Sender<T>(mpsc::SyncSender<T>);
-
-    impl<T> Clone for Sender<T> {
-        fn clone(&self) -> Self {
-            Sender(self.0.clone())
-        }
-    }
-
-    impl<T> Sender<T> {
-        /// Blocks while the channel is at capacity (backpressure).
-        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0.send(value).map_err(|mpsc::SendError(v)| SendError(v))
-        }
-
-        /// Non-blocking send: fails immediately with [`TrySendError::Full`]
-        /// when the channel is at capacity instead of waiting for space.
-        /// Lets producers detect backpressure (and measure the queue wait
-        /// of the blocking fallback).
-        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
-            self.0.try_send(value).map_err(|e| match e {
-                mpsc::TrySendError::Full(v) => TrySendError::Full(v),
-                mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
-            })
-        }
-    }
-
-    /// Receiving half of a bounded channel.
-    pub struct Receiver<T>(mpsc::Receiver<T>);
-
-    impl<T> Receiver<T> {
-        pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv().map_err(|_| RecvError)
-        }
-
-        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
-            self.0.try_recv()
-        }
-
-        /// Blocking iterator that ends when all senders are dropped.
-        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
-            self.0.iter()
-        }
-
-        /// Non-blocking iterator: yields every message already queued and
-        /// stops at the first would-block, without waiting. Consumers use
-        /// it to drain a burst after one blocking `recv` instead of
-        /// busy-polling `try_recv`.
-        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
-            self.0.try_iter()
-        }
-    }
-
-    impl<T> IntoIterator for Receiver<T> {
-        type Item = T;
-        type IntoIter = mpsc::IntoIter<T>;
-
-        fn into_iter(self) -> Self::IntoIter {
-            self.0.into_iter()
-        }
-    }
-
-    /// Creates a bounded channel with the given capacity. A capacity of 0
-    /// makes every send rendezvous with a receive.
-    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::sync_channel(cap);
-        (Sender(tx), Receiver(rx))
-    }
-}
+pub mod channel;
+pub mod runtime;
+pub mod sched;
 
 #[cfg(test)]
 mod tests {

@@ -390,6 +390,74 @@ proptest! {
             }
         }
     }
+
+    /// Long-lateness regime: allowed lateness (100_000 ticks) is four to
+    /// five orders of magnitude above the slice width (slide 1..4 over a
+    /// ~6_000 tick span anchored at both ends), so *nothing* is ever
+    /// evicted and the whole timeline stays live — thousands of slices,
+    /// far past the finger store's `INDEX_SCAN_CUTOFF` (32). That forces
+    /// the adaptive index build and routes deep out-of-order arrivals
+    /// (delays up to 3_000 ticks) as deferred writes into the *built*
+    /// tree, repaired at query time. Lazy, eager, and finger stores must
+    /// emit bit-identical result streams on both the per-tuple and the
+    /// batched drivers.
+    #[test]
+    fn long_lateness_stores_bit_identical(
+        raw in prop::collection::vec((0i64..6_000, -50i64..50), 40..160),
+        slide in 1i64..4,
+        win_mult in 2i64..20,
+        batch_i in 0usize..3,
+        fraction in 10u8..60,
+        seed in 0u64..1_000,
+    ) {
+        const LATENESS: Time = 100_000;
+        let batch_size = [1usize, 64, 512][batch_i];
+        let mut raw = raw;
+        // Anchor the span so the live-slice count is span/slide >= 1_500
+        // regardless of what the generator drew.
+        raw.push((0, 1));
+        raw.push((5_999, 1));
+        let tuples = sorted(&raw);
+        let arrivals = make_out_of_order(
+            &tuples,
+            OooConfig { fraction_percent: fraction, max_delay: 3_000, seed, ..Default::default() },
+        );
+        let elements = with_watermarks(&arrivals, 40, 80);
+        let length = slide * win_mult;
+        let queries: Vec<Box<dyn Fn() -> Box<dyn WindowFunction>>> = vec![
+            Box::new(move || Box::new(SlidingWindow::new(length, slide))),
+        ];
+        let stores = [StorePolicy::Lazy, StorePolicy::Eager, StorePolicy::FingerTree];
+        let drive = |policy: StorePolicy, batched: bool| {
+            let mut op = WindowOperator::new(
+                Sum,
+                OperatorConfig {
+                    order: StreamOrder::OutOfOrder,
+                    policy,
+                    allowed_lateness: LATENESS,
+                    ..OperatorConfig::default()
+                },
+            );
+            for q in &queries {
+                op.add_query(q()).unwrap();
+            }
+            if batched {
+                drive_batched(&mut op, &elements, batch_size)
+            } else {
+                drive_per_tuple(&mut op, &elements)
+            }
+        };
+        let reference = drive(StorePolicy::Lazy, false);
+        for policy in stores {
+            for batched in [false, true] {
+                prop_assert_eq!(
+                    &drive(policy, batched), &reference,
+                    "{:?} (batched={}) diverged: slide {} length {} batch {}",
+                    policy, batched, slide, length, batch_size
+                );
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
